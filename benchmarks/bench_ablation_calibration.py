@@ -1,0 +1,43 @@
+"""Ablation: overhead calibration error vs recovery accuracy.
+
+The analysis consumes empirically measured probe costs and sync
+processing constants.  This sweep mis-scales them and measures the
+resulting approximation error — quantifying how carefully the in-vitro
+calibration must be done (errors amplify along serialized critical
+paths).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import event_based_approximation
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE
+from repro.livermore import doacross_program
+
+ERRORS = [-0.10, -0.05, 0.0, 0.05, 0.10]
+
+
+@pytest.mark.parametrize("error", ERRORS, ids=lambda e: f"calib={e:+.2f}")
+def test_calibration_error_sweep(benchmark, bench_config, error):
+    prog = doacross_program(3, trips=bench_config.trips)
+    ex = Executor(
+        machine_config=bench_config.machine,
+        inst_costs=bench_config.costs,
+        seed=bench_config.seed,
+    )
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    constants = bench_config.constants().perturbed(error)
+
+    approx = benchmark(event_based_approximation, measured.trace, constants)
+    rel = approx.total_time / actual.total_time - 1.0
+    benchmark.extra_info["recovery_error"] = round(rel, 4)
+    if error == 0.0:
+        assert rel == 0.0
+    else:
+        # Over-estimated constants -> over-subtraction -> under-approximation
+        # (and vice versa); error stays bounded.
+        assert (rel < 0) == (error > 0)
+        assert abs(rel) < 0.6

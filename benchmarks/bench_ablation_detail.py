@@ -1,0 +1,74 @@
+"""Ablation: instrumentation detail level vs recovery accuracy.
+
+The paper's central observation (the "violation" of the Instrumentation
+Uncertainty Principle): MORE instrumentation — statement probes *plus*
+synchronization probes — yields a slower measured run but a far more
+accurate approximation, because the added events carry the semantic
+information event-based analysis needs.  This sweep quantifies that
+trade-off across detail levels on loop 17.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import event_based_approximation, time_based_approximation
+from repro.exec import Executor
+from repro.instrument.plan import Detail, InstrumentationPlan, PLAN_NONE
+from repro.livermore import doacross_program
+
+DETAILS = [Detail.STATEMENTS, Detail.SYNC_ONLY, Detail.FULL]
+
+
+def run_detail(detail: Detail, config):
+    prog = doacross_program(17, trips=config.trips)
+    ex = Executor(
+        machine_config=config.machine,
+        inst_costs=config.costs,
+        perturb=config.perturb,
+        seed=config.seed,
+    )
+    actual = ex.run(prog, PLAN_NONE)
+    plan = InstrumentationPlan.preset(detail)
+    measured = ex.run(prog, plan)
+    constants = config.constants()
+    if detail is Detail.STATEMENTS:
+        approx = time_based_approximation(measured.trace, constants)
+    else:
+        approx = event_based_approximation(measured.trace, constants)
+    return {
+        "slowdown": measured.total_time / actual.total_time,
+        "recovery": approx.total_time / actual.total_time,
+        "events": len(measured.trace),
+    }
+
+
+@pytest.mark.parametrize("detail", DETAILS, ids=lambda d: d.value)
+def test_detail_level(benchmark, bench_config, detail):
+    out = benchmark(run_detail, detail, bench_config)
+    benchmark.extra_info["slowdown"] = round(out["slowdown"], 2)
+    benchmark.extra_info["recovery_over_actual"] = round(out["recovery"], 3)
+    benchmark.extra_info["trace_events"] = out["events"]
+    if detail is Detail.STATEMENTS:
+        # Statement-only + time-based: badly wrong on loop 17.
+        assert out["recovery"] > 2.0
+    else:
+        # Any sync-carrying level + event-based: accurate.
+        assert abs(out["recovery"] - 1.0) < 0.10
+
+
+def test_detail_tradeoff_summary(benchmark, bench_config):
+    """One benchmark that captures the whole trade-off table."""
+
+    def sweep():
+        return {d.value: run_detail(d, bench_config) for d in DETAILS}
+
+    out = benchmark(sweep)
+    # FULL slows the run the most yet recovers the best.
+    assert out["full"]["slowdown"] > out["sync_only"]["slowdown"]
+    assert abs(out["full"]["recovery"] - 1.0) < abs(
+        out["statements"]["recovery"] - 1.0
+    )
+    for name, row in out.items():
+        benchmark.extra_info[f"{name}_slowdown"] = round(row["slowdown"], 2)
+        benchmark.extra_info[f"{name}_recovery"] = round(row["recovery"], 3)

@@ -1,0 +1,45 @@
+"""Ablation: conservative vs liberal (rescheduled) approximation.
+
+Conservative analysis keeps the measured iteration-to-CE assignment;
+liberal analysis re-simulates dynamic self-scheduling with approximated
+durations (§4.2.3's "external execution information").  Both should land
+near the actual time on the paper's loops; liberal additionally fixes
+cases where instrumentation changed the schedule itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import event_based_approximation, liberal_approximation
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE
+from repro.livermore import doacross_program
+
+
+@pytest.mark.parametrize("loop", (3, 4, 17))
+def test_conservative_vs_liberal(benchmark, bench_config, loop):
+    prog = doacross_program(loop, trips=bench_config.trips)
+    ex = Executor(
+        machine_config=bench_config.machine,
+        inst_costs=bench_config.costs,
+        perturb=bench_config.perturb,
+        seed=bench_config.seed + loop,
+    )
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    constants = bench_config.constants()
+
+    def analyze():
+        conservative = event_based_approximation(measured.trace, constants)
+        liberal = liberal_approximation(conservative, constants)
+        return conservative, liberal
+
+    conservative, liberal = benchmark(analyze)
+    a = actual.total_time
+    benchmark.extra_info["conservative_over_actual"] = round(
+        conservative.total_time / a, 3
+    )
+    benchmark.extra_info["liberal_over_actual"] = round(liberal.total_time / a, 3)
+    assert abs(conservative.total_time / a - 1.0) < 0.10
+    assert abs(liberal.total_time / a - 1.0) < 0.15

@@ -1,0 +1,20 @@
+"""Per-event accuracy benchmark: distribution of individual event timing
+errors (paper §3: "the accuracy of individual event timings were equally
+impressive").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.accuracy import run_accuracy
+
+
+def test_per_event_accuracy(benchmark, bench_config):
+    result = benchmark(run_accuracy, bench_config)
+    assert result.shape_ok(), result.render()
+    for row in result.rows:
+        benchmark.extra_info[f"L{row.kernel}_mean_abs_err_cycles"] = round(
+            row.stats.mean_abs_error, 1
+        )
+        benchmark.extra_info[f"L{row.kernel}_err_pct_of_run"] = round(
+            row.mean_error_pct_of_duration, 3
+        )

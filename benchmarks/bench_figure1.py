@@ -1,0 +1,36 @@
+"""Figure 1 benchmark: sequential loops, measured vs approximated ratios.
+
+Paper reference: slowdowns of roughly 4x-17x under full statement
+instrumentation; time-based approximations within 15% of actual.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figure1 import run_figure1
+from repro.livermore.classify import figure1_kernels
+
+
+def test_figure1(benchmark, bench_config):
+    result = benchmark(run_figure1, bench_config)
+    assert result.shape_ok(), result.render()
+    for k in figure1_kernels():
+        benchmark.extra_info[f"L{k}_measured_over_actual"] = round(
+            result.studies[k].measured_ratio, 2
+        )
+        benchmark.extra_info[f"L{k}_model_over_actual"] = round(
+            result.studies[k].model_ratio, 3
+        )
+
+
+@pytest.mark.parametrize("loop", figure1_kernels())
+def test_figure1_per_loop(benchmark, bench_config, loop):
+    """Per-loop timing of the sequential study (finer-grained profile)."""
+    from repro.experiments.common import run_sequential_study
+
+    study = benchmark(run_sequential_study, loop, bench_config)
+    assert 3.5 <= study.measured_ratio <= 20.0
+    assert abs(study.model_ratio - 1.0) <= 0.15
+    benchmark.extra_info["measured_over_actual"] = round(study.measured_ratio, 2)
+    benchmark.extra_info["model_over_actual"] = round(study.model_ratio, 3)

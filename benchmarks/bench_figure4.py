@@ -1,0 +1,21 @@
+"""Figure 4 benchmark: approximated waiting timelines in loop 17.
+
+Paper reference: every CE shows scattered, short waiting episodes across
+the run (not solid blocks).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4(benchmark, bench_config):
+    result = benchmark(run_figure4, bench_config)
+    assert result.shape_ok(), result.render()
+    span = result.span().length
+    for ce in range(8):
+        episodes = len(result.per_thread.get(ce, []))
+        benchmark.extra_info[f"CE{ce}_wait_episodes"] = episodes
+        benchmark.extra_info[f"CE{ce}_wait_fraction"] = round(
+            result.total_wait(ce) / span, 4
+        )

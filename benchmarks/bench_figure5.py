@@ -1,0 +1,20 @@
+"""Figure 5 benchmark: approximated parallelism profile of loop 17.
+
+Paper reference: average parallelism 7.5 (of 8) over the parallel region,
+excluding the sequential prologue/epilogue.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure5 import PAPER_AVG_PARALLELISM, run_figure5
+
+
+def test_figure5(benchmark, bench_config):
+    result = benchmark(run_figure5, bench_config)
+    assert result.shape_ok(), result.render()
+    benchmark.extra_info["avg_parallelism"] = round(result.average(), 2)
+    benchmark.extra_info["avg_parallelism_paper"] = PAPER_AVG_PARALLELISM
+    benchmark.extra_info["peak"] = result.profile.peak
+    benchmark.extra_info["avg_including_sequential"] = round(
+        result.average(exclude_sequential=False), 2
+    )

@@ -1,0 +1,16 @@
+"""Execution-mode sweep benchmark (paper §3's scalar/vector/concurrent
+spectrum): time-based analysis accuracy and perturbation per mode.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.modes import run_mode_study
+
+
+def test_mode_study(benchmark, bench_config):
+    result = benchmark(run_mode_study, bench_config)
+    assert result.shape_ok(), result.render()
+    for row in result.rows:
+        benchmark.extra_info[f"{row.mode}_measured"] = round(row.measured_ratio, 2)
+        benchmark.extra_info[f"{row.mode}_model"] = round(row.model_ratio, 3)
+        benchmark.extra_info[f"{row.mode}_events"] = row.events

@@ -1,0 +1,25 @@
+"""Scalability benchmark: recovering speedup curves from perturbed runs.
+
+Extension experiment: across machine widths 1..16 the event-based
+reconstruction must reproduce the true speedup curve (loop 17 saturating
+near 8x, loop 3 pinned near 2x by its critical section) even though the
+measured curves are distorted in opposite directions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.scaling import run_scaling
+
+
+@pytest.mark.parametrize("loop", (3, 17))
+def test_scaling(benchmark, bench_config, loop):
+    result = benchmark(run_scaling, loop, bench_config)
+    assert result.shape_ok(), result.render()
+    truth = result.actual_speedups()
+    recovered = result.approximated_speedups()
+    for n in truth:
+        benchmark.extra_info[f"{n}ce_true_speedup"] = round(truth[n], 2)
+        benchmark.extra_info[f"{n}ce_recovered_speedup"] = round(recovered[n], 2)
+    benchmark.extra_info["max_curve_error"] = round(result.max_curve_error(), 4)

@@ -1,0 +1,65 @@
+"""Substrate performance benchmarks: simulator and analysis throughput.
+
+Not a paper reproduction — these track the cost of the reproduction
+machinery itself (events simulated / analyzed per second), so regressions
+in the discrete-event core or the analysis worklist show up.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import event_based_approximation, time_based_approximation
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE, PLAN_STATEMENTS
+from repro.livermore import doacross_program, sequential_program
+
+
+@pytest.fixture(scope="module")
+def big_doacross():
+    return doacross_program(17, trips=400)
+
+
+@pytest.fixture(scope="module")
+def big_sequential():
+    return sequential_program(7, trips=2000)
+
+
+def test_simulator_uninstrumented_throughput(benchmark, big_doacross):
+    result = benchmark(lambda: Executor(seed=1).run(big_doacross, PLAN_NONE))
+    benchmark.extra_info["events"] = len(result.trace)
+
+
+def test_simulator_instrumented_throughput(benchmark, big_doacross):
+    result = benchmark(lambda: Executor(seed=1).run(big_doacross, PLAN_FULL))
+    benchmark.extra_info["events"] = len(result.trace)
+
+
+def test_sequential_simulation_throughput(benchmark, big_sequential):
+    result = benchmark(lambda: Executor(seed=1).run(big_sequential, PLAN_STATEMENTS))
+    benchmark.extra_info["events"] = len(result.trace)
+
+
+def test_time_based_analysis_throughput(benchmark, big_sequential, bench_constants):
+    measured = Executor(seed=1).run(big_sequential, PLAN_STATEMENTS)
+    approx = benchmark(time_based_approximation, measured.trace, bench_constants)
+    benchmark.extra_info["events"] = len(measured.trace)
+    assert approx.total_time > 0
+
+
+def test_event_based_analysis_throughput(benchmark, big_doacross, bench_constants):
+    measured = Executor(seed=1).run(big_doacross, PLAN_FULL)
+    approx = benchmark(event_based_approximation, measured.trace, bench_constants)
+    benchmark.extra_info["events"] = len(measured.trace)
+    assert approx.total_time > 0
+
+
+def test_kernel_numerics_throughput(benchmark):
+    """NumPy kernel suite: all 24 scalar kernels at reduced length."""
+    from repro.livermore.kernels import run_kernel
+
+    def all_kernels():
+        return [run_kernel(k, "scalar", n=64) for k in range(1, 25)]
+
+    sums = benchmark(all_kernels)
+    assert len(sums) == 24

@@ -1,0 +1,34 @@
+"""Table 1 benchmark: time-based analysis on the DOACROSS loops.
+
+Paper reference (measured/actual, approximated/actual):
+loop 3: 2.48 / 0.37 - loop 4: 2.64 / 0.57 - loop 17: 9.97 / 8.31.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import run_loop_study
+from repro.experiments.table1 import DOACROSS_LOOPS, PAPER_TABLE1, run_table1
+
+
+def test_table1(benchmark, bench_config):
+    result = benchmark(run_table1, bench_config)
+    assert result.shape_ok(), result.render()
+    for loop, measured, approximated in result.rows():
+        benchmark.extra_info[f"L{loop}_measured_over_actual"] = round(measured, 2)
+        benchmark.extra_info[f"L{loop}_tb_over_actual"] = round(approximated, 2)
+        benchmark.extra_info[f"L{loop}_paper"] = PAPER_TABLE1[loop]
+
+
+@pytest.mark.parametrize("loop", DOACROSS_LOOPS)
+def test_table1_per_loop(benchmark, bench_config, loop):
+    study = benchmark(run_loop_study, loop, bench_config)
+    if loop in (3, 4):
+        assert study.time_based_ratio < 0.8  # under-approximation
+    else:
+        assert study.time_based_ratio > 2.0  # over-approximation
+    benchmark.extra_info["measured_over_actual"] = round(
+        study.measured_ratio(full=False), 2
+    )
+    benchmark.extra_info["tb_over_actual"] = round(study.time_based_ratio, 2)

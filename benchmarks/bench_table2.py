@@ -1,0 +1,35 @@
+"""Table 2 benchmark: event-based analysis on the DOACROSS loops.
+
+Paper reference (measured/actual, approximated/actual):
+loop 3: 4.56 / 0.96 - loop 4: 3.38 / 1.06 - loop 17: 14.08 / 0.97.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import run_loop_study
+from repro.experiments.table2 import PAPER_TABLE2, run_table2
+from repro.experiments.table1 import DOACROSS_LOOPS
+
+
+def test_table2(benchmark, bench_config):
+    result = benchmark(run_table2, bench_config)
+    assert result.shape_ok(), result.render()
+    for loop, measured, approximated in result.rows():
+        benchmark.extra_info[f"L{loop}_measured_over_actual"] = round(measured, 2)
+        benchmark.extra_info[f"L{loop}_eb_over_actual"] = round(approximated, 2)
+        benchmark.extra_info[f"L{loop}_paper"] = PAPER_TABLE2[loop]
+    improvements = result.accuracy_improvements()
+    benchmark.extra_info["L17_accuracy_improvement"] = round(improvements[17], 1)
+
+
+@pytest.mark.parametrize("loop", DOACROSS_LOOPS)
+def test_table2_per_loop(benchmark, bench_config, loop):
+    study = benchmark(run_loop_study, loop, bench_config)
+    assert abs(study.event_based_ratio - 1.0) < 0.10
+    assert study.measured_ratio(full=True) > study.measured_ratio(full=False)
+    benchmark.extra_info["measured_over_actual"] = round(
+        study.measured_ratio(full=True), 2
+    )
+    benchmark.extra_info["eb_over_actual"] = round(study.event_based_ratio, 3)

@@ -1,0 +1,16 @@
+"""Table 3 benchmark: per-CE DOACROSS waiting percentages in loop 17.
+
+Paper reference: 4.05 / 8.09 / 4.05 / 2.70 / 4.05 / 5.40 / 2.70 / 4.05
+percent across the eight CEs — small, non-uniform, single-digit.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table3 import run_table3
+
+
+def test_table3(benchmark, bench_config):
+    result = benchmark(run_table3, bench_config)
+    assert result.shape_ok(), result.render()
+    for ce, pct in result.percentages().items():
+        benchmark.extra_info[f"CE{ce}_waiting_pct"] = round(pct, 2)

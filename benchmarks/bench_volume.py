@@ -1,0 +1,17 @@
+"""Instrumentation-volume sweep benchmark: the Uncertainty Principle
+quantified — volume costs raw-reading accuracy, not analysis accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.volume import run_volume
+
+
+def test_volume_sweep(benchmark, bench_config):
+    result = benchmark(run_volume, 20, bench_config)
+    assert result.shape_ok(), result.render()
+    for p in result.points:
+        key = f"{int(p.fraction * 100)}pct"
+        benchmark.extra_info[f"{key}_slowdown"] = round(p.measured_ratio, 2)
+        benchmark.extra_info[f"{key}_model_error_pct"] = round(p.model_error_pct, 2)
+        benchmark.extra_info[f"{key}_events"] = p.n_events

@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Each ``bench_<experiment>`` file regenerates one of the paper's tables or
+figures; pytest-benchmark times the full measurement + analysis pipeline
+and each benchmark's ``extra_info`` records the reproduced numbers next to
+the paper's, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+reproduction report.
+
+Benchmarks use reduced trip counts (the ratios are insensitive to loop
+length once startup is amortized) so the whole suite runs in seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+
+#: Loop length used by benchmark runs.
+BENCH_TRIPS = 200
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return DEFAULT_CONFIG.quick(BENCH_TRIPS)
+
+
+@pytest.fixture(scope="session")
+def bench_constants(bench_config):
+    return bench_config.constants()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Counting semaphores: measuring a resource-throttled parallel loop.
+
+A DOALL loop whose iterations each need one of K identical resources
+(DMA channels, I/O ports, scratchpad buffers) — modelled with a
+capacity-K counting semaphore, the "general semaphore" of which the
+FX/80's advance/await is the special case (paper §4.2).
+
+Instrumentation changes how often iterations queue for the resource; the
+conservative grant-order-preserving analysis reconstructs the actual
+queueing from the measured trace.  The sweep below varies K and compares
+the *measured* resource-limited throughput curve with the *recovered*
+one.
+
+Run:  python examples/io_throttling.py
+"""
+
+from repro import (
+    Executor,
+    InstrumentationCosts,
+    PLAN_FULL,
+    PLAN_NONE,
+    ProgramBuilder,
+    calibrate_analysis_constants,
+    event_based_approximation,
+    loop_body,
+)
+from repro.machine.costs import FX80
+from repro.metrics import waiting_percentages
+
+
+def build_throttled(capacity: int, trips: int = 240):
+    return (
+        ProgramBuilder(f"io-k{capacity}")
+        .semaphore("PORT", capacity=capacity)
+        .compute("setup", cost=40, memory_refs=2)
+        .doall(
+            "IO",
+            trips=trips,
+            body=loop_body()
+            .compute("prepare buffer", cost=25, memory_refs=3)
+            .sem_wait("PORT")
+            .compute("DMA burst", cost=45, memory_refs=6)
+            .sem_signal("PORT")
+            .compute("post-process", cost=15, memory_refs=2),
+        )
+        .compute("wrapup", cost=15)
+        .build()
+    )
+
+
+def main() -> None:
+    constants = calibrate_analysis_constants(FX80, InstrumentationCosts())
+    print("How many ports does this workload need?  (8 CEs competing)\n")
+    print(f"{'ports':>6} {'true time':>10} {'measured':>9} {'recovered':>10} "
+          f"{'queueing (recovered)':>21}")
+    base = None
+    for k in (1, 2, 3, 4, 6, 8):
+        program = build_throttled(k)
+        ex = Executor(seed=77)
+        actual = ex.run(program, PLAN_NONE)
+        measured = ex.run(program, PLAN_FULL)
+        approx = event_based_approximation(measured.trace, constants)
+        report = waiting_percentages(approx.trace, constants)
+        queueing = sum(report.per_thread_wait.values())
+        if base is None:
+            base = actual.total_time
+        print(f"{k:>6} {actual.total_time:>10} "
+              f"{measured.total_time:>8}  {approx.total_time:>9} "
+              f"{queueing:>14} cycles")
+        assert abs(approx.total_time - actual.total_time) <= 0.02 * actual.total_time
+
+    print("\nThe recovered times answer the capacity-planning question from "
+          "instrumented runs alone:\nthe knee of the curve (where adding "
+          "ports stops helping) matches the true executions.")
+
+
+if __name__ == "__main__":
+    main()

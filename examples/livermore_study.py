@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The full paper study: regenerate every table and figure.
+
+Equivalent to ``repro-ppopp91 all`` but shown as library usage, with the
+paper's reported values printed alongside for comparison.
+
+Run:  python examples/livermore_study.py [--full]
+
+``--full`` uses McMahon's standard loop lengths (a few seconds); the
+default uses reduced lengths (sub-second).
+"""
+
+import sys
+
+from repro.experiments import (
+    DEFAULT_CONFIG,
+    QUICK_CONFIG,
+    run_figure1,
+    run_figure4,
+    run_figure5,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.common import run_loop_study
+from repro.experiments.table1 import DOACROSS_LOOPS
+
+
+def main() -> None:
+    config = DEFAULT_CONFIG if "--full" in sys.argv else QUICK_CONFIG
+    print(f"machine: {config.machine.n_ce} CEs @ {config.machine.clock_mhz} MHz; "
+          f"trips={'standard' if config.trips is None else config.trips}\n")
+
+    # The three DOACROSS loop studies back Tables 1-3 and Figures 4-5;
+    # run them once and share.
+    studies = {k: run_loop_study(k, config) for k in DOACROSS_LOOPS}
+
+    print(run_figure1(config).render())
+    print()
+    print(run_table1(config, studies=studies).render())
+    print()
+    print(run_table2(config, studies=studies).render())
+    print()
+    print(run_table3(config, study=studies[17]).render())
+    print()
+    print(run_figure4(config, study=studies[17]).render())
+    print()
+    print(run_figure5(config, study=studies[17]).render())
+
+    # The paper's headline claim, quantified.
+    t2 = run_table2(config, studies=studies)
+    print("\naccuracy improvement of event-based over time-based analysis:")
+    for loop, factor in t2.accuracy_improvements().items():
+        print(f"  loop {loop:>2}: {factor:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

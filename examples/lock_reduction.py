@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Beyond the paper: perturbation analysis of lock-based critical sections.
+
+The paper's testbed uses the FX/80's advance/await hardware, which orders
+critical sections by iteration number.  Many real codes instead use
+mutual-exclusion locks, where *any* serialization order is legal.  The
+library's conservative lock analysis preserves the measured acquisition
+order and replays the handoff chain with calibrated constants.
+
+This example sweeps the contention level of a lock-protected DOALL
+reduction and shows that event-based analysis recovers the actual
+execution at every level — from uncontended to fully serialized.
+
+Run:  python examples/lock_reduction.py
+"""
+
+from repro import (
+    Executor,
+    InstrumentationCosts,
+    PLAN_FULL,
+    PLAN_NONE,
+    ProgramBuilder,
+    calibrate_analysis_constants,
+    event_based_approximation,
+    loop_body,
+)
+from repro.machine.costs import FX80
+from repro.trace.order import verify_feasible
+
+
+def build_reduction(work: int, cs: int, trips: int = 240):
+    return (
+        ProgramBuilder(f"lock-reduce-w{work}-c{cs}")
+        .compute("setup", cost=30, memory_refs=1)
+        .doall(
+            "R",
+            trips=trips,
+            body=loop_body()
+            .compute("control", cost=6)
+            .compute("partial = f(x[k])", cost=work, memory_refs=2)
+            .lock("SUM")
+            .compute("sum += partial", cost=cs, memory_refs=1)
+            .unlock("SUM"),
+        )
+        .compute("wrapup", cost=10)
+        .build()
+    )
+
+
+def main() -> None:
+    constants = calibrate_analysis_constants(FX80, InstrumentationCosts())
+    print(f"lock constants: uncontended={constants.lock_nowait} cy, "
+          f"handoff={constants.lock_handoff} cy\n")
+
+    print(f"{'work/cs':>8} {'contention':>10} {'slowdown':>9} "
+          f"{'recovered/actual':>17} {'order kept':>11}")
+    for work, cs in ((200, 2), (100, 5), (50, 10), (20, 20), (5, 40)):
+        program = build_reduction(work, cs)
+        ex = Executor(seed=13)
+        actual = ex.run(program, PLAN_NONE)
+        measured = ex.run(program, PLAN_FULL)
+        approx = event_based_approximation(measured.trace, constants)
+        verify_feasible(approx.trace, measured.trace)
+        blocking = actual.sync_stats["SUM"].blocking_probability
+        print(f"{work:>4}/{cs:<3} {blocking:>9.0%} "
+              f"{measured.total_time / actual.total_time:>8.2f}x "
+              f"{approx.total_time / actual.total_time:>17.3f} "
+              f"{'yes':>11}")
+
+    print("\nThe acquisition order the approximation preserves is the "
+          "*measured* one — conservative analysis cannot know that a "
+          "different order was equally legal (paper §4.1).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Offline tool workflow: measure once, write the trace, analyze later.
+
+Mirrors how a real tracing tool is used: the measurement phase produces a
+trace file (JSONL); a separate analysis phase reads it back — possibly on
+a different machine, days later — and reconstructs the execution,
+computing the §5.3 statistics (per-CE waiting, parallelism profile).
+
+Run:  python examples/trace_workflow.py [trace-dir]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import (
+    Executor,
+    InstrumentationCosts,
+    PLAN_FULL,
+    calibrate_analysis_constants,
+    event_based_approximation,
+    read_trace,
+    write_trace,
+)
+from repro.livermore import doacross_program
+from repro.machine.costs import FX80
+from repro.metrics import average_parallelism, waiting_percentages
+
+
+def measure(trace_path: Path) -> None:
+    """Phase 1: run the instrumented workload, dump the trace."""
+    program = doacross_program(17, trips=101)
+    costs = InstrumentationCosts()
+    measured = Executor(inst_costs=costs, seed=17).run(program, PLAN_FULL)
+    write_trace(measured.trace, trace_path)
+    print(f"measured {program.name}: {len(measured.trace)} events, "
+          f"{measured.total_time} cycles -> {trace_path}")
+
+
+def analyze(trace_path: Path) -> None:
+    """Phase 2: load the trace and reconstruct the actual execution."""
+    trace = read_trace(trace_path)
+    print(f"\nloaded {trace_path.name}: {len(trace)} events, "
+          f"program={trace.meta['program']}, plan={trace.meta['plan']}")
+
+    constants = calibrate_analysis_constants(FX80, InstrumentationCosts())
+    approx = event_based_approximation(trace, constants)
+    print(f"approximated actual execution time: {approx.total_time} cycles "
+          f"(measured was {trace.end_time}; "
+          f"{trace.end_time / approx.total_time:.1f}x perturbation removed)")
+
+    report = waiting_percentages(approx.trace, constants)
+    print("\nper-CE waiting (reconstructed, cf. Table 3):")
+    for ce, pct in report.percentages().items():
+        bar = "#" * round(pct * 4)
+        print(f"  CE{ce}: {pct:5.2f}% {bar}")
+
+    avg = average_parallelism(approx.trace, constants)
+    print(f"\naverage parallelism over the DOACROSS region: {avg:.2f} "
+          f"(cf. the paper's 7.5)")
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        base = Path(sys.argv[1])
+        base.mkdir(parents=True, exist_ok=True)
+        path = base / "loop17.trace"
+        measure(path)
+        analyze(path)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "loop17.trace"
+            measure(path)
+            analyze(path)
+
+
+if __name__ == "__main__":
+    main()

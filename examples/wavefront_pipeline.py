@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A user-defined workload: DOACROSS wavefront with dependence distance 2.
+
+Demonstrates the library on a program the paper never studied — a
+software-pipelined stencil where iteration ``i`` depends on iteration
+``i - 2`` (so two iterations' critical sections can overlap).  Shows:
+
+* building a custom DOACROSS with a non-unit dependence distance;
+* sweeping instrumentation overhead to find the "measurement budget"
+  where the *measured* numbers stop being trustworthy while the
+  *approximated* ones stay accurate;
+* per-event error statistics against the ground truth.
+
+Run:  python examples/wavefront_pipeline.py
+"""
+
+from repro import (
+    Executor,
+    InstrumentationCosts,
+    PLAN_FULL,
+    PLAN_NONE,
+    ProgramBuilder,
+    calibrate_analysis_constants,
+    event_based_approximation,
+    loop_body,
+    per_event_errors,
+)
+from repro.machine.costs import FX80
+from repro.trace.events import EventKind
+
+
+def build_wavefront(trips: int = 300):
+    return (
+        ProgramBuilder("wavefront")
+        .compute("halo exchange setup", cost=60, memory_refs=4)
+        .doacross(
+            "sweep",
+            trips=trips,
+            body=loop_body()
+            .compute("row control", cost=6)
+            .compute("load neighbours", cost=20, memory_refs=6)
+            .compute("stencil compute", cost=35, memory_refs=2)
+            .await_("ROW", distance=2)  # depends on row i-2
+            .compute("commit row", cost=10, memory_refs=3)
+            .advance("ROW")
+            .compute("residual update", cost=8, memory_refs=1),
+        )
+        .compute("norm reduction", cost=30, memory_refs=2)
+        .build()
+    )
+
+
+def main() -> None:
+    program = build_wavefront()
+    print(f"workload: {program.name}, "
+          f"{next(iter(program.loops())).trips} rows, dependence distance 2\n")
+
+    print(f"{'probe cost':>11} {'slowdown':>9} {'measured err':>13} {'approx err':>11}")
+    for scale in (0.25, 0.5, 1.0, 2.0, 4.0):
+        costs = InstrumentationCosts().scaled(scale)
+        constants = calibrate_analysis_constants(FX80, costs)
+        ex = Executor(inst_costs=costs, seed=11)
+        actual = ex.run(program, PLAN_NONE)
+        measured = ex.run(program, PLAN_FULL)
+        approx = event_based_approximation(measured.trace, constants)
+        a = actual.total_time
+        meas_err = 100.0 * (measured.total_time - a) / a
+        appr_err = 100.0 * (approx.total_time - a) / a
+        print(f"{costs.stmt_event:>8} cy {measured.total_time / a:>8.2f}x "
+              f"{meas_err:>+12.1f}% {appr_err:>+10.2f}%")
+
+    # Per-event accuracy at the default probe cost.
+    costs = InstrumentationCosts()
+    constants = calibrate_analysis_constants(FX80, costs)
+    ex = Executor(inst_costs=costs, seed=11)
+    actual = ex.run(program, PLAN_NONE)
+    measured = ex.run(program, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    stats = per_event_errors(
+        approx, actual.trace,
+        kinds={EventKind.ADVANCE, EventKind.AWAIT_E, EventKind.STMT},
+    )
+    print(f"\nper-event timing error vs ground truth "
+          f"({stats.n_matched} events matched):")
+    print(f"  mean |error| = {stats.mean_abs_error:.2f} cycles, "
+          f"max = {stats.max_abs_error}, rms = {stats.rms_error:.2f}")
+    print("\nNo matter how heavy the probes, event-based analysis keeps the "
+          "approximation pinned to the actual execution.")
+
+
+if __name__ == "__main__":
+    main()

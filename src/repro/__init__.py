@@ -1,0 +1,117 @@
+"""repro — reproduction of Malony, "Event-Based Performance Perturbation:
+A Case Study" (PPoPP 1991).
+
+The package provides, end to end:
+
+* a deterministic discrete-event simulator of an Alliant FX/80-class
+  multiprocessor (:mod:`repro.sim`, :mod:`repro.machine`);
+* a statement-level program IR with DOACROSS advance/await synchronization
+  (:mod:`repro.ir`) and Lawrence Livermore Loop models
+  (:mod:`repro.livermore`);
+* trace instrumentation with configurable detail and per-event costs
+  (:mod:`repro.instrument`, :mod:`repro.exec`, :mod:`repro.trace`);
+* the paper's perturbation-analysis models — time-based and event-based —
+  plus the liberal rescheduling extension (:mod:`repro.analysis`);
+* performance statistics (waiting, parallelism profiles) and the paper's
+  experiments (:mod:`repro.metrics`, :mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (
+        Executor, PLAN_NONE, PLAN_FULL, InstrumentationCosts,
+        calibrate_analysis_constants, event_based_approximation,
+    )
+    from repro.machine.costs import FX80
+    from repro.livermore import livermore_program
+
+    prog = livermore_program(3)
+    actual = Executor().run(prog, PLAN_NONE)        # ground truth
+    measured = Executor().run(prog, PLAN_FULL)      # what a tool sees
+    constants = calibrate_analysis_constants(FX80, InstrumentationCosts())
+    approx = event_based_approximation(measured.trace, constants)
+    print(measured.total_time / actual.total_time)  # perturbation
+    print(approx.total_time / actual.total_time)    # recovered ~1.0
+"""
+
+from repro.analysis import (
+    Approximation,
+    AnalysisError,
+    ExecutionRatios,
+    compare_ratios,
+    event_based_approximation,
+    liberal_approximation,
+    per_event_errors,
+    percent_error,
+    time_based_approximation,
+)
+from repro.exec import ExecutionResult, Executor, PerturbationConfig
+from repro.instrument import (
+    AnalysisConstants,
+    Detail,
+    InstrumentationCosts,
+    InstrumentationPlan,
+    calibrate_analysis_constants,
+    instrument_program,
+    probe_count,
+)
+from repro.instrument.plan import (
+    PLAN_FULL,
+    PLAN_NONE,
+    PLAN_STATEMENTS,
+    PLAN_SYNC_ONLY,
+)
+from repro.ir import (
+    DoAcrossLoop,
+    DoAllLoop,
+    Program,
+    ProgramBuilder,
+    Schedule,
+    SequentialLoop,
+    loop_body,
+)
+from repro.machine import MachineConfig
+from repro.machine.costs import FX80
+from repro.trace import Trace, TraceEvent, EventKind, read_trace, write_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Approximation",
+    "AnalysisError",
+    "ExecutionRatios",
+    "compare_ratios",
+    "event_based_approximation",
+    "liberal_approximation",
+    "per_event_errors",
+    "percent_error",
+    "time_based_approximation",
+    "ExecutionResult",
+    "Executor",
+    "PerturbationConfig",
+    "AnalysisConstants",
+    "Detail",
+    "InstrumentationCosts",
+    "InstrumentationPlan",
+    "calibrate_analysis_constants",
+    "instrument_program",
+    "probe_count",
+    "PLAN_FULL",
+    "PLAN_NONE",
+    "PLAN_STATEMENTS",
+    "PLAN_SYNC_ONLY",
+    "DoAcrossLoop",
+    "DoAllLoop",
+    "Program",
+    "ProgramBuilder",
+    "Schedule",
+    "SequentialLoop",
+    "loop_body",
+    "MachineConfig",
+    "FX80",
+    "Trace",
+    "TraceEvent",
+    "EventKind",
+    "read_trace",
+    "write_trace",
+    "__version__",
+]

@@ -1,0 +1,44 @@
+"""Performance perturbation analysis — the paper's contribution.
+
+Given a *measured* trace τ_m and the platform constants
+(:class:`repro.instrument.AnalysisConstants`), these models reconstruct an
+*approximated* trace τ_a estimating the uninstrumented execution:
+
+* :func:`time_based_approximation` (§3) — removes per-event instrumentation
+  overhead along each thread independently.  Exact for sequential/vector
+  execution; systematically wrong when instrumentation changed
+  synchronization waiting.
+* :func:`event_based_approximation` (§4) — additionally replays
+  advance/await and barrier semantics so waiting is reconstructed from
+  dependency structure rather than copied from the perturbed measurement.
+
+Both consume **only** the measured trace and the analysis constants; the
+uninstrumented ground truth is used solely for scoring
+(:mod:`repro.analysis.errors`).
+"""
+
+from repro.analysis.approximation import Approximation, AnalysisError
+from repro.analysis.timebased import time_based_approximation
+from repro.analysis.eventbased import event_based_approximation
+from repro.analysis.errors import (
+    ExecutionRatios,
+    compare_ratios,
+    percent_error,
+    per_event_errors,
+)
+from repro.analysis.reschedule import liberal_approximation
+from repro.analysis.auto import auto_approximation, AutoResult
+
+__all__ = [
+    "auto_approximation",
+    "AutoResult",
+    "Approximation",
+    "AnalysisError",
+    "time_based_approximation",
+    "event_based_approximation",
+    "liberal_approximation",
+    "ExecutionRatios",
+    "compare_ratios",
+    "percent_error",
+    "per_event_errors",
+]

@@ -1,0 +1,86 @@
+"""Approximation result type shared by all analysis models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.trace.events import TraceEvent
+from repro.trace.trace import Trace
+
+
+class AnalysisError(RuntimeError):
+    """The analysis could not be applied to the given trace."""
+
+
+@dataclass
+class Approximation:
+    """An approximated execution reconstructed from a measured trace.
+
+    Attributes
+    ----------
+    trace:
+        The approximated trace τ_a: the measured events re-timed with
+        approximated occurrence times ``t_a`` (instrumentation overheads
+        zeroed).  Event identity (seq) is preserved so events can be
+        matched back to the measured trace.
+    method:
+        ``"time-based"``, ``"event-based"``, or ``"liberal"``.
+    total_time:
+        Approximated total execution time: the largest ``t_a`` in the
+        approximation (program start is time 0).
+    times:
+        Map from measured-event ``seq`` to ``t_a``.
+    source_meta:
+        Metadata of the measured trace the approximation came from.
+    """
+
+    trace: Trace
+    method: str
+    total_time: int
+    times: dict[int, int]
+    source_meta: dict = field(default_factory=dict)
+
+    def t_a(self, event: TraceEvent) -> int:
+        """Approximated time of a measured event."""
+        try:
+            return self.times[event.seq]
+        except KeyError:
+            raise AnalysisError(f"event not covered by approximation: {event}") from None
+
+    def thread_span(self, thread: int) -> tuple[int, int]:
+        """(first, last) approximated event times on a thread."""
+        view = self.trace.thread(thread)
+        return (view.start_time, view.end_time)
+
+
+def build_approx_trace(
+    measured: Trace, times: dict[int, int], method: str
+) -> Trace:
+    """Re-time measured events with approximated times.
+
+    Events keep their seq identity; overheads are zeroed (the approximated
+    execution is uninstrumented by definition).
+    """
+    re_timed = []
+    for e in measured.events:
+        if e.seq not in times:
+            raise AnalysisError(f"no approximated time for event {e}")
+        re_timed.append(
+            TraceEvent(
+                time=times[e.seq],
+                thread=e.thread,
+                kind=e.kind,
+                eid=e.eid,
+                seq=e.seq,
+                iteration=e.iteration,
+                sync_var=e.sync_var,
+                sync_index=e.sync_index,
+                label=e.label,
+                overhead=0,
+            )
+        )
+    meta = dict(measured.meta)
+    meta["kind"] = "approximated"
+    meta["method"] = method
+    return Trace(re_timed, meta)

@@ -1,0 +1,79 @@
+"""Time-based perturbation analysis (§3).
+
+Model assumption: events are execution-independent, so an event's true time
+differs from its measured time only by the accumulated instrumentation
+overhead on its own thread.  Along each thread::
+
+    t_a(e_1) = t_m(e_1) - overhead(e_1)
+    t_a(e_k) = t_a(e_{k-1}) + [t_m(e_k) - t_m(e_{k-1})] - overhead(e_k)
+
+i.e. inter-event intervals are preserved minus the probe cost charged at the
+later event.  This is exact for sequential and vector execution, where the
+execution states form a total order and event times are affected only by
+instrumentation overhead.  For dependent concurrent execution it fails in
+both directions (Table 1): waiting that instrumentation *removed* is not
+reintroduced (loops 3/4 → under-approximation) and waiting that
+instrumentation *caused* is not removed (loop 17 → over-approximation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.approximation import (
+    AnalysisError,
+    Approximation,
+    build_approx_trace,
+)
+from repro.instrument.costs import AnalysisConstants
+from repro.trace.trace import Trace
+
+
+def time_based_approximation(
+    measured: Trace, constants: AnalysisConstants
+) -> Approximation:
+    """Apply the time-based model to a measured trace.
+
+    ``constants.costs`` supplies the per-event-kind overheads to remove
+    (the paper's in-vitro measured instrumentation costs).
+
+    Thread anchoring: the first event on each thread is anchored at its
+    measured absolute time minus its own overhead.  The model has no
+    inter-thread knowledge, so lateness a thread inherited from *another*
+    thread's instrumented execution (e.g. an inflated sequential prologue
+    delaying loop start) is retained — one of the systematic errors
+    event-based analysis corrects.
+    """
+    if not measured.events:
+        raise AnalysisError("cannot analyze an empty trace")
+    if not measured.meta.get("instrumented", True):
+        raise AnalysisError(
+            "trace is not a measured (instrumented) trace; nothing to remove"
+        )
+    costs = constants.costs
+    times: dict[int, int] = {}
+    for view in measured.by_thread().values():
+        prev_tm: Optional[int] = None
+        prev_ta: Optional[int] = None
+        for e in view:
+            overhead = costs.overhead_for(e.kind)
+            if prev_tm is None:
+                ta = e.time - overhead
+            else:
+                ta = prev_ta + (e.time - prev_tm) - overhead
+            # Overhead mis-calibration (an ablation input) could drive an
+            # interval negative; clamp to preserve thread order.
+            if prev_ta is not None and ta < prev_ta:
+                ta = prev_ta
+            if ta < 0:
+                ta = 0
+            times[e.seq] = ta
+            prev_tm, prev_ta = e.time, ta
+    total = max(times.values())
+    return Approximation(
+        trace=build_approx_trace(measured, times, "time-based"),
+        method="time-based",
+        total_time=total,
+        times=times,
+        source_meta=dict(measured.meta),
+    )

@@ -1,0 +1,135 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    repro-ppopp91 all            # every table and figure
+    repro-ppopp91 table2         # one experiment
+    repro-ppopp91 figure1 --quick
+    repro-ppopp91 table3 --trips 400 --seed 7
+    python -m repro figure5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.exec import PerturbationConfig
+from repro.experiments import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    run_accuracy,
+    run_figure1,
+    run_figure4,
+    run_figure5,
+    run_loop_study,
+    run_mode_study,
+    run_scaling,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_volume,
+)
+from repro.experiments.table1 import DOACROSS_LOOPS
+
+EXPERIMENTS = (
+    "figure1",
+    "table1",
+    "table2",
+    "table3",
+    "figure4",
+    "figure5",
+    "modes",
+    "accuracy",
+    "scaling",
+    "volume",
+)
+
+
+def _build_config(args: argparse.Namespace) -> ExperimentConfig:
+    config = DEFAULT_CONFIG
+    if args.quick:
+        config = config.quick()
+    if args.trips is not None:
+        config = replace(config, trips=args.trips)
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    if args.no_noise:
+        config = replace(config, perturb=PerturbationConfig())
+    return config
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ppopp91",
+        description=(
+            "Reproduce the tables and figures of Malony, 'Event-Based "
+            "Performance Perturbation: A Case Study' (PPoPP 1991) on a "
+            "simulated Alliant FX/80."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced loop lengths (fast)"
+    )
+    parser.add_argument(
+        "--trips", type=int, default=None, help="override loop trip counts"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="machine noise seed")
+    parser.add_argument(
+        "--no-noise",
+        action="store_true",
+        help="disable ancillary perturbation (jitter/dilation); approximations become exact",
+    )
+    parser.add_argument(
+        "--width", type=int, default=72, help="chart width in characters"
+    )
+    return parser
+
+
+def run(experiment: str, config: ExperimentConfig, width: int = 72) -> str:
+    """Run one experiment (or 'all') and return its report text."""
+    sections: list[str] = []
+    # Loop studies are the expensive part; share them across experiments.
+    studies = None
+    if experiment in ("table1", "table2", "table3", "figure4", "figure5", "all"):
+        studies = {k: run_loop_study(k, config) for k in DOACROSS_LOOPS}
+    if experiment in ("figure1", "all"):
+        sections.append(run_figure1(config).render())
+    if experiment in ("table1", "all"):
+        sections.append(run_table1(config, studies=studies).render())
+    if experiment in ("table2", "all"):
+        sections.append(run_table2(config, studies=studies).render())
+    if experiment in ("table3", "all"):
+        sections.append(run_table3(config, study=studies[17]).render())
+    if experiment in ("figure4", "all"):
+        sections.append(run_figure4(config, study=studies[17]).render(width=width))
+    if experiment in ("figure5", "all"):
+        sections.append(run_figure5(config, study=studies[17]).render(width=width))
+    if experiment in ("modes", "all"):
+        sections.append(run_mode_study(config).render())
+    if experiment in ("accuracy", "all"):
+        sections.append(run_accuracy(config).render())
+    if experiment in ("scaling", "all"):
+        sections.append(run_scaling(17, config).render())
+        sections.append(run_scaling(3, config).render())
+    if experiment in ("volume", "all"):
+        sections.append(run_volume(20, config).render())
+    return "\n\n" + "\n\n\n".join(sections) + "\n"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    config = _build_config(args)
+    print(run(args.experiment, config, width=args.width))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

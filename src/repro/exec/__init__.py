@@ -1,0 +1,19 @@
+"""Program execution on the simulated machine.
+
+The executor interprets IR programs on a :class:`repro.machine.Machine`,
+producing either a *logical* trace (uninstrumented run — the ground truth,
+observable only because this is a simulator) or a *measured* trace
+(instrumented run, with per-event overheads and ancillary perturbations
+applied).
+"""
+
+from repro.exec.executor import Executor, PerturbationConfig
+from repro.exec.result import ExecutionResult, CESnapshot, SyncVarStats
+
+__all__ = [
+    "Executor",
+    "PerturbationConfig",
+    "ExecutionResult",
+    "CESnapshot",
+    "SyncVarStats",
+]

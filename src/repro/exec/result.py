@@ -1,0 +1,118 @@
+"""Execution results: trace plus ground-truth accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.instrument.plan import InstrumentationPlan
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class CESnapshot:
+    """Ground-truth activity totals for one CE over the run.
+
+    ``busy`` includes statement work and synchronization processing;
+    ``wait`` is time blocked at awaits and barriers; ``dispatch`` is time
+    spent obtaining iterations from the concurrency bus; ``overhead`` is
+    instrumentation probe execution time.
+    """
+
+    ce_id: int
+    busy: int
+    wait: int
+    dispatch: int
+    overhead: int
+    iterations: int
+
+    @property
+    def active(self) -> int:
+        """All non-waiting cycles attributable to this CE."""
+        return self.busy + self.dispatch + self.overhead
+
+
+@dataclass(frozen=True)
+class SyncVarStats:
+    """Ground-truth statistics for one synchronization register."""
+
+    var: str
+    wait_count: int
+    nowait_count: int
+    total_wait_cycles: int
+
+    @property
+    def operations(self) -> int:
+        return self.wait_count + self.nowait_count
+
+    @property
+    def blocking_probability(self) -> float:
+        """Fraction of awaits that had to wait (the quantity instrumentation
+        perturbs in loops 3/4/17)."""
+        ops = self.operations
+        return self.wait_count / ops if ops else 0.0
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one simulated run produced.
+
+    The ``trace`` is what a tracing tool would see (all the analysis may
+    use); the remaining fields are simulator-side ground truth used to
+    *score* approximations, never to compute them.
+    """
+
+    program: str
+    plan: InstrumentationPlan
+    trace: Trace
+    total_time: int
+    n_ce: int
+    clock_mhz: float
+    ce_stats: list[CESnapshot] = field(default_factory=list)
+    sync_stats: dict[str, SyncVarStats] = field(default_factory=dict)
+    #: loop name -> iteration index -> CE id (ground-truth schedule)
+    assignments: dict[str, dict[int, int]] = field(default_factory=dict)
+
+    @property
+    def instrumented(self) -> bool:
+        return self.plan.any_probes
+
+    @property
+    def total_wait(self) -> int:
+        return sum(ce.wait for ce in self.ce_stats)
+
+    @property
+    def total_overhead(self) -> int:
+        return sum(ce.overhead for ce in self.ce_stats)
+
+    def total_time_us(self) -> float:
+        return self.total_time / self.clock_mhz
+
+    def waiting_fraction(self, ce_id: Optional[int] = None) -> float:
+        """Fraction of the run's wall time a CE (or all CEs) spent waiting."""
+        if self.total_time <= 0:
+            return 0.0
+        if ce_id is None:
+            return self.total_wait / (self.total_time * self.n_ce)
+        return self.ce_stats[ce_id].wait / self.total_time
+
+    def summary(self) -> str:
+        lines = [
+            f"program: {self.program}",
+            f"plan: {self.plan.describe()}",
+            f"total time: {self.total_time} cycles "
+            f"({self.total_time_us():.1f} us at {self.clock_mhz} MHz)",
+            f"events: {len(self.trace)}",
+        ]
+        for ce in self.ce_stats:
+            lines.append(
+                f"  CE{ce.ce_id}: busy={ce.busy} wait={ce.wait} "
+                f"dispatch={ce.dispatch} overhead={ce.overhead} iters={ce.iterations}"
+            )
+        for var, st in sorted(self.sync_stats.items()):
+            lines.append(
+                f"  sync {var}: {st.operations} awaits, "
+                f"{st.blocking_probability:.1%} blocked, "
+                f"{st.total_wait_cycles} wait cycles"
+            )
+        return "\n".join(lines)

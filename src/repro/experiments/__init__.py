@@ -1,0 +1,63 @@
+"""The paper's experiments, one module per table/figure.
+
+Every experiment follows the same honest pipeline
+(:mod:`repro.experiments.common`):
+
+1. run the uninstrumented program → ground-truth ("actual") time;
+2. run the instrumented program → measured trace;
+3. hand the measured trace + calibrated platform constants to the
+   analysis;
+4. score the approximation against the ground truth.
+
+The analysis never sees the actual run.
+"""
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    DEFAULT_CONFIG,
+    QUICK_CONFIG,
+    LoopStudy,
+    SequentialStudy,
+    run_loop_study,
+    run_sequential_study,
+)
+from repro.experiments.figure1 import run_figure1, Figure1Result
+from repro.experiments.table1 import run_table1, Table1Result
+from repro.experiments.table2 import run_table2, Table2Result
+from repro.experiments.table3 import run_table3, Table3Result
+from repro.experiments.figure4 import run_figure4, Figure4Result
+from repro.experiments.figure5 import run_figure5, Figure5Result
+from repro.experiments.modes import run_mode_study, ModeStudyResult
+from repro.experiments.accuracy import run_accuracy, AccuracyResult
+from repro.experiments.scaling import run_scaling, ScalingResult
+from repro.experiments.volume import run_volume, VolumeResult
+
+__all__ = [
+    "ExperimentConfig",
+    "DEFAULT_CONFIG",
+    "QUICK_CONFIG",
+    "LoopStudy",
+    "SequentialStudy",
+    "run_loop_study",
+    "run_sequential_study",
+    "run_figure1",
+    "Figure1Result",
+    "run_table1",
+    "Table1Result",
+    "run_table2",
+    "Table2Result",
+    "run_table3",
+    "Table3Result",
+    "run_figure4",
+    "Figure4Result",
+    "run_figure5",
+    "Figure5Result",
+    "run_mode_study",
+    "ModeStudyResult",
+    "run_accuracy",
+    "AccuracyResult",
+    "run_scaling",
+    "ScalingResult",
+    "run_volume",
+    "VolumeResult",
+]

@@ -1,0 +1,156 @@
+"""Shared experiment pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Optional
+
+from repro.analysis import (
+    Approximation,
+    event_based_approximation,
+    liberal_approximation,
+    time_based_approximation,
+)
+from repro.exec import ExecutionResult, Executor, PerturbationConfig
+from repro.instrument import (
+    AnalysisConstants,
+    InstrumentationCosts,
+    calibrate_analysis_constants,
+)
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE, PLAN_STATEMENTS
+from repro.livermore import livermore_program, sequential_program
+from repro.machine.costs import FX80, MachineConfig
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    ``trips`` overrides the per-kernel standard loop length (None keeps
+    McMahon's lengths); ``perturb`` sets the ancillary perturbation the
+    analysis does not know about (non-zero by default, as on real
+    hardware); ``seed`` feeds the machine noise streams.
+    """
+
+    machine: MachineConfig = FX80
+    costs: InstrumentationCosts = field(default_factory=InstrumentationCosts)
+    perturb: PerturbationConfig = field(
+        default_factory=lambda: PerturbationConfig(dilation=0.04, jitter=0.05)
+    )
+    trips: Optional[int] = None
+    seed: int = 1991
+
+    def constants(self) -> AnalysisConstants:
+        """Calibrated platform constants for the analysis (in vitro)."""
+        return calibrate_analysis_constants(self.machine, self.costs)
+
+    def quick(self, trips: int = 200) -> "ExperimentConfig":
+        return replace(self, trips=trips)
+
+
+DEFAULT_CONFIG = ExperimentConfig()
+#: Reduced loop lengths for fast test/bench runs; ratios are insensitive
+#: to trip count once startup is amortized.
+QUICK_CONFIG = DEFAULT_CONFIG.quick()
+
+
+def _executor(config: ExperimentConfig, seed_salt: int) -> Executor:
+    return Executor(
+        machine_config=config.machine,
+        inst_costs=config.costs,
+        perturb=config.perturb,
+        seed=config.seed + seed_salt,
+    )
+
+
+@dataclass
+class LoopStudy:
+    """The full measurement + analysis bundle for one DOACROSS loop."""
+
+    loop: int
+    actual: ExecutionResult
+    measured_statements: ExecutionResult
+    measured_full: ExecutionResult
+    time_based: Approximation
+    event_based: Approximation
+    liberal: Approximation
+    constants: AnalysisConstants
+
+    # -- the paper's ratios ------------------------------------------------
+    @property
+    def actual_time(self) -> int:
+        return self.actual.total_time
+
+    def measured_ratio(self, full: bool) -> float:
+        m = self.measured_full if full else self.measured_statements
+        return m.total_time / self.actual_time
+
+    @property
+    def time_based_ratio(self) -> float:
+        return self.time_based.total_time / self.actual_time
+
+    @property
+    def event_based_ratio(self) -> float:
+        return self.event_based.total_time / self.actual_time
+
+    @property
+    def liberal_ratio(self) -> float:
+        return self.liberal.total_time / self.actual_time
+
+
+def run_loop_study(loop: int, config: ExperimentConfig = DEFAULT_CONFIG) -> LoopStudy:
+    """Run the Tables 1/2 pipeline for one of the DOACROSS loops (3/4/17)."""
+    prog = livermore_program(loop, mode="doacross", trips=config.trips)
+    ex = _executor(config, loop)
+    actual = ex.run(prog, PLAN_NONE)
+    measured_stmt = ex.run(prog, PLAN_STATEMENTS)
+    measured_full = ex.run(prog, PLAN_FULL)
+    constants = config.constants()
+    tb = time_based_approximation(measured_stmt.trace, constants)
+    eb = event_based_approximation(measured_full.trace, constants)
+    lib = liberal_approximation(eb, constants)
+    return LoopStudy(
+        loop=loop,
+        actual=actual,
+        measured_statements=measured_stmt,
+        measured_full=measured_full,
+        time_based=tb,
+        event_based=eb,
+        liberal=lib,
+        constants=constants,
+    )
+
+
+@dataclass
+class SequentialStudy:
+    """Measurement + time-based analysis for a sequentially-executed loop."""
+
+    loop: int
+    actual: ExecutionResult
+    measured: ExecutionResult
+    time_based: Approximation
+    constants: AnalysisConstants
+
+    @property
+    def measured_ratio(self) -> float:
+        return self.measured.total_time / self.actual.total_time
+
+    @property
+    def model_ratio(self) -> float:
+        return self.time_based.total_time / self.actual.total_time
+
+
+def run_sequential_study(
+    loop: int, config: ExperimentConfig = DEFAULT_CONFIG
+) -> SequentialStudy:
+    """Run the Figure 1 pipeline for one sequentially-executed loop."""
+    prog = sequential_program(loop, trips=config.trips)
+    ex = _executor(config, 100 + loop)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_STATEMENTS)
+    constants = config.constants()
+    tb = time_based_approximation(measured.trace, constants)
+    return SequentialStudy(
+        loop=loop, actual=actual, measured=measured, time_based=tb, constants=constants
+    )

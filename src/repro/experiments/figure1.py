@@ -1,0 +1,86 @@
+"""Figure 1 — sequential loop execution: measured and approximated ratios.
+
+For each sequentially-executed Livermore loop under full statement-level
+instrumentation: the black bar is measured/actual (slowdowns of roughly
+4x-17x on the paper's testbed) and the dotted bar is the time-based-model
+approximation over actual, which stays within 15% of 1.0 despite the large
+slowdowns — the result that motivates perturbation analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    SequentialStudy,
+    run_sequential_study,
+)
+from repro.experiments.report import ascii_bars, ascii_table
+from repro.livermore.classify import figure1_kernels
+
+#: The paper's qualitative envelope: slowdowns within [3.5, 20] and model
+#: ratios within 15% of 1.0.
+PAPER_SLOWDOWN_RANGE = (3.5, 20.0)
+PAPER_MODEL_TOLERANCE = 0.15
+
+
+@dataclass
+class Figure1Result:
+    studies: dict[int, SequentialStudy]
+
+    @property
+    def loops(self) -> list[int]:
+        return sorted(self.studies)
+
+    def measured_ratios(self) -> dict[int, float]:
+        return {k: s.measured_ratio for k, s in self.studies.items()}
+
+    def model_ratios(self) -> dict[int, float]:
+        return {k: s.model_ratio for k, s in self.studies.items()}
+
+    def shape_ok(self) -> bool:
+        """The paper's claim holds: big slowdowns, accurate models."""
+        lo, hi = PAPER_SLOWDOWN_RANGE
+        for s in self.studies.values():
+            if not (lo <= s.measured_ratio <= hi):
+                return False
+            if abs(s.model_ratio - 1.0) > PAPER_MODEL_TOLERANCE:
+                return False
+        return True
+
+    def render(self) -> str:
+        labels = [f"L{k}" for k in self.loops]
+        series = {
+            "measured/actual": [self.studies[k].measured_ratio for k in self.loops],
+            "model/actual   ": [self.studies[k].model_ratio for k in self.loops],
+        }
+        chart = ascii_bars(
+            labels,
+            series,
+            title="Figure 1: Sequential Loop Execution - Measured and Approximated Ratios",
+        )
+        rows = [
+            (
+                f"L{k}",
+                f"{self.studies[k].measured_ratio:.2f}",
+                f"{self.studies[k].model_ratio:.3f}",
+                f"{100 * (self.studies[k].model_ratio - 1):+.1f}%",
+            )
+            for k in self.loops
+        ]
+        table = ascii_table(
+            ["loop", "measured/actual", "model/actual", "model error"], rows
+        )
+        return chart + "\n\n" + table
+
+
+def run_figure1(
+    config: ExperimentConfig = DEFAULT_CONFIG, loops: list[int] | None = None
+) -> Figure1Result:
+    """Reproduce Figure 1 over the paper's sequential loop set."""
+    loops = loops if loops is not None else figure1_kernels()
+    return Figure1Result(
+        studies={k: run_sequential_study(k, config) for k in loops}
+    )

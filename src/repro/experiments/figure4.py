@@ -1,0 +1,76 @@
+"""Figure 4 — approximated waiting behaviour in loop 17.
+
+An execution-time history per processor: when each CE was waiting vs.
+computing, reconstructed from the event-based approximation.  (The paper
+shows the sequential portions before/after the DOACROSS as "processor zero
+active".)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    LoopStudy,
+    run_loop_study,
+)
+from repro.experiments.report import ascii_timeline
+from repro.metrics import (
+    WaitingInterval,
+    waiting_by_thread,
+)
+from repro.metrics.intervals import Interval
+
+
+@dataclass
+class Figure4Result:
+    study: LoopStudy
+    per_thread: dict[int, list[WaitingInterval]]
+
+    def span(self) -> Interval:
+        t = self.study.event_based.trace
+        return Interval(t.start_time, max(t.end_time, t.start_time + 1))
+
+    def total_wait(self, thread: int) -> int:
+        return sum(w.length for w in self.per_thread.get(thread, []))
+
+    def shape_ok(self) -> bool:
+        """Every CE shows some waiting episodes, scattered across the run
+        (not one solid block)."""
+        span = self.span().length
+        for t, waits in self.per_thread.items():
+            if not waits:
+                return False
+            if self.total_wait(t) > 0.25 * span:
+                return False
+        return True
+
+    def render(self, width: int = 72) -> str:
+        tracks = {
+            f"CE{t}": [w.interval for w in waits]
+            for t, waits in sorted(self.per_thread.items())
+        }
+        return ascii_timeline(
+            self.span(),
+            tracks,
+            width=width,
+            title=(
+                "Figure 4: Approximated Waiting Behavior in Livermore Loop 17\n"
+                "('#' = waiting, '.' = computing)"
+            ),
+        )
+
+
+def run_figure4(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    study: LoopStudy | None = None,
+) -> Figure4Result:
+    """Reproduce Figure 4 from loop 17's event-based approximation."""
+    if study is None:
+        study = run_loop_study(17, config)
+    per_thread = waiting_by_thread(
+        study.event_based.trace, study.constants, include_barriers=False
+    )
+    return Figure4Result(study=study, per_thread=per_thread)

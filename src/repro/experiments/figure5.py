@@ -1,0 +1,63 @@
+"""Figure 5 — approximated parallelism behaviour in loop 17.
+
+The number of simultaneously active (non-waiting) CEs over time, from the
+event-based approximation.  The paper reports an average parallelism of
+7.5 over the parallel region (8 CEs with light waiting), dropping to 1
+during the sequential prologue/epilogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    LoopStudy,
+    run_loop_study,
+)
+from repro.experiments.report import ascii_curve
+from repro.metrics import ParallelismProfile, parallelism_profile
+
+PAPER_AVG_PARALLELISM = 7.5
+
+
+@dataclass
+class Figure5Result:
+    study: LoopStudy
+    profile: ParallelismProfile
+
+    def average(self, exclude_sequential: bool = True) -> float:
+        window = self.profile.parallel_span if exclude_sequential else None
+        return self.profile.mean(window)
+
+    def shape_ok(self) -> bool:
+        """Average parallelism over the parallel region is close to the
+        machine width (paper: 7.5 of 8) and the peak reaches full width."""
+        avg = self.average()
+        n = self.study.actual.n_ce
+        return self.profile.peak == n and (0.75 * n) <= avg <= n
+
+    def render(self, width: int = 72) -> str:
+        curve = ascii_curve(
+            self.profile.steps,
+            self.profile.span,
+            title="Figure 5: Approximated Parallelism Behavior in Livermore Loop 17",
+            width=width,
+        )
+        return (
+            curve
+            + f"\n\naverage parallelism over parallel region: {self.average():.2f}"
+            + f" (paper: {PAPER_AVG_PARALLELISM})"
+        )
+
+
+def run_figure5(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    study: LoopStudy | None = None,
+) -> Figure5Result:
+    """Reproduce Figure 5 from loop 17's event-based approximation."""
+    if study is None:
+        study = run_loop_study(17, config)
+    profile = parallelism_profile(study.event_based.trace, study.constants)
+    return Figure5Result(study=study, profile=profile)

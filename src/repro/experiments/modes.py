@@ -1,0 +1,119 @@
+"""Execution-mode study (§3's scope: scalar, vector, and concurrent).
+
+The paper's prior work applied time-based models to scalar, vector and
+concurrent executions; §3 summarizes: extremely accurate for sequential
+and vector modes, still good for simple fork-join concurrency (DOALL),
+and wrong for dependent concurrency (DOACROSS — Table 1).  This study
+reproduces that whole spectrum in one sweep:
+
+* **sequential** — per-statement events, big slowdown, accurate model;
+* **vector** — one event per vector statement, tiny slowdown, accurate
+  model;
+* **doall** — fork-join concurrency, barrier only, accurate model;
+* **doacross** — dependent concurrency, model fails (direction depends
+  on critical-section geometry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import time_based_approximation
+from repro.exec import Executor
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.report import ascii_table
+from repro.instrument.plan import PLAN_NONE, PLAN_STATEMENTS
+from repro.livermore import livermore_program
+
+
+@dataclass(frozen=True)
+class ModeRow:
+    kernel: int
+    mode: str
+    measured_ratio: float
+    model_ratio: float
+    events: int
+
+    @property
+    def model_error_pct(self) -> float:
+        return 100.0 * (self.model_ratio - 1.0)
+
+
+@dataclass
+class ModeStudyResult:
+    rows: list[ModeRow]
+
+    def row(self, mode: str) -> ModeRow:
+        for r in self.rows:
+            if r.mode == mode:
+                return r
+        raise KeyError(mode)
+
+    def shape_ok(self) -> bool:
+        """§3's spectrum: time-based analysis accurate for sequential,
+        vector, and fork-join modes; vector mode barely perturbed at all;
+        DOACROSS (when present) inaccurate."""
+        for r in self.rows:
+            if r.mode in ("sequential", "vector", "doall"):
+                if abs(r.model_ratio - 1.0) > 0.15:
+                    return False
+            if r.mode == "vector" and r.measured_ratio > 1.5:
+                return False
+            if r.mode == "doacross" and abs(r.model_ratio - 1.0) < 0.2:
+                return False
+        return True
+
+    def render(self) -> str:
+        return ascii_table(
+            ["kernel", "mode", "measured/actual", "model/actual", "trace events"],
+            [
+                (
+                    f"L{r.kernel}",
+                    r.mode,
+                    f"{r.measured_ratio:.2f}",
+                    f"{r.model_ratio:.3f}",
+                    r.events,
+                )
+                for r in self.rows
+            ],
+            title=(
+                "Execution-mode study: time-based analysis across "
+                "scalar/vector/concurrent modes (cf. paper §3)"
+            ),
+        )
+
+
+def run_mode_study(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    cases: list[tuple[int, str]] | None = None,
+) -> ModeStudyResult:
+    """Run the mode spectrum.
+
+    Default cases: loop 7 sequential + vector, loop 21 doall, loop 3
+    doacross — one representative per execution mode.
+    """
+    if cases is None:
+        cases = [(7, "sequential"), (7, "vector"), (21, "doall"), (3, "doacross")]
+    constants = config.constants()
+    rows: list[ModeRow] = []
+    for kernel, mode in cases:
+        prog = livermore_program(kernel, mode=mode, trips=config.trips)
+        ex = Executor(
+            machine_config=config.machine,
+            inst_costs=config.costs,
+            perturb=config.perturb,
+            seed=config.seed + kernel,
+        )
+        actual = ex.run(prog, PLAN_NONE)
+        measured = ex.run(prog, PLAN_STATEMENTS)
+        approx = time_based_approximation(measured.trace, constants)
+        rows.append(
+            ModeRow(
+                kernel=kernel,
+                mode=mode,
+                measured_ratio=measured.total_time / actual.total_time,
+                model_ratio=approx.total_time / actual.total_time,
+                events=len(measured.trace),
+            )
+        )
+    return ModeStudyResult(rows=rows)

@@ -1,0 +1,136 @@
+"""Plain-text rendering of experiment results (tables, bars, timelines).
+
+The paper's figures are reproduced as terminal graphics: horizontal bar
+charts (Figure 1), waiting/no-waiting timelines per processor (Figure 4),
+and a parallelism-over-time curve (Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.metrics.intervals import Interval
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Simple aligned text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    series: dict[str, Sequence[float]],
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Grouped horizontal bar chart (Figure 1 style).
+
+    ``series`` maps series name -> one value per label; bars share one
+    scale across all series.
+    """
+    peak = max((max(vals) for vals in series.values() if len(vals)), default=1.0)
+    if peak <= 0:
+        peak = 1.0
+    marks = "#=*+o"
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = max((len(l) for l in labels), default=4)
+    name_w = max((len(n) for n in series), default=4)
+    for i, label in enumerate(labels):
+        for j, (name, vals) in enumerate(series.items()):
+            v = vals[i]
+            bar = marks[j % len(marks)] * max(1, round(width * v / peak))
+            lines.append(f"{label:>{label_w}} {name:<{name_w}} |{bar} {v:.2f}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def ascii_timeline(
+    total_span: Interval,
+    tracks: dict[str, list[Interval]],
+    width: int = 72,
+    title: str = "",
+    on_char: str = "#",
+    off_char: str = ".",
+) -> str:
+    """Per-track on/off timeline (Figure 4 style).
+
+    Each track renders ``on_char`` where any of its intervals covers the
+    column and ``off_char`` elsewhere.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    span = max(1, total_span.length)
+    label_w = max((len(n) for n in tracks), default=4)
+    for name, intervals in tracks.items():
+        cols = [off_char] * width
+        for iv in intervals:
+            lo = int(width * (iv.start - total_span.start) / span)
+            hi = int(width * (iv.end - total_span.start) / span)
+            hi = max(hi, lo + 1)
+            for c in range(max(0, lo), min(width, hi)):
+                cols[c] = on_char
+        lines.append(f"{name:>{label_w}} |{''.join(cols)}|")
+    lines.append(
+        f"{'':>{label_w}}  {total_span.start:<10} ... {total_span.end:>10} cycles"
+    )
+    return "\n".join(lines)
+
+
+def ascii_curve(
+    steps: Sequence[tuple[int, int]],
+    span: Interval,
+    height: int = 8,
+    width: int = 72,
+    title: str = "",
+) -> str:
+    """Step-function curve (Figure 5 style): level vs. time."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not steps:
+        return "\n".join(lines + ["(empty profile)"])
+    # Sample the step function at column midpoints.
+    samples = []
+    total = max(1, span.length)
+    level = 0
+    idx = 0
+    for col in range(width):
+        t = span.start + (col * total) // width
+        while idx < len(steps) and steps[idx][0] <= t:
+            level = steps[idx][1]
+            idx += 1
+        samples.append(level)
+    peak = max(max(samples), height)
+    for row in range(height, 0, -1):
+        threshold = row * peak / height
+        line = "".join("#" if s >= threshold else " " for s in samples)
+        lines.append(f"{round(threshold):>3} |{line}")
+    lines.append("    +" + "-" * width)
+    lines.append(f"     {span.start:<10} time (cycles) {span.end:>{max(0, width - 26)}}")
+    return "\n".join(lines)
+
+
+def format_ratio(value: float, reference: Optional[float] = None) -> str:
+    """``1.03`` or ``1.03 (paper 0.96)``."""
+    if reference is None:
+        return f"{value:.2f}"
+    return f"{value:.2f} (paper {reference:.2f})"

@@ -1,0 +1,141 @@
+"""Scalability study: recovering speedup curves from perturbed runs.
+
+A natural application of perturbation analysis beyond the paper's single
+configuration: measure a loop at several machine widths (1..16 CEs) with
+full instrumentation, and ask whether the *approximated* execution times
+reproduce the speedup curve of the *uninstrumented* program.  The
+measured curve is badly distorted — instrumentation changes the
+compute/synchronization balance differently at each width — while the
+event-based reconstruction tracks the true curve.
+
+Loop 17 saturates near-linearly to 8 CEs (its critical section is a
+small fraction); loop 3 barely speeds up at all (serialized by its
+critical section) — the reconstruction must preserve both shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis import event_based_approximation
+from repro.exec import Executor
+from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.report import ascii_table
+from repro.instrument import calibrate_analysis_constants
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE
+from repro.livermore import doacross_program
+
+DEFAULT_WIDTHS = (1, 2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    n_ce: int
+    actual_time: int
+    measured_time: int
+    approximated_time: int
+
+    @property
+    def measured_ratio(self) -> float:
+        return self.measured_time / self.actual_time
+
+    @property
+    def approx_ratio(self) -> float:
+        return self.approximated_time / self.actual_time
+
+
+@dataclass
+class ScalingResult:
+    loop: int
+    points: list[ScalingPoint]
+
+    def _speedups(self, attr: str) -> dict[int, float]:
+        base = getattr(self.points[0], attr)
+        return {p.n_ce: base / getattr(p, attr) for p in self.points}
+
+    def actual_speedups(self) -> dict[int, float]:
+        """True speedup vs. the 1-CE run."""
+        return self._speedups("actual_time")
+
+    def measured_speedups(self) -> dict[int, float]:
+        """The distorted speedup curve a naive tool would report."""
+        return self._speedups("measured_time")
+
+    def approximated_speedups(self) -> dict[int, float]:
+        """The curve perturbation analysis recovers."""
+        return self._speedups("approximated_time")
+
+    def max_curve_error(self) -> float:
+        """Worst relative error of the recovered speedup vs. the true one."""
+        truth = self.actual_speedups()
+        approx = self.approximated_speedups()
+        return max(abs(approx[n] / truth[n] - 1.0) for n in truth)
+
+    def shape_ok(self) -> bool:
+        """Recovered speedups within 10% of truth at every width, and the
+        recovered per-point times within 10% of actual."""
+        if self.max_curve_error() > 0.10:
+            return False
+        return all(abs(p.approx_ratio - 1.0) <= 0.10 for p in self.points)
+
+    def render(self) -> str:
+        truth = self.actual_speedups()
+        meas = self.measured_speedups()
+        appr = self.approximated_speedups()
+        rows = [
+            (
+                p.n_ce,
+                f"{truth[p.n_ce]:.2f}x",
+                f"{meas[p.n_ce]:.2f}x",
+                f"{appr[p.n_ce]:.2f}x",
+                f"{p.measured_ratio:.2f}",
+                f"{p.approx_ratio:.3f}",
+            )
+            for p in self.points
+        ]
+        return ascii_table(
+            [
+                "CEs",
+                "true speedup",
+                "measured speedup",
+                "recovered speedup",
+                "meas/actual",
+                "approx/actual",
+            ],
+            rows,
+            title=(
+                f"Scalability study, loop {self.loop}: speedup curves from "
+                "instrumented runs (extension experiment)"
+            ),
+        )
+
+
+def run_scaling(
+    loop: int = 17,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+) -> ScalingResult:
+    """Sweep machine width for one DOACROSS loop."""
+    prog = doacross_program(loop, trips=config.trips)
+    points: list[ScalingPoint] = []
+    for n_ce in widths:
+        machine = config.machine.with_cores(n_ce)
+        constants = calibrate_analysis_constants(machine, config.costs)
+        ex = Executor(
+            machine_config=machine,
+            inst_costs=config.costs,
+            perturb=config.perturb,
+            seed=config.seed + loop * 100 + n_ce,
+        )
+        actual = ex.run(prog, PLAN_NONE)
+        measured = ex.run(prog, PLAN_FULL)
+        approx = event_based_approximation(measured.trace, constants)
+        points.append(
+            ScalingPoint(
+                n_ce=n_ce,
+                actual_time=actual.total_time,
+                measured_time=measured.total_time,
+                approximated_time=approx.total_time,
+            )
+        )
+    return ScalingResult(loop=loop, points=points)

@@ -1,0 +1,99 @@
+"""Table 2 — loop execution time ratios under event-based analysis.
+
+The paper's values for full (statement + synchronization) instrumentation::
+
+    loop   Measured/Actual   Approximated/Actual
+      3         4.56                0.96
+      4         3.38                1.06
+     17        14.08                0.97
+
+The extra synchronization instrumentation slows the measured runs *more*
+than Table 1's — yet the added knowledge lets event-based analysis recover
+the actual times to within a few percent: the paper's apparent violation of
+the Instrumentation Uncertainty Principle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    LoopStudy,
+    run_loop_study,
+)
+from repro.experiments.report import ascii_table
+from repro.experiments.table1 import DOACROSS_LOOPS
+
+#: Paper-reported values: loop -> (measured/actual, approximated/actual).
+PAPER_TABLE2 = {3: (4.56, 0.96), 4: (3.38, 1.06), 17: (14.08, 0.97)}
+
+#: The paper's worst event-based error was 6%; we allow 10%.
+EVENT_MODEL_TOLERANCE = 0.10
+
+
+@dataclass
+class Table2Result:
+    studies: dict[int, LoopStudy]
+
+    def rows(self) -> list[tuple[int, float, float]]:
+        return [
+            (k, s.measured_ratio(full=True), s.event_based_ratio)
+            for k, s in sorted(self.studies.items())
+        ]
+
+    def shape_ok(self) -> bool:
+        """Event-based recovery lands near 1.0 for every loop, and the
+        full-instrumentation slowdown exceeds the statement-only one."""
+        for _k, s in self.studies.items():
+            if abs(s.event_based_ratio - 1.0) > EVENT_MODEL_TOLERANCE:
+                return False
+            if s.measured_ratio(full=True) <= s.measured_ratio(full=False):
+                return False
+        return True
+
+    def accuracy_improvements(self) -> dict[int, float]:
+        """|time-based error| / |event-based error| per loop (paper: >8x
+        for loop 17)."""
+        out = {}
+        for k, s in self.studies.items():
+            tb_err = abs(s.time_based_ratio - 1.0)
+            eb_err = abs(s.event_based_ratio - 1.0)
+            out[k] = tb_err / eb_err if eb_err > 0 else float("inf")
+        return out
+
+    def render(self) -> str:
+        rows = []
+        for k, meas, appr in self.rows():
+            p_meas, p_appr = PAPER_TABLE2.get(k, (float("nan"), float("nan")))
+            rows.append(
+                (
+                    f"L{k}",
+                    f"{meas:.2f}",
+                    f"{p_meas:.2f}",
+                    f"{appr:.2f}",
+                    f"{p_appr:.2f}",
+                )
+            )
+        return ascii_table(
+            [
+                "loop",
+                "measured/actual",
+                "(paper)",
+                "approximated/actual",
+                "(paper)",
+            ],
+            rows,
+            title="Table 2: Loop Execution Time Ratios - Event-Based Analysis",
+        )
+
+
+def run_table2(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    studies: dict[int, LoopStudy] | None = None,
+) -> Table2Result:
+    """Reproduce Table 2 (pass ``studies`` to reuse Table 1's runs)."""
+    if studies is None:
+        studies = {k: run_loop_study(k, config) for k in DOACROSS_LOOPS}
+    return Table2Result(studies=studies)

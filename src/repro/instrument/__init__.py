@@ -1,0 +1,25 @@
+"""Trace instrumentation: plans, costs, and in-vitro calibration.
+
+Instrumentation of a program ``P = S1..Sn`` is a choice of instrumentation
+points ``I(P) = I1,S1,...,In,Sn`` (§2).  An :class:`InstrumentationPlan`
+selects which statement classes get points; :class:`InstrumentationCosts`
+gives the per-event execution overheads the tracer adds; and
+:func:`calibrate_analysis_constants` measures, in vitro, the machine
+synchronization processing constants (``s_nowait``, ``s_wait``, barrier
+release cost) the perturbation analysis needs as input.
+"""
+
+from repro.instrument.costs import InstrumentationCosts, AnalysisConstants
+from repro.instrument.plan import InstrumentationPlan, Detail
+from repro.instrument.calibrate import calibrate_analysis_constants
+from repro.instrument.rewrite import instrument_program, probe_count
+
+__all__ = [
+    "InstrumentationCosts",
+    "AnalysisConstants",
+    "InstrumentationPlan",
+    "Detail",
+    "calibrate_analysis_constants",
+    "instrument_program",
+    "probe_count",
+]

@@ -1,0 +1,137 @@
+"""Instrumentation cost tables and analysis input constants."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.trace.events import EventKind
+
+
+@dataclass(frozen=True)
+class InstrumentationCosts:
+    """Execution overhead, in cycles, of recording one trace event.
+
+    These model the tracer's in-line code: reading the clock, formatting
+    the event record, and storing it to the trace buffer.  On the paper's
+    testbed a trace probe cost on the order of tens of statement-times,
+    which is why full instrumentation slowed the Livermore loops by 4–17×.
+
+    Attributes
+    ----------
+    stmt_event:
+        Overhead per statement event.
+    advance_event:
+        Overhead of the advance instrumentation (the paper's ``a``).
+    await_b_event:
+        Overhead at the beginning-await event (the paper's ``β``).
+    await_e_event:
+        Overhead at the end-await event.
+    loop_event:
+        Overhead per loop begin/end or barrier event.
+    lock_event:
+        Overhead per lock request/acquire/release event.
+    """
+
+    stmt_event: int = 128
+    advance_event: int = 64
+    await_b_event: int = 64
+    await_e_event: int = 64
+    loop_event: int = 64
+    lock_event: int = 64
+
+    def overhead_for(self, kind: EventKind) -> int:
+        """Overhead charged when recording an event of ``kind``."""
+        if kind is EventKind.STMT:
+            return self.stmt_event
+        if kind is EventKind.ADVANCE:
+            return self.advance_event
+        if kind is EventKind.AWAIT_B:
+            return self.await_b_event
+        if kind is EventKind.AWAIT_E:
+            return self.await_e_event
+        if kind in (
+            EventKind.LOOP_BEGIN,
+            EventKind.LOOP_END,
+            EventKind.BARRIER_ARRIVE,
+            EventKind.BARRIER_EXIT,
+            EventKind.ITER_BEGIN,
+        ):
+            return self.loop_event
+        if kind in (
+            EventKind.LOCK_REQ,
+            EventKind.LOCK_ACQ,
+            EventKind.LOCK_REL,
+            EventKind.SEM_REQ,
+            EventKind.SEM_ACQ,
+            EventKind.SEM_SIG,
+        ):
+            # Lock and semaphore probes share one instruction sequence.
+            return self.lock_event
+        return 0
+
+    def scaled(self, factor: float) -> "InstrumentationCosts":
+        """Uniformly scaled copy (for overhead-sensitivity ablations)."""
+        if factor < 0:
+            raise ValueError("scale factor must be >= 0")
+        return InstrumentationCosts(
+            stmt_event=round(self.stmt_event * factor),
+            advance_event=round(self.advance_event * factor),
+            await_b_event=round(self.await_b_event * factor),
+            await_e_event=round(self.await_e_event * factor),
+            loop_event=round(self.loop_event * factor),
+            lock_event=round(self.lock_event * factor),
+        )
+
+
+@dataclass(frozen=True)
+class AnalysisConstants:
+    """Everything the perturbation analysis may know about the platform.
+
+    This is the *only* side-channel from measurement environment to
+    analysis: per-event instrumentation overheads (measured in vitro, §2)
+    plus machine synchronization processing constants (§4.2.3 — "the
+    overheads s_nowait and s_wait are empirically determined and are input
+    to the perturbation analysis").
+
+    Attributes
+    ----------
+    costs:
+        The instrumentation overhead table in effect during measurement.
+    s_nowait:
+        Await processing cycles when the index was already advanced.
+    s_wait:
+        Cycles from the satisfying advance until the awaiting CE proceeds.
+    barrier_release:
+        Cycles from last barrier arrival to release of all CEs.
+    lock_nowait:
+        Uncontended lock acquisition cycles.
+    lock_handoff:
+        Cycles from a lock release until a queued waiter proceeds.
+    """
+
+    costs: InstrumentationCosts
+    s_nowait: int
+    s_wait: int
+    barrier_release: int
+    lock_nowait: int = 0
+    lock_handoff: int = 0
+
+    def with_costs(self, costs: InstrumentationCosts) -> "AnalysisConstants":
+        return replace(self, costs=costs)
+
+    def perturbed(self, error: float) -> "AnalysisConstants":
+        """Copy with *all* constants mis-scaled by ``1 + error``.
+
+        Used by the calibration-error ablation: how wrong does the
+        approximation get if the measured overheads are off by ``error``?
+        The scale factor is clamped at zero (costs cannot go negative).
+        """
+        factor = max(0.0, 1.0 + error)
+        return AnalysisConstants(
+            costs=self.costs.scaled(factor),
+            s_nowait=max(0, round(self.s_nowait * factor)),
+            s_wait=max(0, round(self.s_wait * factor)),
+            barrier_release=max(0, round(self.barrier_release * factor)),
+            lock_nowait=max(0, round(self.lock_nowait * factor)),
+            lock_handoff=max(0, round(self.lock_handoff * factor)),
+        )

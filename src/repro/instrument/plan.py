@@ -1,0 +1,130 @@
+"""Instrumentation plans: which program actions receive trace probes."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.ir.statements import Advance, Await, Compute, LockAcquire, LockRelease, Statement
+
+
+class Detail(enum.Enum):
+    """Preset instrumentation detail levels.
+
+    NONE
+        No probes: the uninstrumented ("actual") execution.
+    STATEMENTS
+        Source-statement-level probes only — the Table 1 configuration.
+        The advance/await operations are invisible at this level: they are
+        inserted by the parallelizing compiler and "were not a part of the
+        original source and, therefore, could not be instrumented at the
+        source level" (paper footnote 5).  Analyzable only by time-based
+        models.
+    FULL
+        Statement probes plus assembly-level advance/awaitB/awaitE probes
+        carrying the iteration pairing identifier, and loop/barrier
+        probes — the Table 2 configuration required by event-based
+        analysis.
+    SYNC_ONLY
+        Only synchronization probes (an ablation level: minimal volume
+        that still enables event-based reconstruction of waiting).
+    """
+
+    NONE = "none"
+    STATEMENTS = "statements"
+    FULL = "full"
+    SYNC_ONLY = "sync_only"
+
+
+@dataclass(frozen=True)
+class InstrumentationPlan:
+    """Selects instrumentation points.
+
+    Attributes
+    ----------
+    statements:
+        Probe every Compute statement.
+    sync_events:
+        Probe advance/await with pairing identity (awaitB/awaitE pairs).
+    sync_as_statements:
+        When ``sync_events`` is False, still emit a plain statement event
+        (without pairing identity) at each sync operation.  Not part of
+        any paper configuration — source-level probes cannot see the
+        compiler-inserted sync ops — but kept as an ablation level:
+        "what if you probed sync operations without recording identity?"
+    loop_events:
+        Probe loop begin/end and barrier arrive/exit.
+    statement_fraction:
+        Fraction of *statements* (by static id) that receive probes when
+        ``statements`` is True.  1.0 probes every statement; lower values
+        model sampled instrumentation — the "volume" axis of the
+        Instrumentation Uncertainty Principle.  Selection is deterministic
+        per statement id, so every execution of a statement is either
+        always or never probed (as real selective instrumentation works).
+    """
+
+    statements: bool = True
+    sync_events: bool = True
+    sync_as_statements: bool = True
+    loop_events: bool = True
+    statement_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.statement_fraction <= 1.0):
+            raise ValueError(
+                f"statement_fraction must be in [0, 1], got {self.statement_fraction}"
+            )
+
+    @classmethod
+    def preset(cls, detail: Detail) -> "InstrumentationPlan":
+        if detail is Detail.NONE:
+            return cls(statements=False, sync_events=False, sync_as_statements=False, loop_events=False)
+        if detail is Detail.STATEMENTS:
+            return cls(statements=True, sync_events=False, sync_as_statements=False, loop_events=False)
+        if detail is Detail.FULL:
+            return cls(statements=True, sync_events=True, sync_as_statements=False, loop_events=True)
+        if detail is Detail.SYNC_ONLY:
+            return cls(statements=False, sync_events=True, sync_as_statements=False, loop_events=True)
+        raise ValueError(f"unknown detail level {detail!r}")  # pragma: no cover
+
+    @property
+    def any_probes(self) -> bool:
+        return self.statements or self.sync_events or self.sync_as_statements or self.loop_events
+
+    def probes_statement(self, stmt: Statement) -> bool:
+        """Does this plan place a probe at ``stmt``?"""
+        if isinstance(stmt, Compute):
+            return self.statements and self._selected(stmt.eid)
+        if isinstance(stmt, (Advance, Await, LockAcquire, LockRelease)):
+            return self.sync_events or self.sync_as_statements
+        return False
+
+    def _selected(self, eid: int) -> bool:
+        """Deterministic per-statement sampling by id (SplitMix-style mix)."""
+        if self.statement_fraction >= 1.0:
+            return True
+        if self.statement_fraction <= 0.0:
+            return False
+        z = (eid * 0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03) & ((1 << 64) - 1)
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & ((1 << 64) - 1)
+        z ^= z >> 27
+        return (z % 10_000) < self.statement_fraction * 10_000
+
+    def describe(self) -> str:
+        parts = []
+        if self.statements:
+            parts.append("statements")
+        if self.sync_events:
+            parts.append("sync(paired)")
+        elif self.sync_as_statements:
+            parts.append("sync(as-stmt)")
+        if self.loop_events:
+            parts.append("loops")
+        return "+".join(parts) if parts else "none"
+
+
+#: Convenience constants.
+PLAN_NONE = InstrumentationPlan.preset(Detail.NONE)
+PLAN_STATEMENTS = InstrumentationPlan.preset(Detail.STATEMENTS)
+PLAN_FULL = InstrumentationPlan.preset(Detail.FULL)
+PLAN_SYNC_ONLY = InstrumentationPlan.preset(Detail.SYNC_ONLY)

@@ -1,0 +1,137 @@
+"""Instrumentation as a program transformation: materializing I(P).
+
+The paper defines instrumentation formally (§2): given ``P = S1,...,Sn``
+and instrumentation points ``I1,...,In``, the instrumented program is
+``I(P) = I1,S1,...,In,Sn``.  The executor applies probes *inline* during
+interpretation; this module instead **rewrites the IR**, inserting each
+probe as an explicit `Compute` statement with the probe's cost — making
+I(P) a first-class program you can inspect, diff, or run.
+
+Probe placement mirrors the executor exactly:
+
+* statement probe — after the statement (event at completion);
+* awaitB probe — before the Await; awaitE probe — after it;
+* advance probe — after the Advance;
+* lock/semaphore request probes — before the acquire; grant probes —
+  after it; release/signal probes — after the operation.
+
+Running I(P) *uninstrumented* must therefore cost exactly what running P
+*instrumented* costs (with noise and loop/barrier probes disabled — loop
+markers are per-CE runtime actions with no statement position).  The
+test suite uses that equivalence to validate the executor's probe
+semantics independently.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.instrument.costs import InstrumentationCosts
+from repro.instrument.plan import InstrumentationPlan
+from repro.ir.program import Block, Loop, Program, ProgramError
+from repro.ir.statements import (
+    Advance,
+    Await,
+    Compute,
+    LockAcquire,
+    LockRelease,
+    SemSignal,
+    SemWait,
+    Statement,
+)
+from repro.trace.events import EventKind
+
+PROBE_PREFIX = "probe:"
+
+
+def _probe_stmt(label: str, cost: int) -> Compute:
+    return Compute(label=f"{PROBE_PREFIX}{label}", cost=cost, memory_refs=0)
+
+
+def _rewrite_statements(
+    stmts: list[Statement], plan: InstrumentationPlan, costs: InstrumentationCosts
+) -> list[Statement]:
+    out: list[Statement] = []
+    for stmt in stmts:
+        if isinstance(stmt, Compute):
+            out.append(stmt.clone())
+            if plan.probes_statement(stmt) and not stmt.compound_member:
+                out.append(_probe_stmt(stmt.label, costs.stmt_event))
+        elif isinstance(stmt, Await):
+            if plan.sync_events:
+                out.append(_probe_stmt(f"awaitB {stmt.var}", costs.await_b_event))
+            out.append(stmt.clone())
+            if plan.sync_events:
+                out.append(_probe_stmt(f"awaitE {stmt.var}", costs.await_e_event))
+            elif plan.sync_as_statements:
+                out.append(_probe_stmt(stmt.label, costs.stmt_event))
+        elif isinstance(stmt, Advance):
+            out.append(stmt.clone())
+            if plan.sync_events:
+                out.append(_probe_stmt(f"advance {stmt.var}", costs.advance_event))
+            elif plan.sync_as_statements:
+                out.append(_probe_stmt(stmt.label, costs.stmt_event))
+        elif isinstance(stmt, (LockAcquire, SemWait)):
+            name = stmt.lock if isinstance(stmt, LockAcquire) else stmt.sem
+            if plan.sync_events:
+                out.append(_probe_stmt(f"req {name}", costs.lock_event))
+            out.append(stmt.clone())
+            if plan.sync_events:
+                out.append(_probe_stmt(f"acq {name}", costs.lock_event))
+            elif plan.sync_as_statements:
+                out.append(_probe_stmt(stmt.label, costs.stmt_event))
+        elif isinstance(stmt, (LockRelease, SemSignal)):
+            out.append(stmt.clone())
+            if plan.sync_events:
+                name = stmt.lock if isinstance(stmt, LockRelease) else stmt.sem
+                out.append(_probe_stmt(f"rel {name}", costs.lock_event))
+            elif plan.sync_as_statements:
+                out.append(_probe_stmt(stmt.label, costs.stmt_event))
+        else:  # pragma: no cover - defensive
+            raise ProgramError(f"cannot instrument statement {stmt!r}")
+    return out
+
+
+def instrument_program(
+    program: Program,
+    plan: InstrumentationPlan,
+    costs: InstrumentationCosts,
+) -> Program:
+    """Materialize I(P) for ``program`` under ``plan``.
+
+    ``plan.loop_events`` must be False: loop/barrier probes are per-CE
+    runtime actions with no statement position to rewrite into.
+    """
+    if plan.loop_events:
+        raise ProgramError(
+            "cannot materialize loop/barrier probes as statements; "
+            "use a plan with loop_events=False"
+        )
+    if not plan.any_probes:
+        return program.clone(f"{program.name}+I(none)").finalize()
+    rewritten = Program(
+        f"{program.name}+I({plan.describe()})", semaphores=program.semaphores
+    )
+    for item in program.items:
+        if isinstance(item, Statement):
+            rewritten.items.extend(
+                _rewrite_statements([item], plan, costs)
+            )
+        elif isinstance(item, Loop):
+            new_loop = item.clone()
+            new_loop.body = Block(
+                _rewrite_statements(list(item.body), plan, costs)
+            )
+            rewritten.items.append(new_loop)
+        else:  # pragma: no cover - defensive
+            raise ProgramError(f"unknown program item {item!r}")
+    return rewritten.finalize()
+
+
+def probe_count(program: Program) -> int:
+    """Number of probe statements in a materialized I(P)."""
+    return sum(
+        1
+        for s in program.all_statements()
+        if isinstance(s, Compute) and s.label.startswith(PROBE_PREFIX)
+    )

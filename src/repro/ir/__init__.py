@@ -1,0 +1,60 @@
+"""Statement-level program intermediate representation.
+
+The paper defines instrumentation over a program ``P = S1, S2, ..., Sn`` —
+an event is the execution of a statement.  This IR models such programs at
+exactly that granularity: straight-line blocks of costed statements, with
+sequential loops, DOALL loops, and DOACROSS loops whose loop-carried
+dependences are expressed as ``advance`` / ``await`` statements (the form the
+Alliant FX Fortran compiler produced for the Livermore loops).
+"""
+
+from repro.ir.statements import (
+    Statement,
+    Compute,
+    Advance,
+    Await,
+    LockAcquire,
+    LockRelease,
+    SemWait,
+    SemSignal,
+    CostFn,
+)
+from repro.ir.program import (
+    Block,
+    Loop,
+    SequentialLoop,
+    DoAllLoop,
+    DoAcrossLoop,
+    Program,
+    ProgramError,
+    Schedule,
+)
+from repro.ir.builder import ProgramBuilder, loop_body
+from repro.ir.dependence import Dependence, loop_dependences, max_distance
+from repro.ir.validate import validate_program
+
+__all__ = [
+    "Statement",
+    "Compute",
+    "Advance",
+    "Await",
+    "LockAcquire",
+    "LockRelease",
+    "SemWait",
+    "SemSignal",
+    "CostFn",
+    "Block",
+    "Loop",
+    "SequentialLoop",
+    "DoAllLoop",
+    "DoAcrossLoop",
+    "Program",
+    "ProgramError",
+    "Schedule",
+    "ProgramBuilder",
+    "loop_body",
+    "Dependence",
+    "loop_dependences",
+    "max_distance",
+    "validate_program",
+]

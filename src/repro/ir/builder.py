@@ -1,0 +1,196 @@
+"""Fluent construction helpers for IR programs.
+
+Example — loop 3's structure (inner product as a DOACROSS with a
+critical-section reduction)::
+
+    prog = (
+        ProgramBuilder("loop3")
+        .compute("setup", cost=40)
+        .doacross(
+            "k",
+            trips=1001,
+            body=loop_body()
+            .compute("t = z[k]*x[k]", cost=12, memory_refs=2)
+            .await_("QSUM", distance=1)
+            .compute("q += t", cost=4, memory_refs=1, critical=True)
+            .advance("QSUM"),
+        )
+        .compute("wrapup", cost=20)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.ir.program import (
+    Block,
+    DoAcrossLoop,
+    DoAllLoop,
+    Program,
+    ProgramError,
+    Schedule,
+    SequentialLoop,
+)
+from repro.ir.statements import (
+    Advance,
+    Await,
+    Compute,
+    CostFn,
+    LockAcquire,
+    LockRelease,
+    SemSignal,
+    SemWait,
+)
+from repro.ir.validate import validate_program
+
+
+class BodyBuilder:
+    """Builds a loop body block."""
+
+    def __init__(self) -> None:
+        self._block = Block()
+        self._in_critical = False
+
+    def compute(
+        self,
+        label: str,
+        cost: Union[int, CostFn],
+        memory_refs: int = 0,
+        vector: bool = False,
+        critical: Optional[bool] = None,
+        compound: bool = False,
+    ) -> "BodyBuilder":
+        """Append a compute statement.
+
+        ``critical`` defaults to "currently between await_ and advance",
+        tracked automatically.  ``compound`` marks the statement as a piece
+        of a larger source statement (never probed itself; see
+        :class:`repro.ir.statements.Compute`).
+        """
+        in_crit = self._in_critical if critical is None else critical
+        self._block.stmts.append(
+            Compute(
+                label=label,
+                cost=cost,
+                memory_refs=memory_refs,
+                vector=vector,
+                in_critical=in_crit,
+                compound_member=compound,
+            )
+        )
+        return self
+
+    def await_(self, var: str, distance: int = 1, label: str = "") -> "BodyBuilder":
+        """Append ``await(var, i - distance)`` and open a critical region."""
+        if distance < 1:
+            raise ProgramError(f"await distance must be >= 1, got {distance}")
+        self._block.stmts.append(
+            Await(label=label or f"await {var}", var=var, offset=-distance)
+        )
+        self._in_critical = True
+        return self
+
+    def advance(self, var: str, label: str = "") -> "BodyBuilder":
+        """Append ``advance(var, i)`` and close the critical region."""
+        self._block.stmts.append(Advance(label=label or f"advance {var}", var=var, offset=0))
+        self._in_critical = False
+        return self
+
+    def lock(self, name: str, label: str = "") -> "BodyBuilder":
+        """Append ``lock(name)`` and open a critical region."""
+        self._block.stmts.append(LockAcquire(label=label or f"lock {name}", lock=name))
+        self._in_critical = True
+        return self
+
+    def unlock(self, name: str, label: str = "") -> "BodyBuilder":
+        """Append ``unlock(name)`` and close the critical region."""
+        self._block.stmts.append(LockRelease(label=label or f"unlock {name}", lock=name))
+        self._in_critical = False
+        return self
+
+    def sem_wait(self, name: str, label: str = "") -> "BodyBuilder":
+        """Append ``P(name)`` (declare capacity via ProgramBuilder.semaphore)."""
+        self._block.stmts.append(SemWait(label=label or f"P({name})", sem=name))
+        return self
+
+    def sem_signal(self, name: str, label: str = "") -> "BodyBuilder":
+        """Append ``V(name)``."""
+        self._block.stmts.append(SemSignal(label=label or f"V({name})", sem=name))
+        return self
+
+    def block(self) -> Block:
+        return self._block
+
+
+def loop_body() -> BodyBuilder:
+    """Start building a loop body."""
+    return BodyBuilder()
+
+
+class ProgramBuilder:
+    """Builds whole programs; ``build()`` validates and finalizes."""
+
+    def __init__(self, name: str):
+        self._program = Program(name)
+
+    def compute(
+        self, label: str, cost: Union[int, CostFn], memory_refs: int = 0
+    ) -> "ProgramBuilder":
+        """Append a top-level (sequential-section) statement."""
+        self._program.add(Compute(label=label, cost=cost, memory_refs=memory_refs))
+        return self
+
+    def semaphore(self, name: str, capacity: int) -> "ProgramBuilder":
+        """Declare a counting semaphore with the given capacity."""
+        if capacity < 1:
+            raise ProgramError(f"semaphore {name!r} capacity must be >= 1")
+        if name in self._program.semaphores:
+            raise ProgramError(f"semaphore {name!r} declared twice")
+        self._program.semaphores[name] = capacity
+        return self
+
+    def sequential_loop(
+        self, name: str, trips: int, body: Union[BodyBuilder, Block]
+    ) -> "ProgramBuilder":
+        self._program.add(SequentialLoop(trips=trips, body=_to_block(body), name=name))
+        return self
+
+    def doall(
+        self,
+        name: str,
+        trips: int,
+        body: Union[BodyBuilder, Block],
+        schedule: Schedule = Schedule.SELF,
+    ) -> "ProgramBuilder":
+        self._program.add(
+            DoAllLoop(trips=trips, body=_to_block(body), name=name, schedule=schedule)
+        )
+        return self
+
+    def doacross(
+        self,
+        name: str,
+        trips: int,
+        body: Union[BodyBuilder, Block],
+        schedule: Schedule = Schedule.SELF,
+    ) -> "ProgramBuilder":
+        self._program.add(
+            DoAcrossLoop(trips=trips, body=_to_block(body), name=name, schedule=schedule)
+        )
+        return self
+
+    def build(self, validate: bool = True) -> Program:
+        prog = self._program.finalize()
+        if validate:
+            validate_program(prog)
+        return prog
+
+
+def _to_block(body: Union[BodyBuilder, Block]) -> Block:
+    if isinstance(body, BodyBuilder):
+        return body.block()
+    if isinstance(body, Block):
+        return body
+    raise ProgramError(f"expected a loop body, got {body!r}")

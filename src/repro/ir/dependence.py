@@ -1,0 +1,99 @@
+"""Loop-carried dependence metadata.
+
+The paper (§4.3) quantifies DOACROSS dependences by *data dependence
+distance* ``d`` (Wolfe): iteration ``i + d`` depends on iteration ``i``.
+In the IR this structure is explicit in the ``await``/``advance`` offsets,
+from which we recover the dependences for validation and analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.program import DoAcrossLoop, ProgramError
+from repro.ir.statements import Advance, Await
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A constant-distance loop-carried dependence on one sync variable.
+
+    Attributes
+    ----------
+    var:
+        Synchronization variable enforcing the dependence.
+    distance:
+        Dependence distance ``d >= 1``: iteration ``i`` waits on the
+        advance issued by iteration ``i - d``.
+    await_position / advance_position:
+        Indices of the Await / Advance statements inside the loop body;
+        the half-open statement range ``(await_position, advance_position)``
+        is the serialized (critical) region.
+    """
+
+    var: str
+    distance: int
+    await_position: int
+    advance_position: int
+
+    @property
+    def critical_span(self) -> int:
+        """Number of statements inside the serialized region."""
+        return self.advance_position - self.await_position - 1
+
+
+def loop_dependences(loop: DoAcrossLoop) -> list[Dependence]:
+    """Extract the constant-distance dependences of a DOACROSS loop.
+
+    Requires each sync variable to appear as exactly one Await followed by
+    exactly one Advance (the canonical compiler-generated form); raises
+    :class:`ProgramError` otherwise.
+    """
+    awaits: dict[str, tuple[int, Await]] = {}
+    deps: list[Dependence] = []
+    seen_advance: set[str] = set()
+    for pos, stmt in enumerate(loop.body):
+        if isinstance(stmt, Await):
+            if stmt.var in awaits or stmt.var in seen_advance:
+                raise ProgramError(
+                    f"loop {loop.name!r}: multiple awaits on sync var {stmt.var!r}"
+                )
+            awaits[stmt.var] = (pos, stmt)
+        elif isinstance(stmt, Advance):
+            if stmt.var in seen_advance:
+                raise ProgramError(
+                    f"loop {loop.name!r}: multiple advances on sync var {stmt.var!r}"
+                )
+            if stmt.var not in awaits:
+                raise ProgramError(
+                    f"loop {loop.name!r}: advance on {stmt.var!r} precedes its await"
+                )
+            apos, awt = awaits.pop(stmt.var)
+            distance = stmt.offset - awt.offset
+            if distance < 1:
+                raise ProgramError(
+                    f"loop {loop.name!r}: non-positive dependence distance "
+                    f"{distance} on {stmt.var!r}"
+                )
+            deps.append(
+                Dependence(
+                    var=stmt.var,
+                    distance=distance,
+                    await_position=apos,
+                    advance_position=pos,
+                )
+            )
+            seen_advance.add(stmt.var)
+    if awaits:
+        raise ProgramError(
+            f"loop {loop.name!r}: awaits without matching advance: {sorted(awaits)}"
+        )
+    return deps
+
+
+def max_distance(loop: DoAcrossLoop) -> int:
+    """The largest dependence distance in the loop (its pipeline depth)."""
+    deps = loop_dependences(loop)
+    if not deps:
+        raise ProgramError(f"loop {loop.name!r} has no dependences (use DoAllLoop)")
+    return max(d.distance for d in deps)

@@ -1,0 +1,223 @@
+"""Program structure: blocks, loops, and whole programs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro.ir.statements import Advance, Await, Compute, Statement
+
+
+class ProgramError(ValueError):
+    """Structural error in an IR program."""
+
+
+class Schedule(enum.Enum):
+    """Iteration-to-CE assignment policy for parallel loops.
+
+    SELF is the Alliant FX/80 behaviour: the concurrency bus hands the next
+    iteration index to whichever CE asks first (dynamic self-scheduling).
+    STATIC_BLOCK and STATIC_CYCLIC are compile-time assignments used for
+    ablations and for the liberal re-scheduling analysis.
+    """
+
+    SELF = "self"
+    STATIC_BLOCK = "static_block"
+    STATIC_CYCLIC = "static_cyclic"
+
+
+@dataclass
+class Block:
+    """A straight-line sequence of statements."""
+
+    stmts: list[Statement] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Statement]:
+        return iter(self.stmts)
+
+    def __len__(self) -> int:
+        return len(self.stmts)
+
+    def clone(self) -> "Block":
+        return Block([s.clone() for s in self.stmts])
+
+
+@dataclass
+class Loop:
+    """Base class for loop constructs.
+
+    Attributes
+    ----------
+    trips:
+        Number of iterations (0-based indices ``0 .. trips-1``).
+    body:
+        The per-iteration statement block.
+    name:
+        Loop identifier used in traces (barrier/loop events reference it).
+    """
+
+    trips: int = 0
+    body: Block = field(default_factory=Block)
+    name: str = "loop"
+
+    def clone(self) -> "Loop":
+        raise NotImplementedError
+
+    @property
+    def is_parallel(self) -> bool:
+        raise NotImplementedError
+
+
+@dataclass
+class SequentialLoop(Loop):
+    """A loop executed by a single CE, iterations in order."""
+
+    @property
+    def is_parallel(self) -> bool:
+        return False
+
+    def clone(self) -> "SequentialLoop":
+        return SequentialLoop(trips=self.trips, body=self.body.clone(), name=self.name)
+
+
+@dataclass
+class DoAllLoop(Loop):
+    """Fully parallel loop: no loop-carried dependences.
+
+    The body must not contain Advance/Await statements (validated by
+    :func:`repro.ir.validate.validate_program`).
+    """
+
+    schedule: Schedule = Schedule.SELF
+
+    @property
+    def is_parallel(self) -> bool:
+        return True
+
+    def clone(self) -> "DoAllLoop":
+        return DoAllLoop(
+            trips=self.trips, body=self.body.clone(), name=self.name, schedule=self.schedule
+        )
+
+
+@dataclass
+class DoAcrossLoop(Loop):
+    """DOACROSS loop: loop-carried dependences enforced by advance/await.
+
+    The canonical critical-section form (Livermore loops 3/4/17 on the
+    FX/80) is::
+
+        await(A, i - 1)
+        <critical-section statements>
+        advance(A, i)
+
+    which serializes the critical section across iterations while the
+    remaining body statements overlap freely.
+    """
+
+    schedule: Schedule = Schedule.SELF
+
+    @property
+    def is_parallel(self) -> bool:
+        return True
+
+    def clone(self) -> "DoAcrossLoop":
+        return DoAcrossLoop(
+            trips=self.trips, body=self.body.clone(), name=self.name, schedule=self.schedule
+        )
+
+    def sync_vars(self) -> list[str]:
+        """The synchronization variable names used by this loop's body."""
+        out: list[str] = []
+        for s in self.body:
+            if isinstance(s, (Advance, Await)) and s.var not in out:
+                out.append(s.var)
+        return out
+
+
+#: A top-level program item.
+Item = Union[Statement, Loop]
+
+
+class Program:
+    """A whole program: a sequence of top-level statements and loops.
+
+    Call :meth:`finalize` (done automatically by the builder) to assign
+    static statement ids before execution or instrumentation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        items: Optional[list[Item]] = None,
+        semaphores: Optional[dict[str, int]] = None,
+    ):
+        self.name = name
+        self.items: list[Item] = list(items or [])
+        #: Declared counting semaphores: name -> capacity (>= 1).
+        self.semaphores: dict[str, int] = dict(semaphores or {})
+        self._finalized = False
+
+    # -- construction -------------------------------------------------------
+    def add(self, item: Item) -> "Program":
+        if self._finalized:
+            raise ProgramError("cannot add items to a finalized program")
+        self.items.append(item)
+        return self
+
+    def finalize(self) -> "Program":
+        """Assign statement ids (eids) in lexical order and lock the program."""
+        eid = 0
+        for stmt in self.all_statements():
+            stmt.eid = eid
+            eid += 1
+        self._finalized = True
+        return self
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    # -- traversal ---------------------------------------------------------
+    def all_statements(self) -> Iterator[Statement]:
+        """Every statement in lexical order (loop bodies in place)."""
+        for item in self.items:
+            if isinstance(item, Statement):
+                yield item
+            elif isinstance(item, Loop):
+                yield from item.body
+            else:  # pragma: no cover - defensive
+                raise ProgramError(f"unknown program item {item!r}")
+
+    def loops(self) -> Iterator[Loop]:
+        for item in self.items:
+            if isinstance(item, Loop):
+                yield item
+
+    def statement_count(self) -> int:
+        return sum(1 for _ in self.all_statements())
+
+    def dynamic_event_count(self) -> int:
+        """Number of statement executions (= statement events in a full trace)."""
+        total = 0
+        for item in self.items:
+            if isinstance(item, Statement):
+                total += 1
+            elif isinstance(item, Loop):
+                total += item.trips * len(item.body)
+        return total
+
+    def clone(self, name: Optional[str] = None) -> "Program":
+        """Deep, un-finalized copy (for instrumentation rewriting)."""
+        items: list[Item] = []
+        for item in self.items:
+            items.append(item.clone())
+        return Program(name or self.name, items, semaphores=self.semaphores)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        nloops = sum(1 for _ in self.loops())
+        return (
+            f"Program({self.name!r}, {self.statement_count()} statements, "
+            f"{nloops} loops, finalized={self._finalized})"
+        )

@@ -1,0 +1,215 @@
+"""IR statements.
+
+Statements carry an integer *cost* in machine cycles (optionally
+iteration-dependent).  The machine model may additionally apply memory
+dilation and jitter; the IR cost is the nominal, contention-free cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+#: Iteration-dependent cost: maps iteration index -> cycles.
+CostFn = Callable[[int], int]
+
+
+@dataclass
+class Statement:
+    """Base class for all IR statements.
+
+    Attributes
+    ----------
+    label:
+        Human-readable name (e.g. ``"S3"`` or ``"q += z[k]*x[k]"``).
+    eid:
+        Static event/statement id, assigned by :meth:`Program.finalize`.
+        -1 until then.
+    """
+
+    label: str = ""
+    eid: int = -1
+
+    def nominal_cost(self, iteration: Optional[int]) -> int:
+        """Contention-free execution cost in cycles for this iteration."""
+        raise NotImplementedError
+
+    def clone(self) -> "Statement":
+        """Deep copy with eid reset (for program transforms)."""
+        raise NotImplementedError
+
+
+@dataclass
+class Compute(Statement):
+    """A unit of computation: arithmetic, memory references, control.
+
+    Parameters
+    ----------
+    cost:
+        Base cost in cycles, or a callable mapping the iteration index to a
+        cost (for triangular loops and data-dependent work).
+    memory_refs:
+        Number of memory references the statement makes; the machine model
+        uses this for cache-dilation effects under instrumentation.
+    vector:
+        True for a vector instruction (costed once per loop with startup +
+        per-element throughput by the program generator; the flag is kept so
+        analyses can distinguish modes).
+    in_critical:
+        True if the statement executes inside the loop's critical section
+        (between an ``await`` and the matching ``advance``).  Informational;
+        execution semantics come from the Await/Advance statements
+        themselves.
+    compound_member:
+        True if this IR statement is a compiler-generated *piece* of a
+        larger source statement whose trace probe is carried by an earlier
+        piece.  Source-level instrumentation places one probe per source
+        statement, so compound members are never probed themselves.  This
+        models the paper's loops 3/4, where the critical-section update is
+        a sub-expression of a single Fortran statement: its probe falls
+        *outside* the serialized region, which is why instrumentation
+        reduces blocking there (§3) — whereas loop 17's critical section
+        spans whole source statements, each probed inside the region.
+    """
+
+    cost: Union[int, CostFn] = 1
+    memory_refs: int = 0
+    vector: bool = False
+    in_critical: bool = False
+    compound_member: bool = False
+
+    def nominal_cost(self, iteration: Optional[int]) -> int:
+        if callable(self.cost):
+            if iteration is None:
+                raise ValueError(
+                    f"statement {self.label!r} has iteration-dependent cost "
+                    "but was executed outside a loop"
+                )
+            c = self.cost(iteration)
+        else:
+            c = self.cost
+        if c < 0:
+            raise ValueError(f"statement {self.label!r} produced negative cost {c}")
+        return int(c)
+
+    def clone(self) -> "Compute":
+        return Compute(
+            label=self.label,
+            cost=self.cost,
+            memory_refs=self.memory_refs,
+            vector=self.vector,
+            in_critical=self.in_critical,
+            compound_member=self.compound_member,
+        )
+
+
+@dataclass
+class Advance(Statement):
+    """``advance(A, i + offset)`` — mark the index as advanced.
+
+    ``var`` names the synchronization variable; the advanced index is the
+    current iteration plus ``offset`` (normally 0: iteration ``i`` advances
+    its own index).
+    """
+
+    var: str = "A"
+    offset: int = 0
+
+    def index_for(self, iteration: int) -> int:
+        return iteration + self.offset
+
+    def nominal_cost(self, iteration: Optional[int]) -> int:
+        # The hardware cost of the advance itself is charged by the machine
+        # model (CostTables.advance_op); the statement adds none.
+        return 0
+
+    def clone(self) -> "Advance":
+        return Advance(label=self.label, var=self.var, offset=self.offset)
+
+
+@dataclass
+class LockAcquire(Statement):
+    """``lock(L)`` — take a mutual-exclusion lock.
+
+    Unlike advance/await, locks impose no *order* on critical sections —
+    only exclusion — so they suit DOALL reductions where any serialization
+    order is acceptable.  Perturbation analysis for locks is conservative:
+    the measured acquisition order is preserved.
+    """
+
+    lock: str = "L"
+
+    def nominal_cost(self, iteration: Optional[int]) -> int:
+        return 0  # hardware cost charged by the machine model
+
+    def clone(self) -> "LockAcquire":
+        return LockAcquire(label=self.label, lock=self.lock)
+
+
+@dataclass
+class LockRelease(Statement):
+    """``unlock(L)`` — release a mutual-exclusion lock."""
+
+    lock: str = "L"
+
+    def nominal_cost(self, iteration: Optional[int]) -> int:
+        return 0
+
+    def clone(self) -> "LockRelease":
+        return LockRelease(label=self.label, lock=self.lock)
+
+
+@dataclass
+class SemWait(Statement):
+    """``P(S)`` — acquire one unit of a counting semaphore.
+
+    The semaphore's capacity is declared at the program level
+    (:attr:`repro.ir.program.Program.semaphores`).  With capacity *k* the
+    semaphore throttles a DOALL region to at most *k* concurrent
+    occupants (resource pools, bounded I/O ports) — the "general
+    semaphore" of which advance/await is a special case (§4.2).
+    """
+
+    sem: str = "S"
+
+    def nominal_cost(self, iteration: Optional[int]) -> int:
+        return 0
+
+    def clone(self) -> "SemWait":
+        return SemWait(label=self.label, sem=self.sem)
+
+
+@dataclass
+class SemSignal(Statement):
+    """``V(S)`` — release one unit of a counting semaphore."""
+
+    sem: str = "S"
+
+    def nominal_cost(self, iteration: Optional[int]) -> int:
+        return 0
+
+    def clone(self) -> "SemSignal":
+        return SemSignal(label=self.label, sem=self.sem)
+
+
+@dataclass
+class Await(Statement):
+    """``await(A, i + offset)`` — wait until the index has been advanced.
+
+    For a constant dependence distance ``d``, iteration ``i`` awaits index
+    ``i - d`` (``offset = -d``).  Awaits on negative indices (the first
+    ``d`` iterations) are satisfied immediately; this matches DOACROSS
+    prologue semantics where the first iterations have no predecessor.
+    """
+
+    var: str = "A"
+    offset: int = -1
+
+    def index_for(self, iteration: int) -> int:
+        return iteration + self.offset
+
+    def nominal_cost(self, iteration: Optional[int]) -> int:
+        return 0
+
+    def clone(self) -> "Await":
+        return Await(label=self.label, var=self.var, offset=self.offset)

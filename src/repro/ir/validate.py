@@ -1,0 +1,191 @@
+"""Structural validation of IR programs.
+
+Checks performed before a program may execute:
+
+* finalized (eids assigned, unique, dense);
+* positive trip counts;
+* DOALL bodies contain no ordering (advance/await) statements — locks
+  are allowed there (exclusion without order);
+* DOACROSS bodies use each sync variable as one canonical await/advance
+  pair with positive constant distance (via :mod:`repro.ir.dependence`);
+* sync variable names are unique across loops (the concurrency bus
+  namespaces registers per loop instance, but unique names keep traces
+  unambiguous);
+* lock acquire/release appear as matched, non-nested pairs inside
+  parallel loop bodies only, one use per lock per iteration;
+* top-level items contain no bare synchronization statements.
+"""
+
+from __future__ import annotations
+
+from repro.ir.dependence import loop_dependences
+from repro.ir.program import (
+    DoAcrossLoop,
+    DoAllLoop,
+    Loop,
+    Program,
+    ProgramError,
+    SequentialLoop,
+)
+from repro.ir.statements import (
+    Advance,
+    Await,
+    LockAcquire,
+    LockRelease,
+    SemSignal,
+    SemWait,
+    Statement,
+)
+
+
+def validate_program(program: Program) -> None:
+    """Raise :class:`ProgramError` if the program is structurally invalid."""
+    if not program.finalized:
+        raise ProgramError(f"program {program.name!r} is not finalized")
+
+    _check_eids(program)
+    _check_items(program)
+    _check_loops(program)
+    _check_locks(program)
+    _check_semaphores(program)
+
+
+def _check_eids(program: Program) -> None:
+    eids = [s.eid for s in program.all_statements()]
+    if not eids:
+        raise ProgramError(f"program {program.name!r} has no statements")
+    if sorted(eids) != list(range(len(eids))):
+        raise ProgramError(
+            f"program {program.name!r} has non-dense statement ids: {sorted(eids)[:10]}..."
+        )
+
+
+def _check_items(program: Program) -> None:
+    for item in program.items:
+        if isinstance(item, (Advance, Await, LockAcquire, LockRelease, SemWait, SemSignal)):
+            raise ProgramError(
+                f"program {program.name!r}: synchronization statement "
+                f"{item.label!r} outside any loop"
+            )
+        if isinstance(item, Loop) and item.trips < 1:
+            raise ProgramError(
+                f"loop {item.name!r} has trip count {item.trips}; must be >= 1"
+            )
+
+
+def _check_loops(program: Program) -> None:
+    seen_loop_names: set[str] = set()
+    seen_sync_vars: set[str] = set()
+    for loop in program.loops():
+        if loop.name in seen_loop_names:
+            raise ProgramError(f"duplicate loop name {loop.name!r}")
+        seen_loop_names.add(loop.name)
+
+        if isinstance(loop, DoAllLoop):
+            for stmt in loop.body:
+                if isinstance(stmt, (Advance, Await)):
+                    raise ProgramError(
+                        f"DOALL loop {loop.name!r} contains ordering "
+                        f"statement {stmt.label!r}; use DoAcrossLoop"
+                    )
+        elif isinstance(loop, SequentialLoop):
+            for stmt in loop.body:
+                if isinstance(stmt, (Advance, Await, LockAcquire, LockRelease, SemWait, SemSignal)):
+                    raise ProgramError(
+                        f"sequential loop {loop.name!r} contains synchronization "
+                        f"statement {stmt.label!r}"
+                    )
+        elif isinstance(loop, DoAcrossLoop):
+            deps = loop_dependences(loop)  # raises on malformed sync structure
+            if not deps:
+                raise ProgramError(
+                    f"DOACROSS loop {loop.name!r} has no dependences; use DoAllLoop"
+                )
+            for dep in deps:
+                if dep.var in seen_sync_vars:
+                    raise ProgramError(
+                        f"sync variable {dep.var!r} reused across loops"
+                    )
+                seen_sync_vars.add(dep.var)
+                if dep.distance >= loop.trips:
+                    raise ProgramError(
+                        f"loop {loop.name!r}: dependence distance {dep.distance} "
+                        f">= trip count {loop.trips}; loop is effectively DOALL"
+                    )
+        else:  # pragma: no cover - defensive
+            raise ProgramError(f"unknown loop type {type(loop).__name__}")
+
+
+def _check_locks(program: Program) -> None:
+    seen_locks: set[str] = set()
+    for loop in program.loops():
+        held: list[str] = []
+        used: set[str] = set()
+        for stmt in loop.body:
+            if isinstance(stmt, LockAcquire):
+                if stmt.lock in used:
+                    raise ProgramError(
+                        f"loop {loop.name!r}: lock {stmt.lock!r} used twice "
+                        "in one iteration"
+                    )
+                if held:
+                    raise ProgramError(
+                        f"loop {loop.name!r}: nested lock acquisition of "
+                        f"{stmt.lock!r} while holding {held[-1]!r}"
+                    )
+                if stmt.lock in seen_locks:
+                    raise ProgramError(
+                        f"lock {stmt.lock!r} reused across loops"
+                    )
+                held.append(stmt.lock)
+                used.add(stmt.lock)
+            elif isinstance(stmt, LockRelease):
+                if not held or held[-1] != stmt.lock:
+                    raise ProgramError(
+                        f"loop {loop.name!r}: release of {stmt.lock!r} "
+                        "without matching acquire"
+                    )
+                held.pop()
+        if held:
+            raise ProgramError(
+                f"loop {loop.name!r}: lock(s) {held} never released"
+            )
+        seen_locks.update(used)
+
+
+def _check_semaphores(program: Program) -> None:
+    declared = program.semaphores
+    seen_sems: set[str] = set()
+    for loop in program.loops():
+        pending: list[str] = []
+        used: set[str] = set()
+        for stmt in loop.body:
+            if isinstance(stmt, SemWait):
+                if stmt.sem not in declared:
+                    raise ProgramError(
+                        f"loop {loop.name!r}: P on undeclared semaphore "
+                        f"{stmt.sem!r} (use ProgramBuilder.semaphore)"
+                    )
+                if stmt.sem in used:
+                    raise ProgramError(
+                        f"loop {loop.name!r}: semaphore {stmt.sem!r} used "
+                        "twice in one iteration"
+                    )
+                if stmt.sem in seen_sems:
+                    raise ProgramError(
+                        f"semaphore {stmt.sem!r} reused across loops"
+                    )
+                pending.append(stmt.sem)
+                used.add(stmt.sem)
+            elif isinstance(stmt, SemSignal):
+                if not pending or pending[-1] != stmt.sem:
+                    raise ProgramError(
+                        f"loop {loop.name!r}: V({stmt.sem!r}) without "
+                        "matching P"
+                    )
+                pending.pop()
+        if pending:
+            raise ProgramError(
+                f"loop {loop.name!r}: semaphore unit(s) {pending} never signalled"
+            )
+        seen_sems.update(used)

@@ -1,0 +1,59 @@
+"""Lawrence Livermore Loops (LFK / McMahon 1986).
+
+Two views of the 24 kernels:
+
+* :mod:`repro.livermore.kernels` — executable NumPy reference
+  implementations (scalar-faithful and vectorized variants where the
+  kernel admits one), used to validate numerics and to mirror the paper's
+  scalar/vector execution modes.
+* :mod:`repro.livermore.programs` — statement-level IR models with
+  per-statement cycle costs and the DOACROSS synchronization structure the
+  Alliant FX compiler produced (Figure 3), used by the simulator and the
+  perturbation experiments.
+"""
+
+from repro.livermore.data import LFKData, standard_data, STANDARD_TRIPS
+from repro.livermore.kernels import (
+    KERNELS,
+    kernel,
+    run_kernel,
+    kernel_checksum,
+)
+from repro.livermore.classify import (
+    KernelClass,
+    classify,
+    CLASSIFICATION,
+    doacross_kernels,
+    figure1_kernels,
+)
+from repro.livermore.programs import (
+    livermore_program,
+    sequential_program,
+    vector_program,
+    doall_program,
+    doacross_program,
+    statement_specs,
+    LoopCostModel,
+)
+
+__all__ = [
+    "LFKData",
+    "standard_data",
+    "STANDARD_TRIPS",
+    "KERNELS",
+    "kernel",
+    "run_kernel",
+    "kernel_checksum",
+    "KernelClass",
+    "classify",
+    "CLASSIFICATION",
+    "doacross_kernels",
+    "figure1_kernels",
+    "livermore_program",
+    "sequential_program",
+    "vector_program",
+    "doall_program",
+    "doacross_program",
+    "statement_specs",
+    "LoopCostModel",
+]

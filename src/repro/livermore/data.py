@@ -1,0 +1,139 @@
+"""LFK working-set generation.
+
+McMahon's benchmark initializes its arrays with pseudo-random values in
+(0, 1) and runs each kernel over a standard loop length.  We reproduce
+that: a deterministic generator fills the arrays every kernel touches, and
+``STANDARD_TRIPS`` records the per-kernel loop lengths (the classic "long"
+parameter set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+#: Standard loop lengths per kernel (McMahon's long vector lengths).
+STANDARD_TRIPS: dict[int, int] = {
+    1: 1001,
+    2: 101,
+    3: 1001,
+    4: 1001,
+    5: 1001,
+    6: 64,
+    7: 995,
+    8: 100,
+    9: 101,
+    10: 101,
+    11: 1001,
+    12: 1000,
+    13: 64,
+    14: 1001,
+    15: 101,
+    16: 75,
+    17: 101,
+    18: 100,
+    19: 101,
+    20: 1000,
+    21: 101,
+    22: 101,
+    23: 100,
+    24: 1001,
+}
+
+
+@dataclass
+class LFKData:
+    """The shared working set of the Livermore kernels.
+
+    1-D arrays are sized generously (``2n + 32``) so kernels with offset
+    indexing (k+10, k+11, ...) and kernel 2's reduction cascade never run
+    out; 2-D arrays use the classic LFK shapes.  All values are in (0, 1) except where a kernel requires
+    specific magnitudes (documented inline).
+    """
+
+    n: int
+    seed: int = 1986  # year of the LFK report
+    # scalars
+    q: float = 0.0
+    r: float = 4.86
+    t: float = 276.0
+    s: float = 0.004
+    # 1-D arrays
+    x: np.ndarray = field(default_factory=lambda: np.empty(0))
+    y: np.ndarray = field(default_factory=lambda: np.empty(0))
+    z: np.ndarray = field(default_factory=lambda: np.empty(0))
+    u: np.ndarray = field(default_factory=lambda: np.empty(0))
+    v: np.ndarray = field(default_factory=lambda: np.empty(0))
+    w: np.ndarray = field(default_factory=lambda: np.empty(0))
+    # 2-D arrays
+    zx: np.ndarray = field(default_factory=lambda: np.empty(0))
+    b: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    p: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    px: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    cx: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    vy: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    u2: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    v2: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    w2: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    za: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    zb: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    zp: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    zq: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    zr: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    zm: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+    zz: np.ndarray = field(default_factory=lambda: np.empty((0, 0)))
+
+    def copy(self) -> "LFKData":
+        """Deep copy — kernels mutate arrays, tests need pristine inputs."""
+        import copy as _copy
+
+        new = LFKData(n=self.n, seed=self.seed, q=self.q, r=self.r, t=self.t, s=self.s)
+        for name in (
+            "x", "y", "z", "u", "v", "w",
+            "zx", "b", "p", "px", "cx", "vy",
+            "u2", "v2", "w2", "za", "zb", "zp", "zq", "zr", "zm", "zz",
+        ):
+            setattr(new, name, np.array(getattr(self, name), copy=True))
+        return new
+
+
+def standard_data(n: int, seed: int = 1986) -> LFKData:
+    """Build the LFK working set for loop length ``n``."""
+    if n < 1:
+        raise ValueError(f"loop length must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    # Kernel 2's reduction cascade writes up to index ~2n; size generously.
+    pad = 2 * n + 32
+    d = LFKData(n=n, seed=seed)
+
+    def arr(*shape: int) -> np.ndarray:
+        # Values in (0.1, 0.9): keeps recurrences and divisions tame.
+        return 0.1 + 0.8 * rng.random(shape)
+
+    d.x = arr(pad)
+    d.y = arr(pad)
+    d.z = arr(pad)
+    d.u = arr(pad)
+    d.v = arr(pad)
+    d.w = arr(pad)
+    d.zx = arr(pad + 16)
+    # 2-D sets.  Shapes follow the classic LFK common blocks.
+    d.b = arr(66, 66) * 0.05  # kernel 6 recurrence matrix: small to converge
+    d.p = arr(4, 512)
+    d.px = arr(25, pad)
+    d.cx = arr(25, pad)
+    d.vy = arr(25, 25)
+    jk = (7, max(n, 101) + 4)
+    d.u2 = arr(*jk)
+    d.v2 = arr(*jk)
+    d.w2 = arr(*jk)
+    d.za = arr(*jk)
+    d.zb = arr(*jk)
+    d.zp = arr(*jk)
+    d.zq = arr(*jk)
+    d.zr = arr(*jk)
+    d.zm = arr(*jk)
+    d.zz = arr(*jk)
+    return d

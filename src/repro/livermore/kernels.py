@@ -1,0 +1,629 @@
+"""NumPy reference implementations of the 24 Livermore kernels.
+
+Each kernel has a *scalar* implementation transcribed from McMahon's
+Fortran (loop-for-loop, 0-based indexing) and, where the kernel is
+vectorizable, a *vector* implementation using NumPy array operations.
+Scalar and vector variants must agree — that equivalence is exactly what
+made these loops vectorization benchmarks, and our tests assert it.
+
+Kernels return a floating checksum over the data they modify, which keeps
+regression tests simple and mirrors LFK's own verification sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.livermore.data import LFKData, STANDARD_TRIPS, standard_data
+
+KernelFn = Callable[[LFKData], float]
+
+
+def _checksum(*arrays: np.ndarray) -> float:
+    total = 0.0
+    for a in arrays:
+        total += float(np.sum(a))
+    return total
+
+
+# --------------------------------------------------------------------- K1
+def kernel1_scalar(d: LFKData) -> float:
+    """Hydro fragment: X(k) = Q + Y(k)*(R*ZX(k+10) + T*ZX(k+11))."""
+    for k in range(d.n):
+        d.x[k] = d.q + d.y[k] * (d.r * d.zx[k + 10] + d.t * d.zx[k + 11])
+    return _checksum(d.x[: d.n])
+
+
+def kernel1_vector(d: LFKData) -> float:
+    n = d.n
+    d.x[:n] = d.q + d.y[:n] * (d.r * d.zx[10 : n + 10] + d.t * d.zx[11 : n + 11])
+    return _checksum(d.x[:n])
+
+
+# --------------------------------------------------------------------- K2
+def kernel2_scalar(d: LFKData) -> float:
+    """ICCG excerpt: incomplete Cholesky conjugate gradient reduction."""
+    ii = d.n
+    ipntp = 0
+    while ii > 1:
+        ipnt = ipntp
+        ipntp += ii
+        ii //= 2
+        i = ipntp  # writes land strictly above the read window
+        for k in range(ipnt + 1, ipntp, 2):
+            i += 1
+            d.x[i] = d.x[k] - d.v[k] * d.x[k - 1] - d.v[k + 1] * d.x[k + 1]
+    return _checksum(d.x[: 2 * d.n])
+
+
+def kernel2_vector(d: LFKData) -> float:
+    ii = d.n
+    ipntp = 0
+    while ii > 1:
+        ipnt = ipntp
+        ipntp += ii
+        ii //= 2
+        ks = np.arange(ipnt + 1, ipntp, 2)
+        iis = ipntp + 1 + np.arange(len(ks))
+        d.x[iis] = d.x[ks] - d.v[ks] * d.x[ks - 1] - d.v[ks + 1] * d.x[ks + 1]
+    return _checksum(d.x[: 2 * d.n])
+
+
+# --------------------------------------------------------------------- K3
+def kernel3_scalar(d: LFKData) -> float:
+    """Inner product: Q = sum Z(k)*X(k).  DOACROSS on the FX/80."""
+    q = 0.0
+    for k in range(d.n):
+        q += d.z[k] * d.x[k]
+    return q
+
+
+def kernel3_vector(d: LFKData) -> float:
+    return float(np.dot(d.z[: d.n], d.x[: d.n]))
+
+
+# --------------------------------------------------------------------- K4
+def kernel4_scalar(d: LFKData) -> float:
+    """Banded linear equations.  DOACROSS on the FX/80."""
+    m = (1001 - 7) // 2
+    for k in range(6, min(107, d.n), 50):
+        lw = k - 6
+        temp = d.x[k - 1]
+        for j in range(4, d.n, 5):
+            temp -= d.zx[lw] * d.y[j]
+            lw += 1
+        d.x[k - 1] = d.y[4] * temp
+    return _checksum(d.x[: d.n]) + m * 0.0
+
+
+def kernel4_vector(d: LFKData) -> float:
+    m = (1001 - 7) // 2
+    for k in range(6, min(107, d.n), 50):
+        js = np.arange(4, d.n, 5)
+        lws = (k - 6) + np.arange(len(js))
+        temp = d.x[k - 1] - float(np.dot(d.zx[lws], d.y[js]))
+        d.x[k - 1] = d.y[4] * temp
+    return _checksum(d.x[: d.n]) + m * 0.0
+
+
+# --------------------------------------------------------------------- K5
+def kernel5_scalar(d: LFKData) -> float:
+    """Tri-diagonal elimination, below diagonal (first-order recurrence)."""
+    for i in range(1, d.n):
+        d.x[i] = d.z[i] * (d.y[i] - d.x[i - 1])
+    return _checksum(d.x[: d.n])
+
+
+# --------------------------------------------------------------------- K6
+def kernel6_scalar(d: LFKData) -> float:
+    """General linear recurrence equations: W(i) += B(i,k)*W(i-k-1)."""
+    n = min(d.n, d.b.shape[0] - 1)
+    for i in range(1, n):
+        for k in range(i):
+            d.w[i] += d.b[i, k] * d.w[i - k - 1]
+    return _checksum(d.w[:n])
+
+
+def kernel6_vector(d: LFKData) -> float:
+    # Inner loop vectorized; the outer recurrence is inherently serial.
+    n = min(d.n, d.b.shape[0] - 1)
+    for i in range(1, n):
+        d.w[i] += float(np.dot(d.b[i, :i], d.w[:i][::-1]))
+    return _checksum(d.w[:n])
+
+
+# --------------------------------------------------------------------- K7
+def kernel7_scalar(d: LFKData) -> float:
+    """Equation-of-state fragment: one large vectorizable statement."""
+    r, t = d.r, d.t
+    for k in range(d.n):
+        d.x[k] = d.u[k] + r * (d.z[k] + r * d.y[k]) + t * (
+            d.u[k + 3] + r * (d.u[k + 2] + r * d.u[k + 1])
+            + t * (d.u[k + 6] + r * (d.u[k + 5] + r * d.u[k + 4]))
+        )
+    return _checksum(d.x[: d.n])
+
+
+def kernel7_vector(d: LFKData) -> float:
+    n, r, t = d.n, d.r, d.t
+    u = d.u
+    d.x[:n] = d.u[:n] + r * (d.z[:n] + r * d.y[:n]) + t * (
+        u[3 : n + 3] + r * (u[2 : n + 2] + r * u[1 : n + 1])
+        + t * (u[6 : n + 6] + r * (u[5 : n + 5] + r * u[4 : n + 4]))
+    )
+    return _checksum(d.x[:n])
+
+
+# --------------------------------------------------------------------- K8
+def kernel8_scalar(d: LFKData) -> float:
+    """ADI integration: alternating-direction implicit fragment."""
+    a11, a12, a13 = 1.0, 0.5, 0.33
+    a21, a22, a23 = 0.25, 0.2, 0.16
+    a31, a32, a33 = 0.14, 0.125, 0.11
+    sig, a = 2.0, 0.5
+    nl1, nl2 = 0, 1
+    n2 = min(d.n, d.u2.shape[1] - 2)
+    du1 = np.zeros(n2 + 2)
+    du2 = np.zeros(n2 + 2)
+    du3 = np.zeros(n2 + 2)
+    u1 = np.stack([d.u2, d.u2])  # (2, 7, cols): two time levels
+    u2 = np.stack([d.v2, d.v2])
+    u3 = np.stack([d.w2, d.w2])
+    for kx in range(1, 3):
+        for ky in range(1, n2):
+            du1[ky] = u1[nl1, kx, ky + 1] - u1[nl1, kx, ky - 1]
+            du2[ky] = u2[nl1, kx, ky + 1] - u2[nl1, kx, ky - 1]
+            du3[ky] = u3[nl1, kx, ky + 1] - u3[nl1, kx, ky - 1]
+            u1[nl2, kx, ky] = u1[nl1, kx, ky] + a11 * du1[ky] + a12 * du2[ky] + a13 * du3[ky] + sig * (
+                u1[nl1, kx + 1, ky] - 2.0 * u1[nl1, kx, ky] + u1[nl1, kx - 1, ky]
+            )
+            u2[nl2, kx, ky] = u2[nl1, kx, ky] + a21 * du1[ky] + a22 * du2[ky] + a23 * du3[ky] + sig * (
+                u2[nl1, kx + 1, ky] - 2.0 * u2[nl1, kx, ky] + u2[nl1, kx - 1, ky]
+            )
+            u3[nl2, kx, ky] = u3[nl1, kx, ky] + a31 * du1[ky] + a32 * du2[ky] + a33 * du3[ky] + sig * (
+                u3[nl1, kx + 1, ky] - 2.0 * u3[nl1, kx, ky] + u3[nl1, kx - 1, ky]
+            ) + a * 0.0
+    d.u2[:, :] = u1[nl2][: d.u2.shape[0], : d.u2.shape[1]]
+    d.v2[:, :] = u2[nl2][: d.v2.shape[0], : d.v2.shape[1]]
+    d.w2[:, :] = u3[nl2][: d.w2.shape[0], : d.w2.shape[1]]
+    return _checksum(d.u2, d.v2, d.w2)
+
+
+def kernel8_vector(d: LFKData) -> float:
+    a11, a12, a13 = 1.0, 0.5, 0.33
+    a21, a22, a23 = 0.25, 0.2, 0.16
+    a31, a32, a33 = 0.14, 0.125, 0.11
+    sig = 2.0
+    n2 = min(d.n, d.u2.shape[1] - 2)
+    u1 = np.array(d.u2)
+    u2 = np.array(d.v2)
+    u3 = np.array(d.w2)
+    new1, new2, new3 = np.array(u1), np.array(u2), np.array(u3)
+    for kx in range(1, 3):
+        ky = np.arange(1, n2)
+        du1 = u1[kx, ky + 1] - u1[kx, ky - 1]
+        du2 = u2[kx, ky + 1] - u2[kx, ky - 1]
+        du3 = u3[kx, ky + 1] - u3[kx, ky - 1]
+        new1[kx, ky] = u1[kx, ky] + a11 * du1 + a12 * du2 + a13 * du3 + sig * (
+            u1[kx + 1, ky] - 2.0 * u1[kx, ky] + u1[kx - 1, ky]
+        )
+        new2[kx, ky] = u2[kx, ky] + a21 * du1 + a22 * du2 + a23 * du3 + sig * (
+            u2[kx + 1, ky] - 2.0 * u2[kx, ky] + u2[kx - 1, ky]
+        )
+        new3[kx, ky] = u3[kx, ky] + a31 * du1 + a32 * du2 + a33 * du3 + sig * (
+            u3[kx + 1, ky] - 2.0 * u3[kx, ky] + u3[kx - 1, ky]
+        )
+    d.u2[:, :] = new1
+    d.v2[:, :] = new2
+    d.w2[:, :] = new3
+    return _checksum(d.u2, d.v2, d.w2)
+
+
+# --------------------------------------------------------------------- K9
+def kernel9_scalar(d: LFKData) -> float:
+    """Integrate predictors: one wide statement over PX rows."""
+    c0 = 4.5
+    dm = [0.23, 0.42, 0.17, 0.29, 0.31, 0.24, 0.18, 0.26, 0.21, 0.28]
+    n = min(d.n, d.px.shape[1])
+    for i in range(n):
+        d.px[0, i] = (
+            dm[9] * d.px[12 % 25, i]
+            + dm[8] * d.px[11 % 25, i]
+            + dm[7] * d.px[10 % 25, i]
+            + dm[6] * d.px[9, i]
+            + dm[5] * d.px[8, i]
+            + dm[4] * d.px[7, i]
+            + dm[3] * d.px[6, i]
+            + dm[2] * d.px[5, i]
+            + dm[1] * d.px[4, i]
+            + dm[0] * d.px[3, i]
+            + c0 * (d.px[1, i] + d.px[2, i])
+        )
+    return _checksum(d.px[0, :n])
+
+
+def kernel9_vector(d: LFKData) -> float:
+    c0 = 4.5
+    dm = np.array([0.23, 0.42, 0.17, 0.29, 0.31, 0.24, 0.18, 0.26, 0.21, 0.28])
+    n = min(d.n, d.px.shape[1])
+    d.px[0, :n] = dm @ d.px[3:13, :n] + c0 * (d.px[1, :n] + d.px[2, :n])
+    return _checksum(d.px[0, :n])
+
+
+# -------------------------------------------------------------------- K10
+def kernel10_scalar(d: LFKData) -> float:
+    """Difference predictors: cascading differences over PX rows."""
+    n = min(d.n, d.px.shape[1])
+    for i in range(n):
+        ar = d.cx[4, i]
+        br = ar - d.px[4, i]
+        d.px[4, i] = ar
+        cr = br - d.px[5, i]
+        d.px[5, i] = br
+        ar = cr - d.px[6, i]
+        d.px[6, i] = cr
+        br = ar - d.px[7, i]
+        d.px[7, i] = ar
+        cr = br - d.px[8, i]
+        d.px[8, i] = br
+        ar = cr - d.px[9, i]
+        d.px[9, i] = cr
+        br = ar - d.px[10, i]
+        d.px[10, i] = ar
+        cr = br - d.px[11, i]
+        d.px[11, i] = br
+        d.px[13, i] = cr - d.px[12, i]
+        d.px[12, i] = cr
+    return _checksum(d.px[4:14, :n])
+
+
+def kernel10_vector(d: LFKData) -> float:
+    n = min(d.n, d.px.shape[1])
+    ar = np.array(d.cx[4, :n])
+    for row in range(4, 12):
+        br = ar - d.px[row, :n]
+        d.px[row, :n] = ar
+        ar = br
+    d.px[13, :n] = ar - d.px[12, :n]
+    d.px[12, :n] = ar
+    return _checksum(d.px[4:14, :n])
+
+
+# -------------------------------------------------------------------- K11
+def kernel11_scalar(d: LFKData) -> float:
+    """First sum (prefix sum): X(k) = X(k-1) + Y(k)."""
+    d.x[0] = d.y[0]
+    for k in range(1, d.n):
+        d.x[k] = d.x[k - 1] + d.y[k]
+    return _checksum(d.x[: d.n])
+
+
+def kernel11_vector(d: LFKData) -> float:
+    d.x[: d.n] = np.cumsum(d.y[: d.n])
+    return _checksum(d.x[: d.n])
+
+
+# -------------------------------------------------------------------- K12
+def kernel12_scalar(d: LFKData) -> float:
+    """First difference: X(k) = Y(k+1) - Y(k)."""
+    for k in range(d.n):
+        d.x[k] = d.y[k + 1] - d.y[k]
+    return _checksum(d.x[: d.n])
+
+
+def kernel12_vector(d: LFKData) -> float:
+    d.x[: d.n] = d.y[1 : d.n + 1] - d.y[: d.n]
+    return _checksum(d.x[: d.n])
+
+
+# -------------------------------------------------------------------- K13
+def kernel13_scalar(d: LFKData) -> float:
+    """2-D particle-in-cell: gather/scatter with computed indices."""
+    n = min(d.n, d.p.shape[1])
+    rows, cols = d.zb.shape
+    for ip in range(n):
+        i1 = int(d.p[0, ip] * 8) % (rows - 1)
+        j1 = int(d.p[1, ip] * 8) % (cols - 1)
+        d.p[2, ip] += d.zb[i1, j1]
+        d.p[3, ip] += d.zb[i1 + 1, j1]
+        d.p[0, ip] += d.p[2, ip] * 0.01
+        d.p[1, ip] += d.p[3, ip] * 0.01
+        i2 = int(abs(d.p[0, ip]) * 8) % rows
+        j2 = int(abs(d.p[1, ip]) * 8) % cols
+        d.p[0, ip] += float(i2 % 2)
+        d.p[1, ip] += float(j2 % 2)
+        d.zb[i2, j2] += 1.0
+    return _checksum(d.p[:, :n], d.zb)
+
+
+# -------------------------------------------------------------------- K14
+def kernel14_scalar(d: LFKData) -> float:
+    """1-D particle-in-cell: charge deposition with indirection."""
+    n = d.n
+    grid = np.zeros(n + 2)
+    flx = 0.0
+    for k in range(n):
+        ix = int(d.y[k] * (n - 1)) % n
+        vlr = d.y[k] * (n - 1) - ix
+        d.x[k] = vlr + float(ix % 7)
+        grid[ix] += 1.0 - vlr
+        grid[ix + 1] += vlr
+        flx += grid[ix] * d.z[k]
+    d.w[: n + 2] = grid
+    return flx + _checksum(d.x[:n])
+
+
+# -------------------------------------------------------------------- K15
+def kernel15_scalar(d: LFKData) -> float:
+    """Casual Fortran: 2-D sweep with data-dependent branches."""
+    ng, nz = d.za.shape[0] - 1, min(d.n, d.za.shape[1] - 1)
+    for j in range(1, ng):
+        for k in range(1, nz):
+            if d.zp[j, k] + d.zq[j, k] < 0.5:
+                d.za[j, k] = d.zr[j, k] * d.zb[j, k]
+            else:
+                d.za[j, k] = d.zr[j, k] + d.zm[j, k] * (
+                    d.za[j, k - 1] + d.zb[j, k]
+                ) * 0.1
+    return _checksum(d.za)
+
+
+# -------------------------------------------------------------------- K16
+def kernel16_scalar(d: LFKData) -> float:
+    """Monte Carlo search loop: branchy scan with early exits."""
+    n = min(d.n, 75)
+    m = 0
+    count = 0
+    for _trial in range(n):
+        j = m % d.n
+        k = 0
+        while k < 40:
+            if d.z[(j + k) % d.n] < 0.3:
+                count += 1
+                break
+            if d.z[(j + k) % d.n] > 0.9:
+                count += 2
+                k += 2
+                continue
+            k += 1
+        m += 7
+    return float(count)
+
+
+# -------------------------------------------------------------------- K17
+def kernel17_scalar(d: LFKData) -> float:
+    """Implicit, conditional computation (backward scan).
+
+    The kernel sweeps k = n..1 updating a running pair (xnm, vxne) with a
+    conditional rescaling — on the FX/80 it ran as a DOACROSS whose large
+    conditional body formed the critical section.
+    """
+    scale = 5.0 / 3.0
+    xnm = 1.0 / 3.0
+    e6 = 1.03 / 3.07
+    vsp, vstp = 0.39, 0.53
+    n = d.n
+    for k in range(n - 1, -1, -1):
+        vxne = d.u[k] * 0.5 + xnm
+        ve3 = d.v[k]
+        e3 = ve3 * scale + e6
+        xnei = d.x[k]
+        vxnd = d.w[k]
+        xnc = scale * e3
+        if xnm > xnc or xnei > xnc:
+            e6 = xnm * vsp + xnei * vstp
+            vxne = e6 * 0.5
+        else:
+            e6 = vxnd * 0.5 + ve3 * 0.25
+        xnm = min(vxne * 0.9 + 0.05, 10.0)
+        d.y[k] = e6 + vxne * 0.001
+    return _checksum(d.y[:n]) + xnm
+
+
+# -------------------------------------------------------------------- K18
+def kernel18_scalar(d: LFKData) -> float:
+    """2-D explicit hydrodynamics fragment: three stencil sweeps."""
+    t, s = 0.0037, 0.0041
+    kn = d.za.shape[0] - 1
+    jn = min(d.n, d.za.shape[1] - 1)
+    for k in range(1, kn):
+        for j in range(1, jn):
+            d.za[k, j] = (d.zp[k + 0, j - 1] + d.zq[k + 0, j - 1] - d.zp[k - 1, j - 1] - d.zq[k - 1, j - 1]) * (
+                d.zr[k, j] + d.zr[k - 1, j]
+            ) / (d.zm[k - 1, j] + d.zm[k - 1, j - 1] + 1.0)
+            d.zb[k, j] = (d.zp[k - 1, j + 0] + d.zq[k - 1, j + 0] - d.zp[k - 1, j - 1] - d.zq[k - 1, j - 1]) * (
+                d.zr[k - 1, j] + d.zr[k - 1, j - 1]
+            ) / (d.zm[k - 1, j] + d.zm[k - 1, j - 1] + 1.0)
+    for k in range(1, kn):
+        for j in range(1, jn):
+            d.u2[k, j] += s * (
+                d.za[k, j] * (d.zz[k, j] - d.zz[k, j + 1 if j + 1 < d.zz.shape[1] else j])
+                - d.za[k, j - 1] * (d.zz[k, j] - d.zz[k, j - 1])
+                - d.zb[k, j] * (d.zz[k, j] - d.zz[k - 1, j])
+            )
+    for k in range(1, kn):
+        for j in range(1, jn):
+            d.zr[k, j] += t * d.u2[k, j]
+            d.zz[k, j] += t * d.u2[k, j]
+    return _checksum(d.za, d.zb, d.zr, d.zz)
+
+
+# -------------------------------------------------------------------- K19
+def kernel19_scalar(d: LFKData) -> float:
+    """General linear recurrence equations (forward + backward sweeps)."""
+    n = d.n
+    stb5 = 0.0157
+    sa, sb = d.u, d.v
+    for k in range(n):
+        d.x[k] = sa[k] + stb5 * sb[k]
+        stb5 = d.x[k] - stb5
+    for k in range(n - 1, -1, -1):
+        d.x[k] = sa[k] + stb5 * sb[k]
+        stb5 = d.x[k] - stb5
+    return _checksum(d.x[:n]) + stb5
+
+
+# -------------------------------------------------------------------- K20
+def kernel20_scalar(d: LFKData) -> float:
+    """Discrete ordinates transport: division-heavy recurrence."""
+    n = d.n
+    dk = 0.2
+    xx = 0.01
+    for k in range(n):
+        di = d.y[k] - d.z[k] / (xx + dk)
+        dn = 0.2
+        if di != 0.0:
+            dn = max(min(d.z[k] / di, 0.2), 0.01)
+        d.x[k] = ((d.w[k] + d.v[k] * dn) * xx + d.u[k]) / (xx + d.v[k] * dn + 1e-12)
+        xx = (d.x[k] - d.v[k] * xx) * dn + xx * 0.5
+        xx = min(max(xx, 1e-6), 1e6)
+    d.w[0] = xx
+    return _checksum(d.x[:n]) + xx
+
+
+# -------------------------------------------------------------------- K21
+def kernel21_scalar(d: LFKData) -> float:
+    """Matrix * matrix product: PX(i,j) += VY(i,k)*CX(k,j)."""
+    n = min(d.n, d.px.shape[1])
+    for j in range(n):
+        for k in range(25):
+            for i in range(25):
+                d.px[i, j] += d.vy[i, k] * d.cx[k, j]
+    return _checksum(d.px[:, :n])
+
+
+def kernel21_vector(d: LFKData) -> float:
+    n = min(d.n, d.px.shape[1])
+    d.px[:, :n] += d.vy @ d.cx[:, :n]
+    return _checksum(d.px[:, :n])
+
+
+# -------------------------------------------------------------------- K22
+def kernel22_scalar(d: LFKData) -> float:
+    """Planckian distribution: EXP with a guard against overflow."""
+    expmax = 20.0
+    n = d.n
+    for k in range(n):
+        d.y[k] = min(d.u[k] / max(d.v[k], 1e-12), expmax)
+        d.w[k] = d.x[k] / (np.exp(d.y[k]) - 1.0 + 1e-12)
+    return _checksum(d.w[:n])
+
+
+def kernel22_vector(d: LFKData) -> float:
+    expmax = 20.0
+    n = d.n
+    d.y[:n] = np.minimum(d.u[:n] / np.maximum(d.v[:n], 1e-12), expmax)
+    d.w[:n] = d.x[:n] / (np.exp(d.y[:n]) - 1.0 + 1e-12)
+    return _checksum(d.w[:n])
+
+
+# -------------------------------------------------------------------- K23
+def kernel23_scalar(d: LFKData) -> float:
+    """2-D implicit hydrodynamics fragment: Gauss-Seidel-like update.
+
+    The U/V coefficient planes of the original are carried in ``zp``/``zq``.
+    """
+    jn = d.za.shape[0] - 1
+    kn = min(d.n, d.za.shape[1] - 1)
+    for j in range(1, jn):
+        for k in range(1, kn):
+            qa = (
+                d.za[j, k + 1] * d.zr[j, k]
+                + d.za[j, k - 1] * d.zb[j, k]
+                + d.za[j + 1, k] * d.zp[j, k]
+                + d.za[j - 1, k] * d.zq[j, k]
+                + d.zz[j, k]
+            )
+            d.za[j, k] += 0.175 * (qa - d.za[j, k])
+    return _checksum(d.za)
+
+
+# -------------------------------------------------------------------- K24
+def kernel24_scalar(d: LFKData) -> float:
+    """Location of first minimum of X."""
+    m = 0
+    for k in range(1, d.n):
+        if d.x[k] < d.x[m]:
+            m = k
+    return float(m)
+
+
+def kernel24_vector(d: LFKData) -> float:
+    return float(np.argmin(d.x[: d.n]))
+
+
+# ------------------------------------------------------------------ registry
+@dataclass(frozen=True)
+class KernelEntry:
+    number: int
+    name: str
+    scalar: KernelFn
+    vector: Optional[KernelFn] = None
+
+    @property
+    def vectorizable(self) -> bool:
+        return self.vector is not None
+
+
+KERNELS: dict[int, KernelEntry] = {
+    1: KernelEntry(1, "hydro fragment", kernel1_scalar, kernel1_vector),
+    2: KernelEntry(2, "ICCG excerpt", kernel2_scalar, kernel2_vector),
+    3: KernelEntry(3, "inner product", kernel3_scalar, kernel3_vector),
+    4: KernelEntry(4, "banded linear equations", kernel4_scalar, kernel4_vector),
+    5: KernelEntry(5, "tri-diagonal elimination", kernel5_scalar),
+    6: KernelEntry(6, "general linear recurrence", kernel6_scalar, kernel6_vector),
+    7: KernelEntry(7, "equation of state", kernel7_scalar, kernel7_vector),
+    8: KernelEntry(8, "ADI integration", kernel8_scalar, kernel8_vector),
+    9: KernelEntry(9, "integrate predictors", kernel9_scalar, kernel9_vector),
+    10: KernelEntry(10, "difference predictors", kernel10_scalar, kernel10_vector),
+    11: KernelEntry(11, "first sum", kernel11_scalar, kernel11_vector),
+    12: KernelEntry(12, "first difference", kernel12_scalar, kernel12_vector),
+    13: KernelEntry(13, "2-D particle in cell", kernel13_scalar),
+    14: KernelEntry(14, "1-D particle in cell", kernel14_scalar),
+    15: KernelEntry(15, "casual Fortran", kernel15_scalar),
+    16: KernelEntry(16, "Monte Carlo search", kernel16_scalar),
+    17: KernelEntry(17, "implicit conditional", kernel17_scalar),
+    18: KernelEntry(18, "2-D explicit hydro", kernel18_scalar),
+    19: KernelEntry(19, "general linear recurrence II", kernel19_scalar),
+    20: KernelEntry(20, "discrete ordinates transport", kernel20_scalar),
+    21: KernelEntry(21, "matrix product", kernel21_scalar, kernel21_vector),
+    22: KernelEntry(22, "Planckian distribution", kernel22_scalar, kernel22_vector),
+    23: KernelEntry(23, "2-D implicit hydro", kernel23_scalar),
+    24: KernelEntry(24, "first minimum", kernel24_scalar, kernel24_vector),
+}
+
+
+def kernel(number: int) -> KernelEntry:
+    """Look up a kernel by its LFK number (1-24)."""
+    try:
+        return KERNELS[number]
+    except KeyError:
+        raise KeyError(f"no Livermore kernel {number}; valid range is 1-24") from None
+
+
+def run_kernel(number: int, mode: str = "scalar", n: Optional[int] = None,
+               data: Optional[LFKData] = None) -> float:
+    """Run a kernel and return its checksum.
+
+    ``mode`` is ``"scalar"`` or ``"vector"``; ``n`` defaults to the
+    kernel's standard loop length.  A fresh standard working set is built
+    unless ``data`` is supplied (which is then mutated).
+    """
+    entry = kernel(number)
+    if data is None:
+        data = standard_data(n if n is not None else STANDARD_TRIPS[number])
+    if mode == "scalar":
+        return entry.scalar(data)
+    if mode == "vector":
+        if entry.vector is None:
+            raise ValueError(f"kernel {number} ({entry.name}) is not vectorizable")
+        return entry.vector(data)
+    raise ValueError(f"unknown mode {mode!r}; use 'scalar' or 'vector'")
+
+
+def kernel_checksum(number: int, n: Optional[int] = None) -> float:
+    """Scalar-mode checksum on the standard working set (regression aid)."""
+    return run_kernel(number, "scalar", n=n)

@@ -1,0 +1,411 @@
+"""Statement-level IR models of the Livermore loops.
+
+Each kernel has a per-iteration statement list (``StmtSpec``) recording its
+source statements' arithmetic and memory-reference counts; a
+:class:`LoopCostModel` maps those to cycle costs.  The three DOACROSS
+kernels additionally carry the synchronization structure of Figure 3:
+
+* **Loop 3** (inner product) — the reduction update ``Q = Q + Z(K)*X(K)``
+  compiles to an independent multiply piece plus a tiny critical-section
+  accumulate bracketed by ``await``/``advance``.  The accumulate is a
+  *compound member*: its source statement's probe falls outside the
+  serialized region.
+* **Loop 4** (banded linear equations) — same shape with more independent
+  work per iteration (the banded dot-product) feeding a small shared
+  update.
+* **Loop 17** (implicit, conditional computation) — a *large* critical
+  section spanning several whole source statements (the conditional
+  recurrence on ``xnm``/``e6``), each of which is probed inside the
+  serialized region when instrumented.
+
+Cycle costs are calibrated so the *uninstrumented* executions sit in the
+regimes the paper describes (loops 3/4 mostly blocked at the critical
+section; loop 17 mostly parallel) — see DESIGN.md §2 for the calibration
+rationale.  The perturbation results are then emergent, not baked in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.builder import BodyBuilder, ProgramBuilder, loop_body
+from repro.ir.program import Program, Schedule
+from repro.livermore.classify import KernelClass, classify
+from repro.livermore.data import STANDARD_TRIPS
+
+
+@dataclass(frozen=True)
+class StmtSpec:
+    """One source statement of a kernel's loop body.
+
+    ``flops``/``memrefs`` parameterize the cost model; ``critical`` marks
+    statements inside the DOACROSS critical section; ``compound`` marks
+    compiler-generated pieces of the previous source statement (never
+    probed themselves).
+    """
+
+    label: str
+    flops: int = 0
+    memrefs: int = 0
+    critical: bool = False
+    compound: bool = False
+    cost_override: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class LoopCostModel:
+    """Maps statement specs to contention-free cycle costs.
+
+    Defaults approximate FX/80 CE scalar timing: ~2 cycles per floating
+    operation, ~2 per memory reference, small fixed decode/issue cost.
+    """
+
+    base: int = 2
+    cycles_per_flop: int = 2
+    cycles_per_ref: int = 2
+    control_cost: int = 6  # loop-control statement per iteration
+
+    def cost(self, spec: StmtSpec) -> int:
+        if spec.cost_override is not None:
+            return spec.cost_override
+        return self.base + self.cycles_per_flop * spec.flops + self.cycles_per_ref * spec.memrefs
+
+
+DEFAULT_COST_MODEL = LoopCostModel()
+
+
+#: Per-iteration source statements for every kernel's (inner) loop body.
+STATEMENT_SPECS: dict[int, list[StmtSpec]] = {
+    1: [StmtSpec("X(k)=Q+Y(k)*(R*ZX(k+10)+T*ZX(k+11))", flops=5, memrefs=4)],
+    2: [
+        StmtSpec("i=i+1", flops=1, memrefs=0),
+        StmtSpec("X(i)=X(k)-V(k)*X(k-1)-V(k+1)*X(k+1)", flops=4, memrefs=6),
+    ],
+    3: [StmtSpec("Q=Q+Z(k)*X(k)", flops=2, memrefs=2)],
+    4: [
+        StmtSpec("temp=temp-XZ(lw)*Y(j)", flops=2, memrefs=2),
+        StmtSpec("lw=lw+1", flops=1, memrefs=0),
+    ],
+    5: [StmtSpec("X(i)=Z(i)*(Y(i)-X(i-1))", flops=2, memrefs=4)],
+    6: [StmtSpec("W(i)=W(i)+B(i,k)*W(i-k)", flops=2, memrefs=3)],
+    7: [StmtSpec("X(k)=U(k)+R*(Z(k)+R*Y(k))+T*(...)", flops=16, memrefs=7)],
+    8: [
+        StmtSpec("DU1(ky)=U1(kx,ky+1)-U1(kx,ky-1)", flops=1, memrefs=3),
+        StmtSpec("DU2(ky)=U2(kx,ky+1)-U2(kx,ky-1)", flops=1, memrefs=3),
+        StmtSpec("DU3(ky)=U3(kx,ky+1)-U3(kx,ky-1)", flops=1, memrefs=3),
+        StmtSpec("U1(nl2,...)=U1+A11*DU1+...+SIG*(...)", flops=10, memrefs=6),
+        StmtSpec("U2(nl2,...)=U2+A21*DU1+...+SIG*(...)", flops=10, memrefs=6),
+        StmtSpec("U3(nl2,...)=U3+A31*DU1+...+SIG*(...)", flops=10, memrefs=6),
+    ],
+    9: [StmtSpec("PX(1,i)=DM28*PX(13,i)+...+C0*(PX(2,i)+PX(3,i))", flops=20, memrefs=12)],
+    10: [
+        StmtSpec(f"d{j}: cascade difference", flops=1, memrefs=3) for j in range(10)
+    ],
+    11: [StmtSpec("X(k)=X(k-1)+Y(k)", flops=1, memrefs=3)],
+    12: [StmtSpec("X(k)=Y(k+1)-Y(k)", flops=1, memrefs=2)],
+    13: [
+        StmtSpec("i1/j1 index computation", flops=2, memrefs=2),
+        StmtSpec("P(3,ip)=P(3,ip)+B(i1,j1)", flops=1, memrefs=3),
+        StmtSpec("P(4,ip)=P(4,ip)+C(i1,j1)", flops=1, memrefs=3),
+        StmtSpec("P(1,ip)/P(2,ip) push", flops=2, memrefs=4),
+        StmtSpec("i2/j2 index computation", flops=2, memrefs=2),
+        StmtSpec("Y(i2,j2)=Y(i2,j2)+1 scatter", flops=1, memrefs=2),
+    ],
+    14: [
+        StmtSpec("IX=GRD(k) index", flops=1, memrefs=2),
+        StmtSpec("XI=VX(k)+EX(IX) gather", flops=1, memrefs=3),
+        StmtSpec("VX(k)=XI+...", flops=2, memrefs=2),
+        StmtSpec("RH(IR)=RH(IR)+... scatter", flops=2, memrefs=3),
+        StmtSpec("RH(IR+1)=RH(IR+1)+... scatter", flops=2, memrefs=3),
+    ],
+    15: [
+        StmtSpec("branch test on ZP+ZQ", flops=1, memrefs=2),
+        StmtSpec("ZA(j,k)= conditional update", flops=3, memrefs=4),
+    ],
+    16: [
+        StmtSpec("probe table / compare", flops=1, memrefs=2, cost_override=10),
+        StmtSpec("branch bookkeeping", flops=1, memrefs=1, cost_override=10),
+    ],
+    17: [
+        # outside the critical section: independent loads and scalings
+        StmtSpec("VE3=V(k)", flops=0, memrefs=2, cost_override=60),
+        StmtSpec("E3=VE3*SCALE+E6(old)", flops=2, memrefs=2, cost_override=64),
+        StmtSpec("XNEI=X(k)", flops=0, memrefs=2, cost_override=56),
+        StmtSpec("VXND=W(k)", flops=0, memrefs=2, cost_override=56),
+        StmtSpec("XNC=SCALE*E3", flops=1, memrefs=1, cost_override=60),
+        StmtSpec("address/loop bookkeeping", flops=2, memrefs=1, cost_override=64),
+        # the critical section: the conditional recurrence on xnm/e6
+        StmtSpec("VXNE=U(k)*0.5+XNM", flops=2, memrefs=2, critical=True, cost_override=8),
+        StmtSpec("IF(XNM>XNC .OR. XNEI>XNC) branch", flops=1, memrefs=0, critical=True, cost_override=8),
+        StmtSpec("E6= conditional update", flops=3, memrefs=2, critical=True, cost_override=8),
+        StmtSpec("XNM= recurrence update", flops=2, memrefs=1, critical=True, cost_override=8),
+        StmtSpec("Y(k)=E6+VXNE*0.001 store", flops=2, memrefs=1, critical=True, cost_override=8),
+    ],
+    18: [
+        StmtSpec("ZA(k,j)= stencil over ZP/ZQ/ZR/ZM", flops=9, memrefs=8),
+        StmtSpec("ZB(k,j)= stencil over ZP/ZQ/ZR/ZM", flops=9, memrefs=8),
+        StmtSpec("ZU(k,j)=ZU+S*(...)", flops=8, memrefs=7),
+        StmtSpec("ZV(k,j)=ZV+S*(...)", flops=8, memrefs=7),
+        StmtSpec("ZR(k,j)=ZR+T*ZU", flops=2, memrefs=3),
+        StmtSpec("ZZ(k,j)=ZZ+T*ZV", flops=2, memrefs=3),
+    ],
+    19: [
+        StmtSpec("B5(k)=SA(k)+STB5*SB(k)", flops=2, memrefs=3, cost_override=10),
+        StmtSpec("STB5=B5(k)-STB5", flops=1, memrefs=1, cost_override=6),
+    ],
+    20: [
+        StmtSpec("DI=Y(k)-G(k)/(XX+DK)", flops=3, memrefs=3, cost_override=22),
+        StmtSpec("DN= bounded quotient", flops=3, memrefs=1, cost_override=22),
+        StmtSpec("X(k)= rational update", flops=6, memrefs=5, cost_override=26),
+        StmtSpec("XX= recurrence update", flops=4, memrefs=1, cost_override=18),
+        StmtSpec("bounds clamping", flops=2, memrefs=0, cost_override=18),
+        StmtSpec("store/bookkeeping", flops=1, memrefs=2, cost_override=14),
+    ],
+    21: [StmtSpec("PX(i,j)=PX(i,j)+VY(i,k)*CX(k,j)", flops=2, memrefs=3)],
+    22: [
+        StmtSpec("Y(k)=U(k)/V(k) with EXPMAX clamp", flops=4, memrefs=3, cost_override=14),
+        StmtSpec("W(k)=X(k)/(EXP(Y(k))-1.)", flops=12, memrefs=3, cost_override=30),
+    ],
+    23: [StmtSpec("QA= 5-point gather; ZA(j,k)+=0.175*(QA-ZA)", flops=8, memrefs=7)],
+    24: [StmtSpec("IF(X(k).LT.X(m)) m=k", flops=0, memrefs=2, cost_override=6)],
+}
+
+
+def statement_specs(number: int) -> list[StmtSpec]:
+    """The per-iteration source statements of a kernel's loop body."""
+    try:
+        return list(STATEMENT_SPECS[number])
+    except KeyError:
+        raise KeyError(f"no Livermore kernel {number}") from None
+
+
+def _setup_cost(number: int) -> int:
+    """Pre-loop scalar setup cost (initializations, address setup)."""
+    return 40 + 2 * number  # small, kernel-flavoured, irrelevant to ratios
+
+
+def sequential_program(
+    number: int,
+    trips: Optional[int] = None,
+    cost_model: LoopCostModel = DEFAULT_COST_MODEL,
+) -> Program:
+    """Sequential-execution IR model of a kernel (Figure 1 experiments)."""
+    specs = statement_specs(number)
+    trips = trips if trips is not None else STANDARD_TRIPS[number]
+    body = loop_body().compute("loop control", cost=cost_model.control_cost)
+    for spec in specs:
+        body.compute(
+            spec.label,
+            cost=cost_model.cost(spec),
+            memory_refs=spec.memrefs,
+            compound=spec.compound,
+        )
+    return (
+        ProgramBuilder(f"lfk{number}-seq")
+        .compute("setup", cost=_setup_cost(number), memory_refs=2)
+        .sequential_loop(f"L{number}", trips, body)
+        .compute("wrapup", cost=20, memory_refs=1)
+        .build()
+    )
+
+
+#: FX/80-style vector instruction timing: fixed startup plus one chime
+#: per element block.  One *event* per vector statement regardless of n —
+#: which is why vector-mode instrumentation barely perturbs (§3).
+VECTOR_STARTUP = 12
+VECTOR_CYCLES_PER_ELEMENT = 1
+
+
+def vector_program(
+    number: int,
+    trips: Optional[int] = None,
+    cost_model: LoopCostModel = DEFAULT_COST_MODEL,
+) -> Program:
+    """Vector-execution IR model of a vectorizable kernel.
+
+    Vector mode replaces the loop with a straight-line sequence of vector
+    statements, each processing all ``trips`` elements in one instruction
+    (startup + per-element throughput).  A full instrumentation therefore
+    records one event per vector *statement*, not per element — the event
+    count collapses by a factor of ``trips`` and so does the
+    perturbation.
+    """
+    from repro.livermore.classify import KernelClass, classify
+
+    cls = classify(number)
+    if cls not in (KernelClass.VECTOR, KernelClass.DOALL):
+        raise ValueError(
+            f"kernel {number} is classified {cls.value}; it did not "
+            "vectorize on the FX/80"
+        )
+    specs = statement_specs(number)
+    n = trips if trips is not None else STANDARD_TRIPS[number]
+    builder = ProgramBuilder(f"lfk{number}-vector").compute(
+        "setup", cost=_setup_cost(number), memory_refs=2
+    )
+    for i, spec in enumerate(specs):
+        # Cost scales with the element count; chained operations in one
+        # source statement each contribute roughly one chime.
+        chimes = max(1, (spec.flops + spec.memrefs) // 3)
+        cost = VECTOR_STARTUP + chimes * VECTOR_CYCLES_PER_ELEMENT * n
+        builder.compute(
+            f"V{i}: {spec.label}", cost=cost, memory_refs=spec.memrefs
+        )
+    return builder.compute("wrapup", cost=20, memory_refs=1).build()
+
+
+def doall_program(
+    number: int,
+    trips: Optional[int] = None,
+    cost_model: LoopCostModel = DEFAULT_COST_MODEL,
+    schedule: Schedule = Schedule.SELF,
+) -> Program:
+    """Concurrent (DOALL) IR model of a dependence-free kernel.
+
+    Simple fork-join parallelism with no inter-thread dependences — the
+    concurrent case §3 notes time-based analysis still handles well.
+    """
+    from repro.livermore.classify import KernelClass, classify
+
+    cls = classify(number)
+    if cls not in (KernelClass.DOALL, KernelClass.VECTOR):
+        raise ValueError(
+            f"kernel {number} is classified {cls.value}; it has loop-carried "
+            "dependences and cannot run as DOALL"
+        )
+    specs = statement_specs(number)
+    n = trips if trips is not None else STANDARD_TRIPS[number]
+    body = loop_body().compute("loop control", cost=cost_model.control_cost)
+    for spec in specs:
+        body.compute(
+            spec.label, cost=cost_model.cost(spec), memory_refs=spec.memrefs
+        )
+    return (
+        ProgramBuilder(f"lfk{number}-doall")
+        .compute("setup", cost=_setup_cost(number), memory_refs=2)
+        .doall(f"L{number}", n, body, schedule=schedule)
+        .compute("wrapup", cost=20, memory_refs=1)
+        .build()
+    )
+
+
+def _doacross_body_3(cost_model: LoopCostModel) -> BodyBuilder:
+    """Loop 3: Q = Q + Z(K)*X(K); tiny serialized accumulate."""
+    return (
+        loop_body()
+        .compute("loop control", cost=cost_model.control_cost)
+        # carrier piece of the compound source statement (probed)
+        .compute("T=Z(k)*X(k)", cost=14, memory_refs=2)
+        .await_("L3Q", distance=1)
+        # the accumulate piece: same source statement -> never probed itself
+        .compute("Q=Q+T", cost=4, memory_refs=1, compound=True)
+        .advance("L3Q")
+    )
+
+
+def _doacross_body_4(cost_model: LoopCostModel) -> BodyBuilder:
+    """Loop 4: banded elimination; moderate independent work, small update."""
+    return (
+        loop_body()
+        .compute("loop control", cost=cost_model.control_cost)
+        .compute("band dot-product partial", cost=30, memory_refs=4)
+        .compute("TEMP accumulate", cost=24, memory_refs=3)
+        .await_("L4X", distance=1)
+        .compute("X(k-1)=Y(5)*TEMP", cost=6, memory_refs=2, compound=True)
+        .advance("L4X")
+    )
+
+
+def _l17_branch_taken(i: int) -> bool:
+    """Deterministic per-iteration outcome of loop 17's conditional.
+
+    The kernel's IF(XNM>XNC .OR. XNEI>XNC) depends on the data; a cheap
+    integer mix stands in for the data-dependent branch pattern."""
+    z = (i * 0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D) & ((1 << 64) - 1)
+    z ^= z >> 29
+    return (z & 0b111) < 3  # taken ~3/8 of the time
+
+
+def _doacross_body_17(cost_model: LoopCostModel) -> BodyBuilder:
+    """Loop 17: large critical section of whole source statements.
+
+    The critical section is a *conditional* computation: its cost varies
+    per iteration with the data-dependent branch, which is what makes the
+    per-CE waiting distribution irregular (Table 3) rather than a smooth
+    pipeline-fill gradient.
+    """
+    body = loop_body()
+    body.compute("loop control", cost=cost_model.control_cost)
+    specs = statement_specs(17)
+    for spec in specs:
+        if spec.critical:
+            continue
+        body.compute(spec.label, cost=cost_model.cost(spec), memory_refs=spec.memrefs)
+    body.await_("L17R", distance=1)
+    for spec in specs:
+        if not spec.critical:
+            continue
+        base = cost_model.cost(spec)
+        if "E6=" in spec.label:
+            # The branch arms differ: the rescale path does more work.
+            body.compute(
+                spec.label,
+                cost=(lambda b: (lambda i: b + (6 if _l17_branch_taken(i) else 0)))(base),
+                memory_refs=spec.memrefs,
+            )
+        else:
+            body.compute(spec.label, cost=base, memory_refs=spec.memrefs)
+    body.advance("L17R")
+    return body
+
+
+def doacross_program(
+    number: int,
+    trips: Optional[int] = None,
+    cost_model: LoopCostModel = DEFAULT_COST_MODEL,
+    schedule: Schedule = Schedule.SELF,
+) -> Program:
+    """DOACROSS IR model of loops 3, 4 or 17 (Figure 3 structures)."""
+    builders = {3: _doacross_body_3, 4: _doacross_body_4, 17: _doacross_body_17}
+    if number not in builders:
+        raise ValueError(
+            f"kernel {number} did not execute as DOACROSS on the FX/80; "
+            f"valid: {sorted(builders)}"
+        )
+    trips = trips if trips is not None else STANDARD_TRIPS[number]
+    body = builders[number](cost_model)
+    return (
+        ProgramBuilder(f"lfk{number}-doacross")
+        .compute("setup", cost=_setup_cost(number), memory_refs=2)
+        .doacross(f"L{number}", trips, body, schedule=schedule)
+        .compute("wrapup", cost=20, memory_refs=1)
+        .build()
+    )
+
+
+def livermore_program(
+    number: int,
+    mode: str = "auto",
+    trips: Optional[int] = None,
+    cost_model: LoopCostModel = DEFAULT_COST_MODEL,
+) -> Program:
+    """IR model of a kernel in the requested execution mode.
+
+    ``mode``: ``"auto"`` (DOACROSS for loops 3/4/17, sequential otherwise),
+    ``"sequential"``, ``"vector"``, ``"doall"``, or ``"doacross"``.
+    """
+    if mode == "auto":
+        mode = "doacross" if classify(number) is KernelClass.DOACROSS else "sequential"
+    if mode == "sequential":
+        return sequential_program(number, trips, cost_model)
+    if mode == "vector":
+        return vector_program(number, trips, cost_model)
+    if mode == "doall":
+        return doall_program(number, trips, cost_model)
+    if mode == "doacross":
+        return doacross_program(number, trips, cost_model)
+    raise ValueError(
+        f"unknown mode {mode!r}; use 'auto', 'sequential', 'vector', "
+        "'doall' or 'doacross'"
+    )

@@ -1,0 +1,24 @@
+"""Alliant FX/80 machine model.
+
+The FX/80 (Perron & Mundie 1986) is an 8-way shared-memory multiprocessor
+whose *computational elements* (CEs) cooperate on parallel loops through a
+dedicated *concurrency control bus* providing hardware iteration
+self-scheduling, advance/await synchronization registers, and a hardware
+barrier at concurrent-loop exit.  This package models those components with
+cycle-level cost tables on top of :mod:`repro.sim`.
+"""
+
+from repro.machine.costs import CostTables, MachineConfig
+from repro.machine.bus import ConcurrencyBus, SyncRegister, IterationDispatcher, LockUnit
+from repro.machine.machine import Machine, ComputationalElement
+
+__all__ = [
+    "CostTables",
+    "MachineConfig",
+    "ConcurrencyBus",
+    "SyncRegister",
+    "IterationDispatcher",
+    "LockUnit",
+    "Machine",
+    "ComputationalElement",
+]

@@ -1,0 +1,309 @@
+"""Concurrency control bus: advance/await registers, dispatch, barriers.
+
+On the FX/80 the concurrency bus implements DOACROSS support in hardware:
+each CE requests the next iteration index (self-scheduling), and
+``advance``/``await`` instructions operate on synchronization registers so
+loop-carried dependences cost a handful of cycles instead of a
+memory-polling spin loop.  This module models those registers with the
+simulation kernel's signals.
+
+All generator methods are *process fragments*: they must be driven with
+``yield from`` inside an engine process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.machine.costs import CostTables
+from repro.sim.engine import Engine, Signal, SimulationError, Timeout
+from repro.sim.primitives import Barrier, Mutex
+
+
+class SyncRegister:
+    """One advance/await synchronization variable.
+
+    Stores the history of advanced indices (the paper's "A stores the
+    history of advance operations").  Waiting is per-index: each index has
+    a one-shot signal triggered by its advance.
+    """
+
+    def __init__(self, engine: Engine, name: str):
+        self.engine = engine
+        self.name = name
+        self._advanced: set[int] = set()
+        self._signals: dict[int, Signal] = {}
+        # ground-truth accounting (not visible to the analysis)
+        self.wait_count = 0
+        self.nowait_count = 0
+        self.total_wait_cycles = 0
+
+    def is_advanced(self, index: int) -> bool:
+        """Negative indices are advanced by convention (DOACROSS prologue)."""
+        return index < 0 or index in self._advanced
+
+    def _signal_for(self, index: int) -> Signal:
+        sig = self._signals.get(index)
+        if sig is None:
+            sig = Signal(f"{self.name}[{index}]")
+            self._signals[index] = sig
+        return sig
+
+    def advance(self, index: int, costs: CostTables) -> Generator[Any, Any, None]:
+        """``advance(A, index)``: costs ``advance_op`` cycles, then marks."""
+        if index < 0:
+            raise SimulationError(f"cannot advance negative index {index} on {self.name}")
+        if index in self._advanced:
+            raise SimulationError(f"index {index} advanced twice on {self.name}")
+        yield Timeout(costs.advance_op)
+        self._advanced.add(index)
+        sig = self._signals.get(index)
+        if sig is not None and not sig.triggered:
+            sig.trigger(self.engine, index)
+        elif sig is None:
+            # Pre-create a triggered signal so later awaits resume fast.
+            s = self._signal_for(index)
+            s.trigger(self.engine, index)
+
+    def await_(self, index: int, costs: CostTables) -> Generator[Any, Any, bool]:
+        """``await(A, index)``; returns True if the CE had to wait."""
+        if self.is_advanced(index):
+            self.nowait_count += 1
+            yield Timeout(costs.await_check)
+            return False
+        self.wait_count += 1
+        t0 = self.engine.now
+        yield self._signal_for(index)
+        self.total_wait_cycles += self.engine.now - t0
+        yield Timeout(costs.await_resume)
+        return True
+
+
+class LockUnit:
+    """A FIFO mutual-exclusion lock with cycle-level costs.
+
+    Uncontended acquisition costs ``lock_acquire`` cycles; a queued waiter
+    proceeds ``lock_handoff`` cycles after the holder's release completes;
+    release costs ``lock_release`` cycles.
+    """
+
+    def __init__(self, engine: Engine, name: str):
+        self.engine = engine
+        self.name = name
+        self._held = False
+        self._waiters: list[Signal] = []
+        # ground-truth accounting (not visible to the analysis)
+        self.wait_count = 0
+        self.nowait_count = 0
+        self.total_wait_cycles = 0
+        self.acquisitions = 0
+
+    @property
+    def held(self) -> bool:
+        return self._held
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self, costs: CostTables) -> Generator[Any, Any, bool]:
+        """Take the lock; returns True if the CE had to wait."""
+        if not self._held:
+            self._held = True
+            self.nowait_count += 1
+            self.acquisitions += 1
+            yield Timeout(costs.lock_acquire)
+            return False
+        sig = Signal(f"{self.name}.q{len(self._waiters)}")
+        self._waiters.append(sig)
+        self.wait_count += 1
+        t0 = self.engine.now
+        yield sig  # triggered by release; lock ownership transfers then
+        self.total_wait_cycles += self.engine.now - t0
+        self.acquisitions += 1
+        yield Timeout(costs.lock_handoff)
+        return True
+
+    def release(self, costs: CostTables) -> Generator[Any, Any, None]:
+        if not self._held:
+            raise SimulationError(f"release of un-held lock {self.name!r}")
+        yield Timeout(costs.lock_release)
+        if self._waiters:
+            # FIFO handoff: ownership passes directly to the next waiter.
+            sig = self._waiters.pop(0)
+            sig.trigger(self.engine)
+        else:
+            self._held = False
+
+
+class SemaphoreUnit:
+    """A FIFO counting semaphore with cycle-level costs.
+
+    Generalizes :class:`LockUnit` to capacity > 1.  Uses the lock cost
+    entries (``lock_acquire``/``lock_handoff``/``lock_release``) — a lock
+    is the capacity-1 special case of the same hardware primitive.
+    """
+
+    def __init__(self, engine: Engine, name: str, capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"semaphore {name!r} capacity must be >= 1")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self._count = capacity
+        self._waiters: list[Signal] = []
+        self.wait_count = 0
+        self.nowait_count = 0
+        self.total_wait_cycles = 0
+        self.grants = 0
+
+    @property
+    def available(self) -> int:
+        return self._count
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def wait(self, costs: CostTables) -> Generator[Any, Any, bool]:
+        """P(S); returns True if the CE had to queue."""
+        if self._count > 0:
+            self._count -= 1
+            self.nowait_count += 1
+            self.grants += 1
+            yield Timeout(costs.lock_acquire)
+            return False
+        sig = Signal(f"{self.name}.q{len(self._waiters)}")
+        self._waiters.append(sig)
+        self.wait_count += 1
+        t0 = self.engine.now
+        yield sig  # the unit transfers directly on signal
+        self.total_wait_cycles += self.engine.now - t0
+        self.grants += 1
+        yield Timeout(costs.lock_handoff)
+        return True
+
+    def signal(self, costs: CostTables) -> Generator[Any, Any, None]:
+        """V(S)."""
+        yield Timeout(costs.lock_release)
+        if self._waiters:
+            sig = self._waiters.pop(0)
+            sig.trigger(self.engine)
+        else:
+            self._count += 1
+            if self._count > self.capacity:
+                raise SimulationError(
+                    f"semaphore {self.name!r} signalled above capacity"
+                )
+
+
+class IterationDispatcher:
+    """Hardware self-scheduling of loop iterations.
+
+    Each call to :meth:`next_iteration` costs ``dispatch`` cycles and
+    returns the next unassigned iteration index, or ``None`` when the loop
+    is exhausted.  With ``serialize=True`` requests contend for the bus via
+    a mutex (FIFO).
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        trips: int,
+        costs: CostTables,
+        serialize: bool = False,
+        name: str = "dispatch",
+    ):
+        if trips < 1:
+            raise ValueError(f"trips must be >= 1, got {trips}")
+        self.engine = engine
+        self.trips = trips
+        self.costs = costs
+        self._next = 0
+        self._mutex: Optional[Mutex] = Mutex(engine, name) if serialize else None
+        #: ground-truth iteration -> CE assignment, filled as dispatched
+        self.assignment: dict[int, int] = {}
+
+    def next_iteration(self, ce_id: int) -> Generator[Any, Any, Optional[int]]:
+        if self._mutex is not None:
+            yield self._mutex.acquire()
+            try:
+                yield Timeout(self.costs.dispatch)
+                index = self._take(ce_id)
+            finally:
+                self._mutex.release()
+            return index
+        yield Timeout(self.costs.dispatch)
+        return self._take(ce_id)
+
+    def _take(self, ce_id: int) -> Optional[int]:
+        if self._next >= self.trips:
+            return None
+        index = self._next
+        self._next += 1
+        self.assignment[index] = ce_id
+        return index
+
+
+class ConcurrencyBus:
+    """The machine's concurrency control hardware.
+
+    Owns the synchronization registers and builds per-loop dispatchers and
+    barriers.  Registers are namespaced by name; reusing a name within one
+    program run is an error (validated at the IR level too).
+    """
+
+    def __init__(self, engine: Engine, costs: CostTables, serialize_dispatch: bool = False):
+        self.engine = engine
+        self.costs = costs
+        self.serialize_dispatch = serialize_dispatch
+        self._registers: dict[str, SyncRegister] = {}
+        self._locks: dict[str, LockUnit] = {}
+        self._semaphores: dict[str, SemaphoreUnit] = {}
+
+    def register(self, var: str) -> SyncRegister:
+        reg = self._registers.get(var)
+        if reg is None:
+            reg = SyncRegister(self.engine, var)
+            self._registers[var] = reg
+        return reg
+
+    def registers(self) -> dict[str, SyncRegister]:
+        return dict(self._registers)
+
+    def lock(self, name: str) -> LockUnit:
+        unit = self._locks.get(name)
+        if unit is None:
+            unit = LockUnit(self.engine, name)
+            self._locks[name] = unit
+        return unit
+
+    def locks(self) -> dict[str, LockUnit]:
+        return dict(self._locks)
+
+    def semaphore(self, name: str, capacity: int) -> SemaphoreUnit:
+        unit = self._semaphores.get(name)
+        if unit is None:
+            unit = SemaphoreUnit(self.engine, name, capacity)
+            self._semaphores[name] = unit
+        elif unit.capacity != capacity:
+            raise SimulationError(
+                f"semaphore {name!r} re-declared with capacity {capacity} "
+                f"(was {unit.capacity})"
+            )
+        return unit
+
+    def semaphores(self) -> dict[str, SemaphoreUnit]:
+        return dict(self._semaphores)
+
+    def dispatcher(self, trips: int, name: str) -> IterationDispatcher:
+        return IterationDispatcher(
+            self.engine,
+            trips,
+            self.costs,
+            serialize=self.serialize_dispatch,
+            name=f"{name}.dispatch",
+        )
+
+    def barrier(self, parties: int, name: str) -> Barrier:
+        return Barrier(self.engine, parties, name=name)

@@ -1,0 +1,117 @@
+"""Machine cost tables and configuration.
+
+All costs are integer cycle counts.  Defaults approximate an Alliant
+FX/80-class machine (≈5.9 MHz CE clock, ~170 ns cycle): synchronization
+bus operations take a few cycles; concurrent-loop startup takes tens of
+cycles.  Absolute values matter less than their *ratios* to statement and
+instrumentation costs — those ratios drive the blocking-probability
+phenomena in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CostTables:
+    """Hardware operation costs in cycles.
+
+    Attributes
+    ----------
+    advance_op:
+        Cycles to perform an ``advance`` on the concurrency bus.
+    await_check:
+        Cycles for an ``await`` that finds its index already advanced
+        (this is the paper's empirically measured ``s_nowait``).
+    await_resume:
+        Cycles from the satisfying ``advance`` until the awaiting CE
+        resumes (the paper's ``s_wait``).
+    dispatch:
+        Cycles for a CE to obtain the next loop iteration index from the
+        concurrency bus (hardware self-scheduling).
+    barrier_op:
+        Cycles from the last arrival at a concurrent-loop-end barrier
+        until all CEs are released.
+    loop_fork:
+        Cycles for a CE to join a starting concurrent loop.
+    loop_join:
+        Cycles for the initiating CE to resume sequential execution after
+        the loop-end barrier.
+    lock_acquire:
+        Cycles to take an uncontended lock.
+    lock_handoff:
+        Cycles from a release until a queued waiter proceeds.
+    lock_release:
+        Cycles to release a lock.
+    """
+
+    advance_op: int = 6
+    await_check: int = 4
+    await_resume: int = 8
+    dispatch: int = 6
+    barrier_op: int = 12
+    loop_fork: int = 30
+    loop_join: int = 20
+    lock_acquire: int = 5
+    lock_handoff: int = 7
+    lock_release: int = 4
+
+    def scaled(self, factor: float) -> "CostTables":
+        """Uniformly scaled copy (for sensitivity ablations)."""
+        if factor <= 0:
+            raise ValueError("scale factor must be > 0")
+        return CostTables(
+            advance_op=max(1, round(self.advance_op * factor)),
+            await_check=max(1, round(self.await_check * factor)),
+            await_resume=max(1, round(self.await_resume * factor)),
+            dispatch=max(1, round(self.dispatch * factor)),
+            barrier_op=max(1, round(self.barrier_op * factor)),
+            loop_fork=max(1, round(self.loop_fork * factor)),
+            loop_join=max(1, round(self.loop_join * factor)),
+            lock_acquire=max(1, round(self.lock_acquire * factor)),
+            lock_handoff=max(1, round(self.lock_handoff * factor)),
+            lock_release=max(1, round(self.lock_release * factor)),
+        )
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Static configuration of a simulated machine.
+
+    Attributes
+    ----------
+    n_ce:
+        Number of computational elements (8 on the FX/80).
+    clock_mhz:
+        CE clock in MHz, used only to convert cycles to microseconds in
+        reports (the FX/80 CE ran at ≈5.9 MHz).
+    costs:
+        Hardware operation cost tables.
+    serialize_dispatch:
+        If True, iteration dispatch requests contend for the concurrency
+        bus one-at-a-time (more faithful; slightly slower to simulate).
+        If False, dispatch is a fixed cost without contention.
+    """
+
+    n_ce: int = 8
+    clock_mhz: float = 5.9
+    costs: CostTables = field(default_factory=CostTables)
+    serialize_dispatch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_ce < 1:
+            raise ValueError(f"n_ce must be >= 1, got {self.n_ce}")
+        if self.clock_mhz <= 0:
+            raise ValueError(f"clock_mhz must be > 0, got {self.clock_mhz}")
+
+    def with_cores(self, n_ce: int) -> "MachineConfig":
+        return replace(self, n_ce=n_ce)
+
+    def cycles_to_us(self, cycles: int) -> float:
+        """Convert a cycle count to microseconds at this clock rate."""
+        return cycles / self.clock_mhz
+
+
+#: Default FX/80-like configuration used throughout the experiments.
+FX80 = MachineConfig()

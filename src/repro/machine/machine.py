@@ -1,0 +1,92 @@
+"""The machine: engine + concurrency bus + computational elements.
+
+A :class:`Machine` instance represents one power-on of the simulated
+FX/80: it owns a fresh simulation engine, the concurrency bus, and
+per-CE accounting.  The executor (:mod:`repro.exec`) drives programs on
+it; a machine is single-use (one program run) so that ground-truth
+accounting is unambiguous.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.machine.bus import ConcurrencyBus
+from repro.machine.costs import MachineConfig
+from repro.sim.engine import Engine
+from repro.sim.rng import SplitMix64
+
+
+@dataclass
+class ComputationalElement:
+    """One CE with ground-truth activity accounting.
+
+    The counters are simulator-side truth used to score approximations;
+    the perturbation analysis never reads them.
+    """
+
+    ce_id: int
+    busy_cycles: int = 0
+    wait_cycles: int = 0
+    dispatch_cycles: int = 0
+    overhead_cycles: int = 0  # instrumentation overhead executed on this CE
+    iterations_run: int = 0
+
+    def utilization(self, total: int) -> float:
+        """Fraction of ``total`` cycles this CE spent on useful work."""
+        if total <= 0:
+            return 0.0
+        return self.busy_cycles / total
+
+
+class Machine:
+    """A single-run simulated multiprocessor.
+
+    Parameters
+    ----------
+    config:
+        Static machine configuration (CE count, cost tables, clock).
+    seed:
+        Seed for the machine's deterministic noise streams (memory
+        contention jitter).  Two machines with the same seed behave
+        identically.
+    """
+
+    def __init__(self, config: MachineConfig, seed: int = 0x5EED):
+        self.config = config
+        self.engine = Engine()
+        self.bus = ConcurrencyBus(
+            self.engine, config.costs, serialize_dispatch=config.serialize_dispatch
+        )
+        self.ces = [ComputationalElement(i) for i in range(config.n_ce)]
+        self.rng = SplitMix64(seed)
+        #: per-CE jitter streams, decorrelated from one machine seed
+        self.ce_rngs = [self.rng.fork(1000 + i) for i in range(config.n_ce)]
+        self._used = False
+
+    @property
+    def n_ce(self) -> int:
+        return self.config.n_ce
+
+    @property
+    def now(self) -> int:
+        return self.engine.now
+
+    def ce(self, ce_id: int) -> ComputationalElement:
+        return self.ces[ce_id]
+
+    def mark_used(self) -> None:
+        """Executor hook: a machine may run exactly one program."""
+        if self._used:
+            raise RuntimeError("Machine already ran a program; create a fresh one")
+        self._used = True
+
+    def total_busy(self) -> int:
+        return sum(ce.busy_cycles for ce in self.ces)
+
+    def total_wait(self) -> int:
+        return sum(ce.wait_cycles for ce in self.ces)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Machine(n_ce={self.n_ce}, now={self.now})"

@@ -1,0 +1,55 @@
+"""Execution statistics derived from (approximated) traces.
+
+Event-based analysis "can also generate statistics about loop execution
+such as the amount of waiting on each processor and the degree of
+parallelism across processors" (§5.3).  These functions compute exactly
+those: per-CE waiting intervals and percentages (Table 3, Figure 4) and
+the parallelism-over-time profile (Figure 5).
+"""
+
+from repro.metrics.intervals import Interval, StepFunction, merge_intervals, subtract_intervals
+from repro.metrics.waiting import (
+    WaitingInterval,
+    waiting_intervals,
+    waiting_by_thread,
+    waiting_percentages,
+    WaitingReport,
+)
+from repro.metrics.parallelism import (
+    activity_intervals,
+    parallelism_profile,
+    average_parallelism,
+    ParallelismProfile,
+)
+from repro.metrics.segments import (
+    IterationSegment,
+    LoopSchedule,
+    loop_schedules,
+    schedule_diff,
+    render_schedule,
+)
+from repro.metrics.phases import Phase, PhaseReport, phase_report
+
+__all__ = [
+    "Interval",
+    "StepFunction",
+    "merge_intervals",
+    "subtract_intervals",
+    "WaitingInterval",
+    "waiting_intervals",
+    "waiting_by_thread",
+    "waiting_percentages",
+    "WaitingReport",
+    "activity_intervals",
+    "parallelism_profile",
+    "average_parallelism",
+    "ParallelismProfile",
+    "IterationSegment",
+    "LoopSchedule",
+    "loop_schedules",
+    "schedule_diff",
+    "render_schedule",
+    "Phase",
+    "PhaseReport",
+    "phase_report",
+]

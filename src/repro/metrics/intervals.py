@@ -1,0 +1,126 @@
+"""Interval and step-function utilities for timeline statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True, order=True, slots=True)
+class Interval:
+    """A half-open time interval [start, end) in cycles."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"interval end {self.end} < start {self.start}")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def intersect(self, other: "Interval") -> "Interval":
+        s, e = max(self.start, other.start), min(self.end, other.end)
+        return Interval(s, max(s, e))
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Union of intervals as a sorted list of disjoint intervals."""
+    items = sorted(i for i in intervals if i.length > 0)
+    out: list[Interval] = []
+    for iv in items:
+        if out and iv.start <= out[-1].end:
+            if iv.end > out[-1].end:
+                out[-1] = Interval(out[-1].start, iv.end)
+        else:
+            out.append(iv)
+    return out
+
+
+def subtract_intervals(base: Interval, holes: Iterable[Interval]) -> list[Interval]:
+    """``base`` minus the union of ``holes``, as disjoint intervals."""
+    out: list[Interval] = []
+    cursor = base.start
+    for h in merge_intervals(holes):
+        if h.end <= base.start or h.start >= base.end:
+            continue
+        if h.start > cursor:
+            out.append(Interval(cursor, min(h.start, base.end)))
+        cursor = max(cursor, h.end)
+        if cursor >= base.end:
+            break
+    if cursor < base.end:
+        out.append(Interval(cursor, base.end))
+    return [iv for iv in out if iv.length > 0]
+
+
+def total_length(intervals: Iterable[Interval]) -> int:
+    """Total covered time of a (possibly overlapping) interval set."""
+    return sum(iv.length for iv in merge_intervals(intervals))
+
+
+class StepFunction:
+    """An integer-valued step function of time, built from +/- deltas.
+
+    Used for parallelism-over-time: each active interval contributes +1 at
+    its start and -1 at its end.
+    """
+
+    def __init__(self) -> None:
+        self._deltas: dict[int, int] = {}
+
+    def add(self, interval: Interval, weight: int = 1) -> None:
+        if interval.length == 0:
+            return
+        self._deltas[interval.start] = self._deltas.get(interval.start, 0) + weight
+        self._deltas[interval.end] = self._deltas.get(interval.end, 0) - weight
+
+    def steps(self) -> list[tuple[int, int]]:
+        """(time, value) pairs: the value holds from this time to the next."""
+        out: list[tuple[int, int]] = []
+        level = 0
+        for t in sorted(self._deltas):
+            level += self._deltas[t]
+            if out and out[-1][0] == t:
+                out[-1] = (t, level)
+            else:
+                out.append((t, level))
+        return out
+
+    def value_at(self, time: int) -> int:
+        level = 0
+        for t, v in self.steps():
+            if t > time:
+                break
+            level = v
+        return level
+
+    def mean_over(self, start: int, end: int) -> float:
+        """Time-weighted mean value over [start, end)."""
+        if end <= start:
+            raise ValueError("empty averaging window")
+        area = 0
+        level = 0
+        prev = start
+        for t, v in self.steps():
+            if t <= start:
+                level = v
+                continue
+            cut = min(t, end)
+            if cut > prev:
+                area += level * (cut - prev)
+                prev = cut
+            level = v
+            if t >= end:
+                break
+        if prev < end:
+            area += level * (end - prev)
+        return area / (end - start)
+
+    def maximum(self) -> int:
+        return max((v for _t, v in self.steps()), default=0)

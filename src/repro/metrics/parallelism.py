@@ -1,0 +1,136 @@
+"""Parallelism-over-time profiles (Figure 5).
+
+A thread is *active* from its first to its last event, minus its waiting
+intervals.  The parallelism profile is the number of active threads as a
+step function of time; the paper reports its average over the parallel
+region (7.5 for loop 17, excluding the sequential portions shown as
+"processor zero active").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.instrument.costs import AnalysisConstants
+from repro.metrics.intervals import (
+    Interval,
+    StepFunction,
+    subtract_intervals,
+)
+from repro.metrics.waiting import waiting_by_thread
+from repro.trace.events import EventKind
+from repro.trace.trace import Trace
+
+
+def activity_intervals(
+    trace: Trace,
+    constants: AnalysisConstants,
+    include_barriers: bool = True,
+) -> dict[int, list[Interval]]:
+    """Per-thread active (non-waiting) intervals.
+
+    Besides synchronization waiting, a worker CE is idle between leaving
+    one parallel loop (its barrier exit) and joining the next
+    (LOOP_BEGIN); those inter-loop gaps are excluded too, so sequential
+    sections show as initiator-only activity in multi-loop programs.
+    """
+    waits = waiting_by_thread(trace, constants, include_barriers)
+    out: dict[int, list[Interval]] = {}
+    for t, view in trace.by_thread().items():
+        span = Interval(view.start_time, view.end_time)
+        holes = [w.interval for w in waits.get(t, [])]
+        for a, b in zip(view.events, view.events[1:]):
+            if a.kind is EventKind.BARRIER_EXIT and b.kind is EventKind.LOOP_BEGIN:
+                if b.time > a.time:
+                    holes.append(Interval(a.time, b.time))
+        out[t] = subtract_intervals(span, holes)
+    return out
+
+
+@dataclass
+class ParallelismProfile:
+    """The number of active threads over time."""
+
+    steps: list[tuple[int, int]]  # (time, level) — level holds until next
+    span: Interval
+    parallel_span: Optional[Interval]  # the parallel-loop region, if found
+
+    def level_at(self, time: int) -> int:
+        level = 0
+        for t, v in self.steps:
+            if t > time:
+                break
+            level = v
+        return level
+
+    def mean(self, window: Optional[Interval] = None) -> float:
+        w = window or self.span
+        if w.length == 0:
+            return 0.0
+        area = 0
+        level = 0
+        prev = w.start
+        for t, v in self.steps:
+            if t <= w.start:
+                level = v
+                continue
+            cut = min(t, w.end)
+            if cut > prev:
+                area += level * (cut - prev)
+                prev = cut
+            level = v
+            if t >= w.end:
+                break
+        if prev < w.end:
+            area += level * (w.end - prev)
+        return area / w.length
+
+    @property
+    def peak(self) -> int:
+        return max((v for _t, v in self.steps), default=0)
+
+
+def _parallel_region(trace: Trace) -> Optional[Interval]:
+    """The span of the (first) parallel loop: earliest LOOP_BEGIN to the
+    latest BARRIER_EXIT.  None if the trace has no loop markers."""
+    begins = trace.of_kind(EventKind.LOOP_BEGIN)
+    exits = trace.of_kind(EventKind.BARRIER_EXIT)
+    if not begins or not exits:
+        return None
+    return Interval(min(e.time for e in begins), max(e.time for e in exits))
+
+
+def parallelism_profile(
+    trace: Trace,
+    constants: AnalysisConstants,
+    include_barriers: bool = True,
+) -> ParallelismProfile:
+    """Build the Figure 5 profile for a trace."""
+    fn = StepFunction()
+    for _t, intervals in activity_intervals(trace, constants, include_barriers).items():
+        for iv in intervals:
+            fn.add(iv)
+    span = Interval(trace.start_time, max(trace.end_time, trace.start_time + 1))
+    return ParallelismProfile(
+        steps=fn.steps(),
+        span=span,
+        parallel_span=_parallel_region(trace),
+    )
+
+
+def average_parallelism(
+    trace: Trace,
+    constants: AnalysisConstants,
+    exclude_sequential: bool = True,
+) -> float:
+    """Average number of active threads (paper: 7.5 for loop 17).
+
+    With ``exclude_sequential`` the average is taken over the parallel
+    region only, matching the paper's "excluding the sequential portions".
+    """
+    profile = parallelism_profile(trace, constants)
+    window = profile.parallel_span if exclude_sequential else None
+    if window is None:
+        window = profile.span
+    return profile.mean(window)

@@ -1,0 +1,124 @@
+"""Phase decomposition: sequential vs parallel regions of an execution.
+
+Splits a trace's timeline at loop boundaries into alternating phases —
+sequential sections (initiator-only activity) and parallel loops — and
+reports per-phase durations and parallel coverage.  Answers "where did
+the time go?" for multi-loop programs, and generalizes Figure 4's
+"sequential portions shown as processor zero active".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.instrument.costs import AnalysisConstants
+from repro.metrics.intervals import Interval
+from repro.metrics.parallelism import parallelism_profile
+from repro.trace.events import EventKind
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One region of the execution timeline."""
+
+    name: str  # loop name, or "sequential-N"
+    kind: str  # "parallel" | "sequential"
+    interval: Interval
+    mean_parallelism: float
+
+    @property
+    def duration(self) -> int:
+        return self.interval.length
+
+
+@dataclass
+class PhaseReport:
+    phases: list[Phase]
+    total: Interval
+
+    def parallel_fraction(self) -> float:
+        """Fraction of the run spent inside parallel loops."""
+        if self.total.length == 0:
+            return 0.0
+        par = sum(p.duration for p in self.phases if p.kind == "parallel")
+        return par / self.total.length
+
+    def phase(self, name: str) -> Phase:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise KeyError(name)
+
+    def render(self) -> str:
+        lines = [
+            f"{len(self.phases)} phases over {self.total.length} cycles "
+            f"({self.parallel_fraction():.0%} parallel)"
+        ]
+        for p in self.phases:
+            share = p.duration / self.total.length if self.total.length else 0.0
+            bar = "#" * round(40 * share)
+            lines.append(
+                f"  {p.name:<14} {p.kind:<10} {p.duration:>8} cycles "
+                f"({share:5.1%})  par={p.mean_parallelism:4.1f}  {bar}"
+            )
+        return "\n".join(lines)
+
+
+def phase_report(trace: Trace, constants: AnalysisConstants) -> PhaseReport:
+    """Decompose a trace into sequential and parallel phases.
+
+    Parallel phases span each loop's earliest LOOP_BEGIN to its latest
+    BARRIER_EXIT; the gaps between them (and the program head/tail) are
+    sequential phases.
+    """
+    # Collect per-loop windows.
+    begins: dict[str, int] = {}
+    exits: dict[str, int] = {}
+    for e in trace.events:
+        if e.kind is EventKind.LOOP_BEGIN:
+            begins[e.label] = min(begins.get(e.label, e.time), e.time)
+        elif e.kind is EventKind.BARRIER_EXIT:
+            label = (e.sync_var or "").removesuffix(".barrier")
+            exits[label] = max(exits.get(label, e.time), e.time)
+    windows = [
+        (label, Interval(begins[label], max(exits.get(label, begins[label]), begins[label])))
+        for label in begins
+    ]
+    windows.sort(key=lambda w: w[1].start)
+
+    profile = parallelism_profile(trace, constants)
+    total = Interval(trace.start_time, max(trace.end_time, trace.start_time + 1))
+    phases: list[Phase] = []
+    cursor = total.start
+    seq_index = 0
+
+    def add_sequential(upto: int) -> None:
+        nonlocal cursor, seq_index
+        if upto > cursor:
+            iv = Interval(cursor, upto)
+            phases.append(
+                Phase(
+                    name=f"sequential-{seq_index}",
+                    kind="sequential",
+                    interval=iv,
+                    mean_parallelism=profile.mean(iv),
+                )
+            )
+            seq_index += 1
+            cursor = upto
+
+    for label, iv in windows:
+        add_sequential(iv.start)
+        phases.append(
+            Phase(
+                name=label,
+                kind="parallel",
+                interval=iv,
+                mean_parallelism=profile.mean(iv) if iv.length else 0.0,
+            )
+        )
+        cursor = max(cursor, iv.end)
+    add_sequential(total.end)
+    return PhaseReport(phases=phases, total=total)

@@ -1,0 +1,158 @@
+"""Per-iteration schedule segments: who ran what, when.
+
+Builds a Gantt-style view of a parallel loop from any trace (logical,
+measured, or approximated): one segment per (iteration, thread) covering
+the iteration's event span.  Used to inspect self-scheduling behaviour,
+to diff the schedules of two executions (e.g. actual vs measured — how
+instrumentation moved work between CEs), and to render timeline charts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.metrics.intervals import Interval
+from repro.trace.events import EventKind
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class IterationSegment:
+    """One iteration's execution on one thread."""
+
+    loop: str
+    iteration: int
+    thread: int
+    interval: Interval
+    n_events: int
+
+    @property
+    def length(self) -> int:
+        return self.interval.length
+
+
+@dataclass
+class LoopSchedule:
+    """All iteration segments of one loop, plus lookup helpers."""
+
+    loop: str
+    segments: list[IterationSegment] = field(default_factory=list)
+
+    def by_thread(self) -> dict[int, list[IterationSegment]]:
+        out: dict[int, list[IterationSegment]] = {}
+        for s in self.segments:
+            out.setdefault(s.thread, []).append(s)
+        for segs in out.values():
+            segs.sort(key=lambda s: s.interval.start)
+        return out
+
+    def assignment(self) -> dict[int, int]:
+        """iteration -> thread."""
+        return {s.iteration: s.thread for s in self.segments}
+
+    def iterations_per_thread(self) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for s in self.segments:
+            out[s.thread] = out.get(s.thread, 0) + 1
+        return out
+
+    def imbalance(self) -> float:
+        """max/mean iterations per participating thread (1.0 = balanced)."""
+        counts = list(self.iterations_per_thread().values())
+        if not counts:
+            return 0.0
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 0.0
+
+    @property
+    def span(self) -> Interval:
+        if not self.segments:
+            return Interval(0, 0)
+        return Interval(
+            min(s.interval.start for s in self.segments),
+            max(s.interval.end for s in self.segments),
+        )
+
+
+def loop_schedules(trace: Trace) -> dict[str, LoopSchedule]:
+    """Extract per-loop iteration schedules from a trace.
+
+    Iteration attribution follows the LOOP_BEGIN/BARRIER_ARRIVE window on
+    each thread (same convention as the liberal rescheduler).
+    """
+    current: dict[int, Optional[str]] = {}
+    acc: dict[tuple[str, int, int], list] = {}  # (loop, iteration, thread) -> events
+    order: list[str] = []
+    for e in trace.events:
+        if e.kind is EventKind.LOOP_BEGIN:
+            current[e.thread] = e.label
+            if e.label not in order:
+                order.append(e.label)
+            continue
+        if e.kind is EventKind.BARRIER_ARRIVE:
+            label = (e.sync_var or "").removesuffix(".barrier")
+            if current.get(e.thread) == label:
+                current[e.thread] = None
+            continue
+        label = current.get(e.thread)
+        if e.iteration is not None:
+            if label is None:
+                # Statement-only traces carry no loop markers; group the
+                # iteration events under a synthetic label.
+                label = "(unlabelled)"
+                if label not in order:
+                    order.append(label)
+            acc.setdefault((label, e.iteration, e.thread), []).append(e)
+    schedules: dict[str, LoopSchedule] = {name: LoopSchedule(name) for name in order}
+    for (label, iteration, thread), events in sorted(acc.items()):
+        schedules.setdefault(label, LoopSchedule(label)).segments.append(
+            IterationSegment(
+                loop=label,
+                iteration=iteration,
+                thread=thread,
+                interval=Interval(events[0].time, max(events[0].time + 1, events[-1].time)),
+                n_events=len(events),
+            )
+        )
+    return schedules
+
+
+def schedule_diff(a: LoopSchedule, b: LoopSchedule) -> dict[str, object]:
+    """Compare two schedules of the same loop.
+
+    Returns: ``moved`` (iterations assigned to different threads),
+    ``moved_fraction``, and the per-schedule imbalance factors.  The
+    classic use is actual vs measured: how much did instrumentation
+    re-map work to threads (§4.1's "re-mapping of event occurrence to
+    threads of execution")?
+    """
+    aa, bb = a.assignment(), b.assignment()
+    common = aa.keys() & bb.keys()
+    moved = sorted(i for i in common if aa[i] != bb[i])
+    return {
+        "loop": a.loop,
+        "n_iterations": len(common),
+        "moved": moved,
+        "moved_fraction": len(moved) / len(common) if common else 0.0,
+        "imbalance_a": a.imbalance(),
+        "imbalance_b": b.imbalance(),
+    }
+
+
+def render_schedule(schedule: LoopSchedule, width: int = 72) -> str:
+    """ASCII Gantt: one row per thread, iteration indices mod 10."""
+    span = schedule.span
+    total = max(1, span.length)
+    lines = [f"loop {schedule.loop}: {len(schedule.segments)} iterations, "
+             f"imbalance {schedule.imbalance():.2f}"]
+    for thread, segs in sorted(schedule.by_thread().items()):
+        cols = ["."] * width
+        for s in segs:
+            lo = int(width * (s.interval.start - span.start) / total)
+            hi = max(lo + 1, int(width * (s.interval.end - span.start) / total))
+            mark = str(s.iteration % 10)
+            for c in range(max(0, lo), min(width, hi)):
+                cols[c] = mark
+        lines.append(f"CE{thread} |{''.join(cols)}|")
+    return "\n".join(lines)

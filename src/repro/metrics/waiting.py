@@ -1,0 +1,149 @@
+"""Waiting-time statistics (Table 3, Figure 4).
+
+Waiting is reconstructed from the (approximated or logical) trace: an
+await whose ``awaitE - awaitB`` span exceeds the no-wait processing time
+``s_nowait`` was blocked; the blocked portion is the span minus the
+``s_wait`` resume processing.  Barrier waiting is the arrive→exit span
+minus the barrier release cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.instrument.costs import AnalysisConstants
+from repro.metrics.intervals import Interval
+from repro.trace.events import EventKind
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class WaitingInterval:
+    """One blocked period on one thread."""
+
+    thread: int
+    interval: Interval
+    cause: str  # sync variable or barrier name
+    iteration: Optional[int] = None
+
+    @property
+    def length(self) -> int:
+        return self.interval.length
+
+
+def waiting_intervals(
+    trace: Trace,
+    constants: AnalysisConstants,
+    include_barriers: bool = True,
+) -> list[WaitingInterval]:
+    """All blocked periods in the trace, in time order."""
+    out: list[WaitingInterval] = []
+    for key, (begin, end) in trace.await_pairs().items():
+        span = end.time - begin.time
+        if span > constants.s_nowait:
+            blocked = span - constants.s_wait
+            if blocked > 0:
+                out.append(
+                    WaitingInterval(
+                        thread=begin.thread,
+                        interval=Interval(begin.time, begin.time + blocked),
+                        cause=key[0],
+                        iteration=begin.iteration,
+                    )
+                )
+    queued_uses = list(trace.lock_uses().items()) + list(trace.sem_uses().items())
+    for key, use in queued_uses:
+        span = use["acq"].time - use["req"].time
+        if span > constants.lock_nowait:
+            blocked = span - constants.lock_handoff
+            if blocked > 0:
+                out.append(
+                    WaitingInterval(
+                        thread=use["req"].thread,
+                        interval=Interval(use["req"].time, use["req"].time + blocked),
+                        cause=key[0],
+                        iteration=use["req"].iteration,
+                    )
+                )
+    if include_barriers:
+        arrivals: dict[tuple[str, int], list] = {}
+        exits: dict[tuple[str, int], list] = {}
+        for e in trace.events:
+            if e.kind is EventKind.BARRIER_ARRIVE:
+                arrivals.setdefault((e.sync_var or "", e.sync_index or 0), []).append(e)
+            elif e.kind is EventKind.BARRIER_EXIT:
+                exits.setdefault((e.sync_var or "", e.sync_index or 0), []).append(e)
+        for key, arrs in arrivals.items():
+            exit_by_thread = {e.thread: e for e in exits.get(key, [])}
+            for a in arrs:
+                x = exit_by_thread.get(a.thread)
+                if x is None:
+                    continue
+                blocked = (x.time - a.time) - constants.barrier_release
+                if blocked > 0:
+                    out.append(
+                        WaitingInterval(
+                            thread=a.thread,
+                            interval=Interval(a.time, a.time + blocked),
+                            cause=key[0],
+                        )
+                    )
+    out.sort(key=lambda w: (w.interval.start, w.thread))
+    return out
+
+
+def waiting_by_thread(
+    trace: Trace,
+    constants: AnalysisConstants,
+    include_barriers: bool = True,
+) -> dict[int, list[WaitingInterval]]:
+    """Waiting intervals grouped per thread (the Figure 4 timelines)."""
+    grouped: dict[int, list[WaitingInterval]] = {t: [] for t in trace.threads}
+    for w in waiting_intervals(trace, constants, include_barriers):
+        grouped.setdefault(w.thread, []).append(w)
+    return grouped
+
+
+@dataclass
+class WaitingReport:
+    """Per-thread waiting summary over an execution (Table 3)."""
+
+    total_time: int
+    per_thread_wait: dict[int, int]
+    intervals: list[WaitingInterval] = field(default_factory=list)
+
+    def percentage(self, thread: int) -> float:
+        """Percent of total execution time spent waiting on a thread."""
+        if self.total_time <= 0:
+            return 0.0
+        return 100.0 * self.per_thread_wait.get(thread, 0) / self.total_time
+
+    def percentages(self) -> dict[int, float]:
+        return {t: self.percentage(t) for t in sorted(self.per_thread_wait)}
+
+    @property
+    def total_wait(self) -> int:
+        return sum(self.per_thread_wait.values())
+
+
+def waiting_percentages(
+    trace: Trace,
+    constants: AnalysisConstants,
+    include_barriers: bool = False,
+    total_time: Optional[int] = None,
+) -> WaitingReport:
+    """Compute Table 3: percentage of execution time waiting per CE.
+
+    The paper's Table 3 reports DOACROSS (advance/await) waiting, so
+    barrier waiting is excluded by default.
+    """
+    ivs = waiting_intervals(trace, constants, include_barriers)
+    per: dict[int, int] = {t: 0 for t in trace.threads}
+    for w in ivs:
+        per[w.thread] = per.get(w.thread, 0) + w.length
+    return WaitingReport(
+        total_time=total_time if total_time is not None else trace.end_time,
+        per_thread_wait=per,
+        intervals=ivs,
+    )

@@ -1,0 +1,48 @@
+"""Deterministic discrete-event simulation kernel.
+
+This subpackage is the foundation substrate for the reproduction: a small,
+fully deterministic discrete-event simulator with generator-based processes,
+in the style of SimPy but with integer (cycle-granular) time and strictly
+reproducible event ordering.
+
+Determinism guarantees:
+
+* Simulation time is an integer number of machine cycles — no floating-point
+  scheduling drift.
+* Ties in the event queue are broken by a monotonically increasing sequence
+  number, so two runs of the same program produce byte-identical traces.
+* All randomness flows through :class:`repro.sim.rng.SplitMix64` streams that
+  are seeded explicitly.
+"""
+
+from repro.sim.engine import (
+    Engine,
+    Process,
+    ProcessCrashed,
+    SimulationDeadlock,
+    SimulationError,
+    Timeout,
+    Signal,
+    AllOf,
+    Interrupt,
+)
+from repro.sim.primitives import Semaphore, Mutex, SimQueue, Barrier, Store
+from repro.sim.rng import SplitMix64
+
+__all__ = [
+    "Engine",
+    "Process",
+    "ProcessCrashed",
+    "SimulationDeadlock",
+    "SimulationError",
+    "Timeout",
+    "Signal",
+    "AllOf",
+    "Interrupt",
+    "Semaphore",
+    "Mutex",
+    "SimQueue",
+    "Barrier",
+    "Store",
+    "SplitMix64",
+]

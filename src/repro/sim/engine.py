@@ -1,0 +1,328 @@
+"""Discrete-event simulation engine with generator-based processes.
+
+The engine keeps a priority queue of pending *occurrences* ordered by
+``(time, sequence)``.  Simulated activities are Python generator functions
+("processes") that ``yield`` effect objects:
+
+* :class:`Timeout` — suspend the process for a fixed number of cycles.
+* :class:`Signal` — suspend until another process triggers the signal; the
+  value passed to :meth:`Signal.trigger` is returned from the ``yield``.
+* :class:`AllOf` — suspend until every child effect has completed.
+* another :class:`Process` — suspend until that process terminates; its
+  return value is returned from the ``yield``.
+
+Time is an integer cycle count.  The engine is strictly deterministic: ties
+at equal timestamps are broken by insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Base class for all simulation-kernel errors."""
+
+
+class SimulationDeadlock(SimulationError):
+    """Raised by :meth:`Engine.run` when live processes remain but no
+    occurrence is scheduled (every runnable process is blocked forever)."""
+
+
+class ProcessCrashed(SimulationError):
+    """Raised when a process generator raised an unhandled exception.
+
+    The original exception is available as ``__cause__``.
+    """
+
+    def __init__(self, process: "Process", original: BaseException):
+        super().__init__(f"process {process.name!r} crashed: {original!r}")
+        self.process = process
+        self.original = original
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Effect:
+    """Base class for things a process may yield.
+
+    Subclasses implement :meth:`_subscribe`, which arranges for
+    ``callback(value)`` to run when the effect completes.
+    """
+
+    def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
+        raise NotImplementedError
+
+
+class Timeout(_Effect):
+    """Suspend the yielding process for ``delay`` cycles (``delay >= 0``)."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: int, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"Timeout delay must be >= 0, got {delay}")
+        self.delay = int(delay)
+        self.value = value
+
+    def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
+        engine.schedule(self.delay, callback, self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timeout({self.delay})"
+
+
+class Signal(_Effect):
+    """A one-shot broadcast event.
+
+    Processes yield the signal to wait on it.  :meth:`trigger` wakes every
+    waiter (in subscription order) with the trigger value.  Waiting on an
+    already-triggered signal resumes immediately with the stored value; this
+    makes signals safe for "has X already happened?" rendezvous such as the
+    advance/await registers of the concurrency bus.
+    """
+
+    __slots__ = ("name", "_triggered", "_value", "_waiters")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._triggered = False
+        self._value: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError(f"signal {self.name!r} has not been triggered")
+        return self._value
+
+    def trigger(self, engine: "Engine", value: Any = None) -> None:
+        if self._triggered:
+            raise SimulationError(f"signal {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            engine.schedule(0, cb, value)
+
+    def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
+        if self._triggered:
+            engine.schedule(0, callback, self._value)
+        else:
+            self._waiters.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self._triggered else "pending"
+        return f"Signal({self.name!r}, {state})"
+
+
+class AllOf(_Effect):
+    """Completes when every child effect completes.
+
+    The resume value is a list of child values in child order.
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[_Effect]):
+        self.children = list(children)
+
+    def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
+        n = len(self.children)
+        if n == 0:
+            engine.schedule(0, callback, [])
+            return
+        results: list[Any] = [None] * n
+        remaining = [n]
+
+        def make_child_cb(index: int) -> Callable[[Any], None]:
+            def child_cb(value: Any) -> None:
+                results[index] = value
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    callback(results)
+
+            return child_cb
+
+        for i, child in enumerate(self.children):
+            child._subscribe(engine, make_child_cb(i))
+
+
+class Process(_Effect):
+    """A running simulation process wrapping a generator.
+
+    Created via :meth:`Engine.process`.  A process is itself an effect:
+    yielding it from another process waits for termination and receives the
+    generator's return value.
+    """
+
+    __slots__ = ("engine", "name", "_gen", "_done", "_result", "_waiters", "_crashed")
+
+    def __init__(self, engine: "Engine", gen: Generator[_Effect, Any, Any], name: str):
+        self.engine = engine
+        self.name = name
+        self._gen = gen
+        self._done = False
+        self._crashed: Optional[BaseException] = None
+        self._result: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+        engine._live_processes += 1
+        engine.schedule(0, self._step, None)
+
+    # -- state ---------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def result(self) -> Any:
+        if not self._done:
+            raise SimulationError(f"process {self.name!r} has not finished")
+        if self._crashed is not None:
+            raise ProcessCrashed(self, self._crashed) from self._crashed
+        return self._result
+
+    # -- driving -------------------------------------------------------
+    def _step(self, send_value: Any) -> None:
+        if self._done:
+            return
+        try:
+            if isinstance(send_value, BaseException):
+                effect = self._gen.throw(send_value)
+            else:
+                effect = self._gen.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value, None)
+            return
+        except Interrupt:
+            # An interrupt escaped the generator: treat as clean termination.
+            self._finish(None, None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - deliberate trap
+            self._finish(None, exc)
+            return
+        if not isinstance(effect, _Effect):
+            self._finish(
+                None,
+                SimulationError(
+                    f"process {self.name!r} yielded {effect!r}, expected an effect"
+                ),
+            )
+            return
+        effect._subscribe(self.engine, self._step)
+
+    def _finish(self, result: Any, crashed: Optional[BaseException]) -> None:
+        self._done = True
+        self._result = result
+        self._crashed = crashed
+        self.engine._live_processes -= 1
+        if crashed is not None:
+            self.engine._record_crash(ProcessCrashed(self, crashed))
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            self.engine.schedule(0, cb, result)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._done:
+            return
+        self.engine.schedule(0, self._step, Interrupt(cause))
+
+    # -- effect protocol ------------------------------------------------
+    def _subscribe(self, engine: "Engine", callback: Callable[[Any], None]) -> None:
+        if self._done:
+            engine.schedule(0, callback, self._result)
+        else:
+            self._waiters.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "done" if self._done else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Engine:
+    """The deterministic discrete-event simulation core.
+
+    >>> eng = Engine()
+    >>> def hello():
+    ...     yield Timeout(5)
+    ...     return eng.now
+    >>> p = eng.process(hello())
+    >>> eng.run()
+    5
+    >>> p.result
+    5
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._queue: list[tuple[int, int, Callable[[Any], None], Any]] = []
+        self._seq = 0
+        self._live_processes = 0
+        self._crashes: list[ProcessCrashed] = []
+
+    # -- scheduling ------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[[Any], None], value: Any = None) -> None:
+        """Arrange ``callback(value)`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._queue, (self.now + int(delay), self._seq, callback, value))
+
+    def process(self, gen: Generator[_Effect, Any, Any], name: str = "") -> Process:
+        """Register a generator as a new process, started at the current time."""
+        if not name:
+            name = getattr(gen, "__name__", "proc")
+        return Process(self, gen, name)
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a fresh one-shot :class:`Signal`."""
+        return Signal(name)
+
+    def _record_crash(self, crash: ProcessCrashed) -> None:
+        self._crashes.append(crash)
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> None:
+        """Execute the single next occurrence."""
+        if not self._queue:
+            raise SimulationError("no scheduled occurrences")
+        time, _seq, callback, value = heapq.heappop(self._queue)
+        if time < self.now:  # pragma: no cover - internal invariant
+            raise SimulationError("event queue time went backwards")
+        self.now = time
+        callback(value)
+
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until the queue drains (or simulated time reaches ``until``).
+
+        Returns the final simulation time.  Raises
+        :class:`SimulationDeadlock` if live processes remain with nothing
+        scheduled, and :class:`ProcessCrashed` if any process raised.
+        """
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                break
+            self.step()
+            if self._crashes:
+                raise self._crashes[0]
+        if until is None and self._live_processes > 0:
+            raise SimulationDeadlock(
+                f"{self._live_processes} process(es) blocked with an empty event queue"
+            )
+        return self.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Engine(now={self.now}, pending={len(self._queue)})"

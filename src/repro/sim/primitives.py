@@ -1,0 +1,181 @@
+"""Synchronization primitives built on the simulation engine.
+
+These are general-purpose building blocks; the Alliant FX/80 concurrency
+hardware in :mod:`repro.machine` is modelled on top of them.  All primitives
+wake waiters in strict FIFO order, preserving engine determinism.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.engine import Engine, Signal, SimulationError, Timeout, _Effect
+
+
+class Semaphore:
+    """Counting semaphore with FIFO wakeup.
+
+    ``yield sem.acquire()`` suspends until a unit is available;
+    ``sem.release()`` returns a unit, waking the longest-waiting process.
+    """
+
+    def __init__(self, engine: Engine, initial: int = 1, name: str = ""):
+        if initial < 0:
+            raise ValueError("semaphore count must be >= 0")
+        self.engine = engine
+        self.name = name
+        self._count = initial
+        self._waiters: deque[Signal] = deque()
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+    def acquire(self) -> _Effect:
+        if self._count > 0:
+            self._count -= 1
+            return Timeout(0)
+        sig = Signal(f"{self.name}.acquire")
+        self._waiters.append(sig)
+        return sig
+
+    def try_acquire(self) -> bool:
+        """Non-blocking acquire; returns True on success."""
+        if self._count > 0:
+            self._count -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        if self._waiters:
+            sig = self._waiters.popleft()
+            sig.trigger(self.engine)
+        else:
+            self._count += 1
+
+
+class Mutex(Semaphore):
+    """Binary semaphore; models a critical-section lock.
+
+    Tracks the cumulative time processes spend blocked, which the machine
+    model uses for contention accounting.
+    """
+
+    def __init__(self, engine: Engine, name: str = ""):
+        super().__init__(engine, initial=1, name=name)
+        self.total_blocked_time = 0
+        self.acquisitions = 0
+
+    def locked(self) -> bool:
+        return self._count == 0
+
+    def hold(self, duration: int) -> Generator[_Effect, Any, None]:
+        """Process helper: acquire, hold for ``duration`` cycles, release."""
+        t0 = self.engine.now
+        yield self.acquire()
+        self.total_blocked_time += self.engine.now - t0
+        self.acquisitions += 1
+        try:
+            yield Timeout(duration)
+        finally:
+            self.release()
+
+
+class SimQueue:
+    """Unbounded FIFO queue of items with blocking ``get``."""
+
+    def __init__(self, engine: Engine, name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Signal] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            sig = self._getters.popleft()
+            sig.trigger(self.engine, item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> _Effect:
+        """Effect resolving to the next item (FIFO across waiters)."""
+        if self._items:
+            return Timeout(0, self._items.popleft())
+        sig = Signal(f"{self.name}.get")
+        self._getters.append(sig)
+        return sig
+
+
+class Store:
+    """A write-once cell observable by many readers.
+
+    Used for broadcast rendezvous where a value becomes available exactly
+    once (e.g. a loop's shared trip-count).
+    """
+
+    def __init__(self, engine: Engine, name: str = ""):
+        self.engine = engine
+        self._signal = Signal(name)
+
+    @property
+    def is_set(self) -> bool:
+        return self._signal.triggered
+
+    def set(self, value: Any) -> None:
+        self._signal.trigger(self.engine, value)
+
+    def wait(self) -> _Effect:
+        return self._signal
+
+    def peek(self) -> Any:
+        return self._signal.value
+
+
+class Barrier:
+    """Reusable N-party barrier with generation counting.
+
+    ``yield barrier.arrive()`` suspends until ``parties`` processes have
+    arrived; all are then released simultaneously (same cycle).  The barrier
+    resets for the next generation.  Arrival order per generation is
+    recorded for analysis/debugging.
+    """
+
+    def __init__(self, engine: Engine, parties: int, name: str = ""):
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.engine = engine
+        self.parties = parties
+        self.name = name
+        self.generation = 0
+        self._arrived = 0
+        self._signal = Signal(f"{name}.gen0")
+        self.arrival_times: list[list[int]] = [[]]
+
+    def arrive(self) -> _Effect:
+        self.arrival_times[self.generation].append(self.engine.now)
+        self._arrived += 1
+        if self._arrived < self.parties:
+            return self._signal
+        # Last arrival: release everyone and reset.
+        sig = self._signal
+        self.generation += 1
+        self._arrived = 0
+        self._signal = Signal(f"{self.name}.gen{self.generation}")
+        self.arrival_times.append([])
+        sig.trigger(self.engine, self.generation - 1)
+        return Timeout(0, self.generation - 1)
+
+
+def at(engine: Engine, time: int, fn: Callable[[], Optional[Any]]) -> None:
+    """Run ``fn`` (no arguments) at absolute simulation time ``time``."""
+    if time < engine.now:
+        raise SimulationError(f"cannot schedule at past time {time} (now {engine.now})")
+    engine.schedule(time - engine.now, lambda _value: fn())

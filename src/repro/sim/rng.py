@@ -1,0 +1,93 @@
+"""Deterministic pseudo-random number streams for the simulator.
+
+The simulator must be bit-reproducible across platforms and Python versions,
+so randomness is provided by an explicit SplitMix64 implementation rather
+than :mod:`random` or NumPy's global state.  Streams can be forked with
+:meth:`SplitMix64.fork` so independent machine components (memory system,
+per-CE jitter) draw from decorrelated sequences derived from one seed.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+class SplitMix64:
+    """SplitMix64 generator (Steele, Lea & Flood 2014).
+
+    Passes BigCrush when used as a 64-bit generator; tiny state makes
+    forked, reproducible sub-streams cheap.
+    """
+
+    __slots__ = ("_state",)
+
+    def __init__(self, seed: int):
+        self._state = seed & _MASK64
+
+    @property
+    def state(self) -> int:
+        """Current internal state (for checkpoint/restore)."""
+        return self._state
+
+    def next_u64(self) -> int:
+        """Next raw 64-bit output."""
+        self._state = (self._state + _GOLDEN) & _MASK64
+        z = self._state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        return z ^ (z >> 31)
+
+    def uniform(self) -> float:
+        """Uniform float in [0, 1) with 53 bits of precision."""
+        return (self.next_u64() >> 11) * (1.0 / (1 << 53))
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Uniform integer in the inclusive range [lo, hi].
+
+        Uses rejection sampling to avoid modulo bias.
+        """
+        if hi < lo:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        span = hi - lo + 1
+        # Largest multiple of span that fits in 64 bits.
+        limit = (_MASK64 + 1) - ((_MASK64 + 1) % span)
+        while True:
+            v = self.next_u64()
+            if v < limit:
+                return lo + (v % span)
+
+    def jitter(self, base: int, fraction: float) -> int:
+        """Integer ``base`` perturbed by up to ±``fraction`` of itself.
+
+        Used for small deterministic timing noise (memory contention); the
+        result is always >= 0 and equals ``base`` when ``fraction == 0``.
+        """
+        if fraction < 0:
+            raise ValueError("jitter fraction must be >= 0")
+        if fraction == 0 or base == 0:
+            return base
+        span = max(1, int(base * fraction))
+        return max(0, base + self.randint(-span, span))
+
+    def fork(self, label: int) -> "SplitMix64":
+        """Derive an independent stream keyed by ``label``.
+
+        Forking with distinct labels from the same parent yields
+        decorrelated streams; forking twice with the same label yields the
+        same stream (useful for reproducing a component's draw sequence).
+        """
+        mixer = SplitMix64((self._state ^ (label * _GOLDEN)) & _MASK64)
+        return SplitMix64(mixer.next_u64())
+
+    def choice(self, seq):
+        """Uniformly pick one element of a non-empty sequence."""
+        if not seq:
+            raise ValueError("cannot choose from an empty sequence")
+        return seq[self.randint(0, len(seq) - 1)]
+
+    def shuffle(self, items: list) -> None:
+        """In-place Fisher-Yates shuffle."""
+        for i in range(len(items) - 1, 0, -1):
+            j = self.randint(0, i)
+            items[i], items[j] = items[j], items[i]

@@ -1,0 +1,36 @@
+"""Event-trace model: events, traces, partial orders, and trace file I/O.
+
+Terminology follows the paper (§2): a *logical event trace* τ is the
+time-ordered event sequence of the uninstrumented ("actual") execution; a
+*measured event trace* τ_m is the trace captured by instrumentation and
+reflects the perturbed execution.  Perturbation analysis
+(:mod:`repro.analysis`) maps τ_m to an *approximated* trace τ_a.
+"""
+
+from repro.trace.events import EventKind, TraceEvent, SYNC_KINDS, is_sync_kind
+from repro.trace.trace import Trace, ThreadView, TraceError
+from repro.trace.order import (
+    happened_before_pairs,
+    sync_partial_order,
+    verify_causality,
+    verify_feasible,
+    CausalityViolation,
+)
+from repro.trace.io import write_trace, read_trace
+
+__all__ = [
+    "EventKind",
+    "TraceEvent",
+    "SYNC_KINDS",
+    "is_sync_kind",
+    "Trace",
+    "ThreadView",
+    "TraceError",
+    "happened_before_pairs",
+    "sync_partial_order",
+    "verify_causality",
+    "verify_feasible",
+    "CausalityViolation",
+    "write_trace",
+    "read_trace",
+]

@@ -1,0 +1,167 @@
+"""Trace event records.
+
+Every observable action in an execution is a :class:`TraceEvent`.  The
+vocabulary mirrors the paper's instrumentation (§4.2.2): statement events,
+``advance`` events, begin/end ``await`` events (``awaitB`` / ``awaitE``),
+plus barrier and loop-structure markers needed for the DOACROSS model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+
+class EventKind(enum.Enum):
+    """The kind of action a trace event records."""
+
+    PROG_BEGIN = "prog_begin"
+    PROG_END = "prog_end"
+    STMT = "stmt"  # execution of one program statement
+    LOOP_BEGIN = "loop_begin"  # a CE enters a parallel loop
+    LOOP_END = "loop_end"  # a CE leaves a parallel loop (after barrier)
+    ITER_BEGIN = "iter_begin"  # a CE is dispatched an iteration
+    ADVANCE = "advance"  # advance(A, i) completed
+    AWAIT_B = "awaitB"  # await(A, i) began
+    AWAIT_E = "awaitE"  # await(A, i) satisfied
+    BARRIER_ARRIVE = "barrier_arrive"
+    BARRIER_EXIT = "barrier_exit"
+    LOCK_REQ = "lockReq"  # lock(L) requested
+    LOCK_ACQ = "lockAcq"  # lock(L) acquired
+    LOCK_REL = "lockRel"  # lock(L) released
+    SEM_REQ = "semReq"  # P(S) requested
+    SEM_ACQ = "semAcq"  # P(S) granted
+    SEM_SIG = "semSig"  # V(S) completed
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Kinds that participate in inter-thread synchronization semantics.
+SYNC_KINDS = frozenset(
+    {
+        EventKind.ADVANCE,
+        EventKind.AWAIT_B,
+        EventKind.AWAIT_E,
+        EventKind.BARRIER_ARRIVE,
+        EventKind.BARRIER_EXIT,
+        EventKind.LOCK_REQ,
+        EventKind.LOCK_ACQ,
+        EventKind.LOCK_REL,
+        EventKind.SEM_REQ,
+        EventKind.SEM_ACQ,
+        EventKind.SEM_SIG,
+    }
+)
+
+
+def is_sync_kind(kind: EventKind) -> bool:
+    """True if events of this kind carry synchronization semantics."""
+    return kind in SYNC_KINDS
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One event in an execution trace.
+
+    Slotted: traces hold up to millions of these, and attribute access is
+    on the analysis hot path.
+
+    Attributes
+    ----------
+    time:
+        Occurrence time in machine cycles (the paper's ``t(e)``).  For a
+        measured trace this is the perturbed timestamp ``t_m``; for a
+        logical or approximated trace it is ``t`` / ``t_a``.
+    thread:
+        Computational element (CE) id the event occurred on.
+    kind:
+        Event kind; see :class:`EventKind`.
+    eid:
+        Event identifier: the static statement id in the program
+        (the paper's ``eid``).  -1 for structural markers without a
+        corresponding statement.
+    seq:
+        Per-trace sequence number assigned at recording time; gives a
+        stable total order even among equal timestamps.
+    iteration:
+        Loop iteration index this event belongs to, or None outside loops.
+        For sync events this is the unique pairing identifier the paper's
+        instrumentation stores (§4.2.2).
+    sync_var:
+        Synchronization variable name for advance/await events.
+    sync_index:
+        The index argument ``i`` of ``advance(A, i)`` / ``await(A, i)``.
+    label:
+        Human-readable statement label (diagnostics only).
+    overhead:
+        Instrumentation overhead, in cycles, charged at this event by the
+        tracer.  This is *metadata the analysis is allowed to use* (the
+        paper's measured per-event instrumentation costs); it never includes
+        any ground-truth information about the uninstrumented run.
+    """
+
+    time: int
+    thread: int
+    kind: EventKind
+    eid: int = -1
+    seq: int = -1
+    iteration: Optional[int] = None
+    sync_var: Optional[str] = None
+    sync_index: Optional[int] = None
+    label: str = ""
+    overhead: int = 0
+
+    def with_time(self, time: int) -> "TraceEvent":
+        """Copy of this event re-timed (used when building approximations)."""
+        return replace(self, time=int(time))
+
+    @property
+    def sync_key(self) -> tuple[str, int]:
+        """Pairing key for advance/await matching."""
+        if self.sync_var is None or self.sync_index is None:
+            raise ValueError(f"event has no sync identity: {self}")
+        return (self.sync_var, self.sync_index)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form for serialization."""
+        d: dict[str, Any] = {
+            "time": self.time,
+            "thread": self.thread,
+            "kind": self.kind.value,
+            "eid": self.eid,
+            "seq": self.seq,
+            "overhead": self.overhead,
+        }
+        if self.iteration is not None:
+            d["iteration"] = self.iteration
+        if self.sync_var is not None:
+            d["sync_var"] = self.sync_var
+        if self.sync_index is not None:
+            d["sync_index"] = self.sync_index
+        if self.label:
+            d["label"] = self.label
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "TraceEvent":
+        return cls(
+            time=int(d["time"]),
+            thread=int(d["thread"]),
+            kind=EventKind(d["kind"]),
+            eid=int(d.get("eid", -1)),
+            seq=int(d.get("seq", -1)),
+            iteration=d.get("iteration"),
+            sync_var=d.get("sync_var"),
+            sync_index=d.get("sync_index"),
+            label=d.get("label", ""),
+            overhead=int(d.get("overhead", 0)),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = ""
+        if self.sync_var is not None:
+            extra = f" {self.sync_var}[{self.sync_index}]"
+        it = f" it={self.iteration}" if self.iteration is not None else ""
+        return f"[t={self.time} ce={self.thread}] {self.kind.value}{extra}{it} {self.label}"

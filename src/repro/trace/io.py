@@ -1,0 +1,77 @@
+"""Trace file I/O.
+
+Traces are stored as JSON Lines: a header object on the first line
+(``{"format": ..., "meta": {...}}``) followed by one event object per line.
+JSONL keeps files streamable and diff-friendly for multi-million event
+traces while remaining human-inspectable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Union
+
+from repro.trace.events import TraceEvent
+from repro.trace.trace import Trace, TraceError
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+
+
+def write_trace(trace: Trace, path: Union[str, Path, IO[str]]) -> None:
+    """Write a trace to ``path`` (a path or an open text handle)."""
+    header = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "meta": trace.meta,
+        "n_events": len(trace),
+    }
+    if hasattr(path, "write"):
+        _write_stream(trace, header, path)  # type: ignore[arg-type]
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            _write_stream(trace, header, fh)
+
+
+def _write_stream(trace: Trace, header: dict, fh: IO[str]) -> None:
+    fh.write(json.dumps(header, sort_keys=True) + "\n")
+    for event in trace:
+        fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+
+
+def read_trace(path: Union[str, Path, IO[str]]) -> Trace:
+    """Read a trace previously written by :func:`write_trace`."""
+    if hasattr(path, "read"):
+        return _read_stream(path)  # type: ignore[arg-type]
+    with open(path, "r", encoding="utf-8") as fh:
+        return _read_stream(fh)
+
+
+def _read_stream(fh: IO[str]) -> Trace:
+    first = fh.readline()
+    if not first:
+        raise TraceError("empty trace file")
+    try:
+        header = json.loads(first)
+    except json.JSONDecodeError as exc:
+        raise TraceError(f"bad trace header: {exc}") from exc
+    if header.get("format") != FORMAT_NAME:
+        raise TraceError(f"not a {FORMAT_NAME} file (format={header.get('format')!r})")
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceError(f"unsupported trace version {header.get('version')!r}")
+    events = []
+    for lineno, line in enumerate(fh, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(TraceEvent.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, ValueError) as exc:
+            raise TraceError(f"bad event on line {lineno}: {exc}") from exc
+    declared = header.get("n_events")
+    if declared is not None and declared != len(events):
+        raise TraceError(
+            f"truncated trace: header declares {declared} events, found {len(events)}"
+        )
+    return Trace(events, meta=header.get("meta", {}))

@@ -1,0 +1,197 @@
+"""Happened-before and feasibility checking on traces.
+
+The paper's conservative approximation requirement (§4.1): an approximated
+execution is *feasible* iff it preserves the partial order defined by (a)
+per-thread program order and (b) the synchronization relationships —
+``advance(A, i)`` happened-before ``awaitE(A, i)``, and every
+``barrier_arrive`` of a generation happened-before every ``barrier_exit`` of
+that generation.  These checks are used by tests and by
+:func:`repro.analysis.eventbased.event_based_approximation` to validate its
+own output.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.trace import Trace, TraceError
+
+
+class CausalityViolation(TraceError):
+    """An ordering required by synchronization semantics does not hold."""
+
+
+def _barrier_generations(trace: Trace) -> dict[tuple[str, int], dict[str, list[TraceEvent]]]:
+    """Group barrier events by (barrier name, generation).
+
+    Barrier events reuse ``sync_var`` for the barrier name and
+    ``sync_index`` for the generation number.
+    """
+    gens: dict[tuple[str, int], dict[str, list[TraceEvent]]] = {}
+    for e in trace.events:
+        if e.kind in (EventKind.BARRIER_ARRIVE, EventKind.BARRIER_EXIT):
+            key = (e.sync_var or "barrier", e.sync_index or 0)
+            bucket = gens.setdefault(key, {"arrive": [], "exit": []})
+            bucket["arrive" if e.kind is EventKind.BARRIER_ARRIVE else "exit"].append(e)
+    return gens
+
+
+def sync_partial_order(trace: Trace) -> list[tuple[TraceEvent, TraceEvent]]:
+    """The inter-thread edges of the happened-before relation.
+
+    Returns (earlier, later) pairs:
+
+    * ``advance(A, i)`` -> ``awaitE(A, i)`` for each matched pair;
+    * each ``barrier_arrive`` -> each ``barrier_exit`` of the same
+      (barrier, generation);
+    * ``lockRel`` of the k-th acquisition of a lock -> ``lockAcq`` of the
+      (k+1)-th, in the trace's own acquisition order (mutual exclusion).
+    """
+    edges: list[tuple[TraceEvent, TraceEvent]] = []
+    advances = trace.advances()
+    for key, (_b, end) in trace.await_pairs().items():
+        adv = advances.get(key)
+        if adv is None:
+            if key[1] < 0:
+                # DOACROSS prologue: awaits on negative indices are satisfied
+                # immediately and have no producer by construction.
+                continue
+            raise CausalityViolation(f"awaitE {key} has no matching advance")
+        edges.append((adv, end))
+    for _key, bucket in _barrier_generations(trace).items():
+        for arrive in bucket["arrive"]:
+            for exit_ in bucket["exit"]:
+                edges.append((arrive, exit_))
+    uses = trace.lock_uses()
+    for _lock, keys in trace.lock_acquisition_order().items():
+        for prev_key, next_key in zip(keys, keys[1:]):
+            edges.append((uses[prev_key]["rel"], uses[next_key]["acq"]))
+        # Within one use: req -> acq -> rel (often same thread, but the
+        # edge also covers handoff bookkeeping threads).
+        for key in keys:
+            edges.append((uses[key]["req"], uses[key]["acq"]))
+            edges.append((uses[key]["acq"], uses[key]["rel"]))
+    sem_uses = trace.sem_uses()
+    if sem_uses:
+        capacities = trace.meta.get("semaphores")
+        if not capacities:
+            raise CausalityViolation(
+                "trace has semaphore events but no declared capacities in "
+                "its metadata"
+            )
+        grant_order = trace.sem_grant_order()
+        signal_order = trace.sem_signal_order()
+        for sem, grants in grant_order.items():
+            cap = int(capacities[sem])
+            signals = signal_order[sem]
+            # The k-th grant (0-based) consumes the unit freed by the
+            # (k - cap)-th signal; the first `cap` grants need none.
+            for k, key in enumerate(grants):
+                if k >= cap:
+                    edges.append(
+                        (sem_uses[signals[k - cap]]["sig"], sem_uses[key]["acq"])
+                    )
+                edges.append((sem_uses[key]["req"], sem_uses[key]["acq"]))
+                edges.append((sem_uses[key]["acq"], sem_uses[key]["sig"]))
+    return edges
+
+
+def happened_before_pairs(trace: Trace) -> Iterator[tuple[TraceEvent, TraceEvent]]:
+    """All covering edges of happened-before: program order + sync edges.
+
+    Program order contributes consecutive same-thread pairs only (the
+    transitive closure is implied).
+    """
+    for view in trace.by_thread().values():
+        for a, b in zip(view.events, view.events[1:]):
+            yield (a, b)
+    yield from sync_partial_order(trace)
+
+
+def verify_causality(trace: Trace) -> None:
+    """Check that timestamps respect happened-before.
+
+    Same-thread successors must not be earlier than predecessors; sync
+    edges must satisfy ``t(earlier) <= t(later)``.  Raises
+    :class:`CausalityViolation` on the first violation found.
+    """
+    for a, b in happened_before_pairs(trace):
+        if b.time < a.time:
+            raise CausalityViolation(
+                f"event order violates causality:\n  earlier: {a}\n  later:   {b}"
+            )
+
+
+def verify_feasible(approx: Trace, measured: Trace) -> None:
+    """Check that ``approx`` is a conservative approximation of ``measured``.
+
+    Requirements (§4.1): the approximation must contain the same dependent
+    (sync) events with the same pairing, and the relative order of dependent
+    events present in the measured execution must be maintained.  Raises
+    :class:`CausalityViolation` if not.
+    """
+    # Same sync vocabulary.
+    m_adv = set(measured.advances().keys())
+    a_adv = set(approx.advances().keys())
+    if m_adv != a_adv:
+        raise CausalityViolation(
+            f"advance sets differ: only-measured={sorted(m_adv - a_adv)}, "
+            f"only-approx={sorted(a_adv - m_adv)}"
+        )
+    m_pairs = set(measured.await_pairs().keys())
+    a_pairs = set(approx.await_pairs().keys())
+    if m_pairs != a_pairs:
+        raise CausalityViolation(
+            f"await sets differ: only-measured={sorted(m_pairs - a_pairs)}, "
+            f"only-approx={sorted(a_pairs - m_pairs)}"
+        )
+    # Conservative lock analysis must preserve the measured acquisition
+    # order per lock.
+    m_order = measured.lock_acquisition_order()
+    a_order = approx.lock_acquisition_order()
+    if set(m_order) != set(a_order):
+        raise CausalityViolation(
+            f"lock sets differ: measured={sorted(m_order)}, approx={sorted(a_order)}"
+        )
+    for lock, keys in m_order.items():
+        if a_order[lock] != keys:
+            raise CausalityViolation(
+                f"lock {lock!r} acquisition order changed in the approximation"
+            )
+    m_sem = measured.sem_grant_order()
+    a_sem = approx.sem_grant_order()
+    if set(m_sem) != set(a_sem):
+        raise CausalityViolation(
+            f"semaphore sets differ: measured={sorted(m_sem)}, approx={sorted(a_sem)}"
+        )
+    for sem, keys in m_sem.items():
+        if a_sem[sem] != keys:
+            raise CausalityViolation(
+                f"semaphore {sem!r} grant order changed in the approximation"
+            )
+    # Approximation's own timestamps must respect the partial order.
+    verify_causality(approx)
+
+
+def critical_path_length(trace: Trace) -> int:
+    """Length (in cycles) of the longest happened-before chain.
+
+    Computed by a forward relaxation over events in total order; a useful
+    lower bound on any feasible execution's duration given the same event
+    durations.
+    """
+    if not trace.events:
+        return 0
+    # Build successor edges keyed by event seq.
+    dist: dict[int, int] = {}
+    incoming: dict[int, list[TraceEvent]] = {}
+    for a, b in happened_before_pairs(trace):
+        incoming.setdefault(b.seq, []).append(a)
+    longest = 0
+    for e in trace.events:  # total order is a topological order (verified traces)
+        preds = incoming.get(e.seq, [])
+        base = max((dist[p.seq] + (e.time - p.time) for p in preds), default=0)
+        dist[e.seq] = base
+        longest = max(longest, base)
+    return longest

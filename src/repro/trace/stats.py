@@ -1,0 +1,111 @@
+"""Descriptive statistics over traces.
+
+Tooling-level summaries (no perturbation semantics): event counts by kind
+and thread, event rates, instrumentation overhead totals, and
+synchronization inventories.  Used by the ``repro-trace`` command-line
+tool and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.trace.events import EventKind, TraceEvent, is_sync_kind
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary of one trace."""
+
+    n_events: int
+    n_threads: int
+    duration: int
+    by_kind: dict[str, int]
+    by_thread: dict[int, int]
+    total_overhead: int
+    sync_vars: tuple[str, ...]
+    locks: tuple[str, ...]
+    loops: tuple[str, ...]
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Instrumentation overhead as a fraction of thread-time.
+
+        Upper bound: overhead cycles divided by (duration x threads).
+        """
+        if self.duration <= 0 or self.n_threads == 0:
+            return 0.0
+        return self.total_overhead / (self.duration * self.n_threads)
+
+    def events_per_kilocycle(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return 1000.0 * self.n_events / self.duration
+
+
+def trace_stats(trace: Trace) -> TraceStats:
+    """Compute summary statistics for a trace."""
+    by_kind: dict[str, int] = {}
+    by_thread: dict[int, int] = {}
+    sync_vars: set[str] = set()
+    locks: set[str] = set()
+    loops: set[str] = set()
+    total_overhead = 0
+    for e in trace.events:
+        by_kind[e.kind.value] = by_kind.get(e.kind.value, 0) + 1
+        by_thread[e.thread] = by_thread.get(e.thread, 0) + 1
+        total_overhead += e.overhead
+        if e.kind in (EventKind.ADVANCE, EventKind.AWAIT_B, EventKind.AWAIT_E):
+            if e.sync_var:
+                sync_vars.add(e.sync_var)
+        elif e.kind in (EventKind.LOCK_REQ, EventKind.LOCK_ACQ, EventKind.LOCK_REL):
+            if e.sync_var:
+                locks.add(e.sync_var)
+        elif e.kind is EventKind.LOOP_BEGIN:
+            loops.add(e.label)
+    return TraceStats(
+        n_events=len(trace),
+        n_threads=len(trace.threads),
+        duration=trace.duration,
+        by_kind=dict(sorted(by_kind.items())),
+        by_thread=dict(sorted(by_thread.items())),
+        total_overhead=total_overhead,
+        sync_vars=tuple(sorted(sync_vars)),
+        locks=tuple(sorted(locks)),
+        loops=tuple(sorted(loops)),
+    )
+
+
+def render_stats(stats: TraceStats, meta: Optional[dict] = None) -> str:
+    """Human-readable one-page summary."""
+    lines = []
+    if meta:
+        lines.append(
+            f"program={meta.get('program', '?')} kind={meta.get('kind', '?')} "
+            f"plan={meta.get('plan', '?')}"
+        )
+    lines.append(
+        f"{stats.n_events} events on {stats.n_threads} thread(s), "
+        f"{stats.duration} cycles "
+        f"({stats.events_per_kilocycle():.1f} events/kcycle)"
+    )
+    if stats.total_overhead:
+        lines.append(
+            f"instrumentation overhead: {stats.total_overhead} cycles "
+            f"({stats.overhead_fraction:.1%} of thread-time)"
+        )
+    lines.append("events by kind:")
+    for kind, count in stats.by_kind.items():
+        lines.append(f"  {kind:<16} {count}")
+    lines.append("events by thread:")
+    for thread, count in stats.by_thread.items():
+        lines.append(f"  CE{thread:<3} {count}")
+    if stats.loops:
+        lines.append(f"loops: {', '.join(stats.loops)}")
+    if stats.sync_vars:
+        lines.append(f"sync variables: {', '.join(stats.sync_vars)}")
+    if stats.locks:
+        lines.append(f"locks: {', '.join(stats.locks)}")
+    return "\n".join(lines)

@@ -1,0 +1,270 @@
+"""Trace containers.
+
+A :class:`Trace` holds the totally-ordered event sequence of one execution
+plus execution metadata.  Per-thread projections (:class:`ThreadView`) give
+the thread-local event order that both analysis phases walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from repro.trace.events import EventKind, TraceEvent
+
+
+class TraceError(ValueError):
+    """Raised for structurally invalid traces."""
+
+
+@dataclass
+class ThreadView:
+    """The events of a single thread, in thread-local (program) order."""
+
+    thread: int
+    events: list[TraceEvent]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __getitem__(self, i: int) -> TraceEvent:
+        return self.events[i]
+
+    @property
+    def start_time(self) -> int:
+        return self.events[0].time if self.events else 0
+
+    @property
+    def end_time(self) -> int:
+        return self.events[-1].time if self.events else 0
+
+
+class Trace:
+    """A totally-ordered event trace with metadata.
+
+    Events are stored sorted by ``(time, seq)``.  The constructor normalises
+    ordering and (re)assigns sequence numbers when they are missing.
+
+    Parameters
+    ----------
+    events:
+        The trace events.
+    meta:
+        Free-form metadata dictionary.  Conventional keys used by this
+        package: ``program`` (name), ``n_threads``, ``instrumented`` (bool),
+        ``kind`` (``"logical" | "measured" | "approximated"``),
+        ``clock_mhz``.
+    """
+
+    def __init__(self, events: Iterable[TraceEvent], meta: Optional[dict[str, Any]] = None):
+        evs = list(events)
+        needs_seq = any(e.seq < 0 for e in evs)
+        if needs_seq:
+            # Preserve given order for equal timestamps, then stamp seq.
+            evs.sort(key=lambda e: e.time)
+            evs = [
+                TraceEvent(
+                    time=e.time,
+                    thread=e.thread,
+                    kind=e.kind,
+                    eid=e.eid,
+                    seq=i,
+                    iteration=e.iteration,
+                    sync_var=e.sync_var,
+                    sync_index=e.sync_index,
+                    label=e.label,
+                    overhead=e.overhead,
+                )
+                for i, e in enumerate(evs)
+            ]
+        else:
+            evs.sort(key=lambda e: (e.time, e.seq))
+        self.events: list[TraceEvent] = evs
+        self.meta: dict[str, Any] = dict(meta or {})
+        self._thread_cache: Optional[dict[int, ThreadView]] = None
+
+    # -- container protocol ------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __getitem__(self, i: int) -> TraceEvent:
+        return self.events[i]
+
+    # -- structure -----------------------------------------------------------
+    @property
+    def threads(self) -> list[int]:
+        """Sorted list of thread ids appearing in the trace."""
+        return sorted(self.by_thread().keys())
+
+    def by_thread(self) -> dict[int, ThreadView]:
+        """Per-thread projections, each in thread-local order."""
+        if self._thread_cache is None:
+            buckets: dict[int, list[TraceEvent]] = {}
+            for e in self.events:
+                buckets.setdefault(e.thread, []).append(e)
+            self._thread_cache = {
+                t: ThreadView(t, evs) for t, evs in buckets.items()
+            }
+        return self._thread_cache
+
+    def thread(self, thread_id: int) -> ThreadView:
+        views = self.by_thread()
+        if thread_id not in views:
+            raise TraceError(f"no events for thread {thread_id}")
+        return views[thread_id]
+
+    def of_kind(self, *kinds: EventKind) -> list[TraceEvent]:
+        """All events of the given kind(s), in total order."""
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    # -- timing -----------------------------------------------------------
+    @property
+    def start_time(self) -> int:
+        return self.events[0].time if self.events else 0
+
+    @property
+    def end_time(self) -> int:
+        return self.events[-1].time if self.events else 0
+
+    @property
+    def duration(self) -> int:
+        """Total execution time spanned by the trace, in cycles."""
+        return self.end_time - self.start_time
+
+    def duration_us(self, clock_mhz: Optional[float] = None) -> float:
+        """Duration in microseconds given a clock rate (meta fallback)."""
+        mhz = clock_mhz if clock_mhz is not None else self.meta.get("clock_mhz")
+        if not mhz:
+            raise TraceError("no clock rate available to convert cycles to time")
+        return self.duration / mhz
+
+    # -- sync structure ----------------------------------------------------
+    def advances(self) -> dict[tuple[str, int], TraceEvent]:
+        """Map sync key -> advance event.  Duplicate advances are an error."""
+        out: dict[tuple[str, int], TraceEvent] = {}
+        for e in self.of_kind(EventKind.ADVANCE):
+            key = e.sync_key
+            if key in out:
+                raise TraceError(f"duplicate advance for {key}")
+            out[key] = e
+        return out
+
+    def await_pairs(self) -> dict[tuple[str, int], tuple[TraceEvent, TraceEvent]]:
+        """Map sync key -> (awaitB, awaitE) event pair for each await."""
+        begins: dict[tuple[str, int], TraceEvent] = {}
+        pairs: dict[tuple[str, int], tuple[TraceEvent, TraceEvent]] = {}
+        for e in self.events:
+            if e.kind is EventKind.AWAIT_B:
+                key = e.sync_key
+                if key in begins or key in pairs:
+                    raise TraceError(f"duplicate awaitB for {key}")
+                begins[key] = e
+            elif e.kind is EventKind.AWAIT_E:
+                key = e.sync_key
+                if key not in begins:
+                    raise TraceError(f"awaitE without awaitB for {key}")
+                pairs[key] = (begins.pop(key), e)
+        if begins:
+            raise TraceError(f"awaitB without awaitE for {sorted(begins)}")
+        return pairs
+
+    def lock_uses(self) -> dict[tuple[str, int], dict[str, TraceEvent]]:
+        """Map (lock, iteration) -> {"req": e, "acq": e, "rel": e}.
+
+        Each dynamic lock use must appear as a complete request/acquire/
+        release triple; anything else is a malformed trace.
+        """
+        out: dict[tuple[str, int], dict[str, TraceEvent]] = {}
+        roles = {
+            EventKind.LOCK_REQ: "req",
+            EventKind.LOCK_ACQ: "acq",
+            EventKind.LOCK_REL: "rel",
+        }
+        for e in self.events:
+            role = roles.get(e.kind)
+            if role is None:
+                continue
+            key = e.sync_key
+            bucket = out.setdefault(key, {})
+            if role in bucket:
+                raise TraceError(f"duplicate lock {role} for {key}")
+            bucket[role] = e
+        for key, bucket in out.items():
+            if set(bucket) != {"req", "acq", "rel"}:
+                raise TraceError(
+                    f"incomplete lock use {key}: has {sorted(bucket)}"
+                )
+        return out
+
+    def lock_acquisition_order(self) -> dict[str, list[tuple[str, int]]]:
+        """Per lock, the use keys in order of acquisition time."""
+        uses = self.lock_uses()
+        by_lock: dict[str, list[tuple[str, int]]] = {}
+        for key, bucket in uses.items():
+            by_lock.setdefault(key[0], []).append(key)
+        for lock, keys in by_lock.items():
+            keys.sort(key=lambda k: (uses[k]["acq"].time, uses[k]["acq"].seq))
+        return by_lock
+
+    def sem_uses(self) -> dict[tuple[str, int], dict[str, TraceEvent]]:
+        """Map (semaphore, iteration) -> {"req": e, "acq": e, "sig": e}."""
+        out: dict[tuple[str, int], dict[str, TraceEvent]] = {}
+        roles = {
+            EventKind.SEM_REQ: "req",
+            EventKind.SEM_ACQ: "acq",
+            EventKind.SEM_SIG: "sig",
+        }
+        for e in self.events:
+            role = roles.get(e.kind)
+            if role is None:
+                continue
+            key = e.sync_key
+            bucket = out.setdefault(key, {})
+            if role in bucket:
+                raise TraceError(f"duplicate semaphore {role} for {key}")
+            bucket[role] = e
+        for key, bucket in out.items():
+            if set(bucket) != {"req", "acq", "sig"}:
+                raise TraceError(
+                    f"incomplete semaphore use {key}: has {sorted(bucket)}"
+                )
+        return out
+
+    def sem_grant_order(self) -> dict[str, list[tuple[str, int]]]:
+        """Per semaphore, use keys ordered by grant (SEM_ACQ) time."""
+        uses = self.sem_uses()
+        by_sem: dict[str, list[tuple[str, int]]] = {}
+        for key in uses:
+            by_sem.setdefault(key[0], []).append(key)
+        for sem, keys in by_sem.items():
+            keys.sort(key=lambda k: (uses[k]["acq"].time, uses[k]["acq"].seq))
+        return by_sem
+
+    def sem_signal_order(self) -> dict[str, list[tuple[str, int]]]:
+        """Per semaphore, use keys ordered by signal (SEM_SIG) time."""
+        uses = self.sem_uses()
+        by_sem: dict[str, list[tuple[str, int]]] = {}
+        for key in uses:
+            by_sem.setdefault(key[0], []).append(key)
+        for sem, keys in by_sem.items():
+            keys.sort(key=lambda k: (uses[k]["sig"].time, uses[k]["sig"].seq))
+        return by_sem
+
+    def relabelled(self, **meta: Any) -> "Trace":
+        """Copy of this trace with updated metadata."""
+        new_meta = dict(self.meta)
+        new_meta.update(meta)
+        return Trace(self.events, new_meta)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Trace({len(self.events)} events, {len(self.threads)} threads, "
+            f"duration={self.duration}, kind={self.meta.get('kind', '?')})"
+        )

@@ -1,0 +1,202 @@
+"""``repro-trace`` — command-line utilities for trace files.
+
+Subcommands::
+
+    repro-trace info FILE              # metadata + summary statistics
+    repro-trace dump FILE [-n N] [--thread T] [--kind K]
+    repro-trace validate FILE          # causality / pairing checks
+    repro-trace diff FILE_A FILE_B     # compare two traces of one program
+    repro-trace analyze FILE [--method event|time] [--stats]
+
+``analyze`` applies perturbation analysis to a measured trace file using
+the default FX/80 platform constants (override the probe-cost scale with
+``--cost-scale``) and prints the approximated execution time plus,
+optionally, the recovered waiting/parallelism statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import event_based_approximation, time_based_approximation
+from repro.instrument import InstrumentationCosts, calibrate_analysis_constants
+from repro.machine.costs import FX80
+from repro.metrics import average_parallelism, waiting_percentages
+from repro.trace.events import EventKind
+from repro.trace.io import read_trace
+from repro.trace.order import CausalityViolation, verify_causality
+from repro.trace.stats import render_stats, trace_stats
+from repro.trace.trace import TraceError
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace", description="Inspect and analyze repro trace files."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="metadata and summary statistics")
+    p_info.add_argument("file")
+
+    p_dump = sub.add_parser("dump", help="print events")
+    p_dump.add_argument("file")
+    p_dump.add_argument("-n", type=int, default=40, help="max events (0 = all)")
+    p_dump.add_argument("--thread", type=int, default=None, help="filter by CE")
+    p_dump.add_argument("--kind", default=None, help="filter by event kind")
+
+    p_val = sub.add_parser("validate", help="causality and pairing checks")
+    p_val.add_argument("file")
+
+    p_diff = sub.add_parser("diff", help="compare two traces of one program")
+    p_diff.add_argument("file_a")
+    p_diff.add_argument("file_b")
+
+    p_an = sub.add_parser("analyze", help="apply perturbation analysis")
+    p_an.add_argument("file")
+    p_an.add_argument(
+        "--method", choices=("event", "time"), default="event",
+        help="analysis model (default: event-based)",
+    )
+    p_an.add_argument(
+        "--cost-scale", type=float, default=1.0,
+        help="scale factor on the default probe-cost table",
+    )
+    p_an.add_argument(
+        "--stats", action="store_true",
+        help="also print recovered waiting/parallelism statistics",
+    )
+    return parser
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    trace = read_trace(args.file)
+    print(render_stats(trace_stats(trace), meta=trace.meta))
+    return 0
+
+
+def cmd_dump(args: argparse.Namespace) -> int:
+    trace = read_trace(args.file)
+    kind = EventKind(args.kind) if args.kind else None
+    shown = 0
+    for e in trace:
+        if args.thread is not None and e.thread != args.thread:
+            continue
+        if kind is not None and e.kind is not kind:
+            continue
+        print(e)
+        shown += 1
+        if args.n and shown >= args.n:
+            remaining = len(trace) - shown
+            if remaining > 0:
+                print(f"... ({remaining} more; use -n 0 for all)")
+            break
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    trace = read_trace(args.file)
+    problems = []
+    try:
+        verify_causality(trace)
+    except (CausalityViolation, TraceError) as exc:
+        problems.append(f"causality: {exc}")
+    try:
+        trace.await_pairs()
+    except TraceError as exc:
+        problems.append(f"await pairing: {exc}")
+    try:
+        trace.lock_uses()
+    except TraceError as exc:
+        problems.append(f"lock pairing: {exc}")
+    if problems:
+        for p in problems:
+            print(f"FAIL {p}")
+        return 1
+    print(f"OK {len(trace)} events, causality and pairing verified")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    a = read_trace(args.file_a)
+    b = read_trace(args.file_b)
+    sa, sb = trace_stats(a), trace_stats(b)
+    print(f"A: {args.file_a}: {sa.n_events} events, {sa.duration} cycles")
+    print(f"B: {args.file_b}: {sb.n_events} events, {sb.duration} cycles")
+    if sa.duration:
+        print(f"duration ratio B/A: {sb.duration / sa.duration:.3f}")
+    kinds = sorted(set(sa.by_kind) | set(sb.by_kind))
+    print("\nevent counts by kind (A -> B):")
+    for kind in kinds:
+        ca, cb = sa.by_kind.get(kind, 0), sb.by_kind.get(kind, 0)
+        marker = "" if ca == cb else "   <- differs"
+        print(f"  {kind:<16} {ca:>8} -> {cb:<8}{marker}")
+    # Per-event timing comparison where identities match.
+    from repro.analysis.approximation import Approximation
+    from repro.analysis.errors import per_event_errors
+
+    pseudo = Approximation(
+        trace=b, method="diff", total_time=b.end_time,
+        times={e.seq: e.time for e in b},
+    )
+    stats = per_event_errors(pseudo, a)
+    if stats.n_matched:
+        print(
+            f"\nmatched {stats.n_matched} events by identity: "
+            f"mean time shift {stats.mean_signed_error:+.1f} cycles, "
+            f"mean |shift| {stats.mean_abs_error:.1f}, "
+            f"max |shift| {stats.max_abs_error}"
+        )
+    else:
+        print("\nno events matched by identity")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    trace = read_trace(args.file)
+    costs = InstrumentationCosts().scaled(args.cost_scale)
+    constants = calibrate_analysis_constants(FX80, costs)
+    if args.method == "event":
+        approx = event_based_approximation(trace, constants)
+    else:
+        approx = time_based_approximation(trace, constants)
+    measured_total = trace.end_time
+    print(f"measured total:      {measured_total} cycles")
+    print(f"approximated actual: {approx.total_time} cycles "
+          f"({approx.method})")
+    if approx.total_time:
+        print(f"perturbation removed: {measured_total / approx.total_time:.2f}x")
+    if args.stats:
+        report = waiting_percentages(approx.trace, constants)
+        print("\nrecovered per-CE waiting:")
+        for ce, pct in report.percentages().items():
+            print(f"  CE{ce}: {pct:5.2f}%")
+        try:
+            avg = average_parallelism(approx.trace, constants)
+            print(f"recovered average parallelism: {avg:.2f}")
+        except ValueError:
+            pass
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = make_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "dump": cmd_dump,
+        "validate": cmd_validate,
+        "analyze": cmd_analyze,
+        "diff": cmd_diff,
+    }
+    try:
+        return handlers[args.command](args)
+    except (TraceError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,71 @@
+"""Tests for the Approximation result type and trace rebuilding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.approximation import (
+    AnalysisError,
+    Approximation,
+    build_approx_trace,
+)
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.trace import Trace
+
+
+def sample_measured():
+    return Trace(
+        [
+            TraceEvent(time=10, thread=0, kind=EventKind.STMT, eid=0, seq=0, overhead=5),
+            TraceEvent(time=30, thread=0, kind=EventKind.STMT, eid=1, seq=1, overhead=5),
+            TraceEvent(time=25, thread=1, kind=EventKind.STMT, eid=2, seq=2, overhead=5),
+        ],
+        meta={"kind": "measured", "program": "p"},
+    )
+
+
+def test_build_approx_trace_retimes_and_zeroes_overhead():
+    measured = sample_measured()
+    times = {0: 5, 1: 20, 2: 18}
+    approx = build_approx_trace(measured, times, "time-based")
+    assert approx.meta["kind"] == "approximated"
+    assert approx.meta["method"] == "time-based"
+    by_seq = {e.seq: e for e in approx}
+    assert by_seq[0].time == 5 and by_seq[1].time == 20 and by_seq[2].time == 18
+    assert all(e.overhead == 0 for e in approx)
+    # Identity preserved.
+    assert by_seq[1].eid == 1 and by_seq[2].thread == 1
+
+
+def test_build_approx_trace_missing_time_raises():
+    measured = sample_measured()
+    with pytest.raises(AnalysisError, match="no approximated time"):
+        build_approx_trace(measured, {0: 5}, "x")
+
+
+def test_t_a_lookup_and_missing():
+    measured = sample_measured()
+    times = {0: 5, 1: 20, 2: 18}
+    approx = Approximation(
+        trace=build_approx_trace(measured, times, "m"),
+        method="m",
+        total_time=20,
+        times=times,
+    )
+    assert approx.t_a(measured[0]) == 5
+    stranger = TraceEvent(time=1, thread=0, kind=EventKind.STMT, seq=99)
+    with pytest.raises(AnalysisError):
+        approx.t_a(stranger)
+
+
+def test_thread_span():
+    measured = sample_measured()
+    times = {0: 5, 1: 20, 2: 18}
+    approx = Approximation(
+        trace=build_approx_trace(measured, times, "m"),
+        method="m",
+        total_time=20,
+        times=times,
+    )
+    assert approx.thread_span(0) == (5, 20)
+    assert approx.thread_span(1) == (18, 18)

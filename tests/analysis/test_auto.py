@@ -1,0 +1,54 @@
+"""Tests for the auto-selecting analysis front-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import auto_approximation
+from repro.analysis.approximation import AnalysisError
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE, PLAN_STATEMENTS
+
+from tests.conftest import build_toy_doacross, build_toy_sequential
+
+
+def test_picks_event_based_for_full_traces(constants, executor, toy_doacross):
+    measured = executor.run(toy_doacross, PLAN_FULL)
+    result = auto_approximation(measured.trace, constants)
+    assert result.method == "event-based"
+    assert "identity" in result.reason
+    assert result.warnings == ()
+
+
+def test_picks_time_based_for_sequential(constants, executor, toy_sequential):
+    measured = executor.run(toy_sequential, PLAN_STATEMENTS)
+    result = auto_approximation(measured.trace, constants)
+    assert result.method == "time-based"
+    assert result.warnings == ()
+
+
+def test_warns_on_parallel_statement_only(constants, executor, toy_doacross):
+    measured = executor.run(toy_doacross, PLAN_STATEMENTS)
+    result = auto_approximation(measured.trace, constants)
+    assert result.method == "time-based"
+    assert result.warnings and "unreliable" in result.warnings[0]
+
+
+def test_forced_methods(constants, executor, toy_doacross):
+    measured = executor.run(toy_doacross, PLAN_FULL)
+    assert auto_approximation(measured.trace, constants, "time").method == "time-based"
+    assert auto_approximation(measured.trace, constants, "event").method == "event-based"
+
+
+def test_auto_matches_actual(constants, toy_doacross):
+    ex = Executor(seed=12)
+    actual = ex.run(toy_doacross, PLAN_NONE)
+    measured = ex.run(toy_doacross, PLAN_FULL)
+    result = auto_approximation(measured.trace, constants)
+    assert result.total_time == actual.total_time
+
+
+def test_unknown_method_rejected(constants, executor, toy_sequential):
+    measured = executor.run(toy_sequential, PLAN_STATEMENTS)
+    with pytest.raises(AnalysisError, match="unknown method"):
+        auto_approximation(measured.trace, constants, "magic")

@@ -1,0 +1,94 @@
+"""Tests for approximation scoring utilities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    compare_ratios,
+    event_based_approximation,
+    per_event_errors,
+    percent_error,
+    time_based_approximation,
+)
+from repro.analysis.errors import EventErrorStats, ExecutionRatios
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE
+from repro.trace.events import EventKind
+
+from tests.conftest import build_toy_doacross
+
+
+def test_percent_error():
+    assert percent_error(110, 100) == pytest.approx(10.0)
+    assert percent_error(90, 100) == pytest.approx(-10.0)
+    with pytest.raises(ZeroDivisionError):
+        percent_error(1, 0)
+
+
+def test_execution_ratios_properties():
+    r = ExecutionRatios(
+        name="L3", actual_time=100, measured_time=456, approximated_time=96
+    )
+    assert r.measured_over_actual == pytest.approx(4.56)
+    assert r.approximated_over_actual == pytest.approx(0.96)
+    assert r.approximation_error_pct == pytest.approx(-4.0)
+    assert r.accuracy_improvement == pytest.approx(356 / 4)
+
+
+def test_accuracy_improvement_infinite_when_exact():
+    r = ExecutionRatios(name="x", actual_time=100, measured_time=400, approximated_time=100)
+    assert math.isinf(r.accuracy_improvement)
+
+
+def test_row_rendering():
+    r = ExecutionRatios(name="L17", actual_time=100, measured_time=1408, approximated_time=97)
+    row = r.row()
+    assert "L17" in row and "14.08" in row and "0.97" in row
+
+
+def test_compare_ratios_bundles(constants):
+    prog = build_toy_doacross(trips=60)
+    actual = Executor(seed=1).run(prog, PLAN_NONE)
+    measured = Executor(seed=1).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    r = compare_ratios("toy", actual.total_time, measured.total_time, approx)
+    assert r.method == "event-based"
+    assert r.approximated_time == approx.total_time
+
+
+def test_per_event_errors_matches_by_identity(constants):
+    prog = build_toy_doacross(trips=60)
+    actual = Executor(seed=1).run(prog, PLAN_NONE)
+    measured = Executor(seed=1).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    stats = per_event_errors(approx, actual.trace)
+    assert stats.n_matched > 100
+    assert stats.mean_abs_error >= 0
+    assert stats.rms_error >= stats.mean_abs_error or stats.rms_error == pytest.approx(
+        stats.mean_abs_error
+    )
+
+
+def test_per_event_errors_empty_when_disjoint_kinds(constants):
+    prog = build_toy_doacross(trips=20)
+    actual = Executor(seed=1).run(prog, PLAN_NONE)
+    measured = Executor(seed=1).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    stats = per_event_errors(approx, actual.trace, kinds={EventKind.PROG_BEGIN})
+    assert stats == EventErrorStats(0, 0.0, 0, 0.0, 0.0)
+
+
+def test_per_event_errors_signed_direction(constants):
+    """Time-based analysis on a blocked loop under-times late events:
+    signed error must be negative on average."""
+    from repro.instrument.plan import PLAN_STATEMENTS
+
+    prog = build_toy_doacross(trips=120)
+    actual = Executor(seed=1).run(prog, PLAN_NONE)
+    measured = Executor(seed=1).run(prog, PLAN_STATEMENTS)
+    approx = time_based_approximation(measured.trace, constants)
+    stats = per_event_errors(approx, actual.trace, kinds={EventKind.STMT})
+    assert stats.mean_signed_error < 0

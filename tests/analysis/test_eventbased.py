@@ -1,0 +1,280 @@
+"""Tests for event-based perturbation analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import event_based_approximation, per_event_errors
+from repro.analysis.approximation import AnalysisError
+from repro.exec import Executor, PerturbationConfig
+from repro.instrument.costs import AnalysisConstants, InstrumentationCosts
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.order import verify_feasible
+from repro.trace.trace import Trace
+
+from tests.conftest import build_toy_bigcs, build_toy_doacross, build_toy_sequential
+
+
+def test_exact_total_time_small_cs(constants):
+    """Event-based analysis recovers the actual time of the loop-3-shaped
+    toy exactly in the noise-free case."""
+    prog = build_toy_doacross(trips=150)
+    actual = Executor(seed=4).run(prog, PLAN_NONE)
+    measured = Executor(seed=4).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    assert approx.total_time == actual.total_time
+
+
+def test_exact_total_time_large_cs(constants):
+    prog = build_toy_bigcs(trips=80)
+    actual = Executor(seed=4).run(prog, PLAN_NONE)
+    measured = Executor(seed=4).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    assert approx.total_time == actual.total_time
+
+
+def test_close_under_noise(constants):
+    """With jitter+dilation the recovery is no longer exact but stays
+    within a few percent (the paper's -4%..+6% band)."""
+    prog = build_toy_doacross(trips=150)
+    ex = Executor(perturb=PerturbationConfig(dilation=0.04, jitter=0.05), seed=4)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    ratio = approx.total_time / actual.total_time
+    assert 0.9 < ratio < 1.1
+
+
+def test_approximation_is_feasible(constants):
+    """§4.1: conservative approximations preserve the measured partial
+    order — they are feasible executions."""
+    prog = build_toy_doacross(trips=100)
+    measured = Executor(seed=4).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    verify_feasible(approx.trace, measured.trace)
+
+
+def test_reintroduces_waiting_removed_by_instrumentation(constants):
+    """Figure 2 case A: waiting absent in the measured execution appears
+    in the approximation."""
+    prog = build_toy_doacross(trips=150)
+    measured = Executor(seed=4).run(prog, PLAN_FULL)
+    # Blocking prob is low in the statement-instrumented run but the
+    # *approximation* must contain long awaitB->awaitE spans again.
+    approx = event_based_approximation(measured.trace, constants)
+    spans = [
+        end.time - begin.time
+        for key, (begin, end) in approx.trace.await_pairs().items()
+        if key[1] >= 0
+    ]
+    blocked = [s for s in spans if s > constants.s_nowait]
+    assert len(blocked) > 0.8 * len(spans)
+
+
+def test_removes_waiting_caused_by_instrumentation(constants):
+    """Figure 2 case B: waiting present in the measured execution (caused
+    by probes inside the critical section) disappears."""
+    prog = build_toy_bigcs(trips=80)
+    measured = Executor(seed=4).run(prog, PLAN_FULL)
+    m_spans = [
+        e.time - b.time
+        for key, (b, e) in measured.trace.await_pairs().items()
+        if key[1] >= 0
+    ]
+    approx = event_based_approximation(measured.trace, constants)
+    a_spans = [
+        e.time - b.time
+        for key, (b, e) in approx.trace.await_pairs().items()
+        if key[1] >= 0
+    ]
+    m_blocked = sum(1 for s in m_spans if s > constants.s_nowait + 64)
+    a_blocked = sum(1 for s in a_spans if s > constants.s_nowait)
+    assert m_blocked > 0.8 * len(m_spans)
+    assert a_blocked < 0.3 * len(a_spans)
+
+
+def test_per_event_errors_zero_noise_free(constants):
+    prog = build_toy_doacross(trips=100)
+    actual = Executor(seed=4).run(prog, PLAN_NONE)
+    measured = Executor(seed=4).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    stats = per_event_errors(
+        approx, actual.trace, kinds={EventKind.ADVANCE, EventKind.AWAIT_E}
+    )
+    assert stats.n_matched > 150
+    assert stats.max_abs_error == 0
+
+
+def test_loop_anchor_removes_prologue_inflation(constants):
+    """Worker loop entry must not inherit the instrumented prologue's
+    inflated lateness."""
+    prog = build_toy_doacross(trips=40)
+    actual = Executor(seed=4).run(prog, PLAN_NONE)
+    measured = Executor(seed=4).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    a_begin = min(e.time for e in actual.trace.of_kind(EventKind.LOOP_BEGIN))
+    x_begin = min(e.time for e in approx.trace.of_kind(EventKind.LOOP_BEGIN))
+    m_begin = min(e.time for e in measured.trace.of_kind(EventKind.LOOP_BEGIN))
+    assert m_begin > a_begin  # instrumented prologue delayed the fork
+    assert x_begin == a_begin  # ...and the analysis removed that delay
+
+
+def test_barrier_exit_rule(constants):
+    prog = build_toy_doacross(trips=40)
+    measured = Executor(seed=4).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    arrives = approx.trace.of_kind(EventKind.BARRIER_ARRIVE)
+    exits = approx.trace.of_kind(EventKind.BARRIER_EXIT)
+    expected = max(e.time for e in arrives) + constants.barrier_release
+    assert all(e.time == expected for e in exits)
+
+
+def test_rejects_empty_trace(constants):
+    with pytest.raises(AnalysisError):
+        event_based_approximation(Trace([], meta={"instrumented": True}), constants)
+
+
+def test_rejects_uninstrumented(constants, executor, toy_doacross):
+    actual = executor.run(toy_doacross, PLAN_NONE)
+    with pytest.raises(AnalysisError):
+        event_based_approximation(actual.trace, constants)
+
+
+def test_awaite_without_advance_positive_index_rejected(constants):
+    events = [
+        TraceEvent(time=0, thread=0, kind=EventKind.STMT, seq=0, overhead=128),
+        TraceEvent(
+            time=10, thread=0, kind=EventKind.AWAIT_B, seq=1,
+            sync_var="A", sync_index=2, overhead=64,
+        ),
+        TraceEvent(
+            time=20, thread=0, kind=EventKind.AWAIT_E, seq=2,
+            sync_var="A", sync_index=2, overhead=64,
+        ),
+    ]
+    tr = Trace(events, meta={"instrumented": True})
+    with pytest.raises(AnalysisError, match="no matching advance"):
+        event_based_approximation(tr, constants)
+
+
+def test_prologue_await_negative_index_ok(constants):
+    events = [
+        TraceEvent(
+            time=10, thread=0, kind=EventKind.AWAIT_B, seq=0,
+            sync_var="A", sync_index=-1, overhead=64,
+        ),
+        TraceEvent(
+            time=20, thread=0, kind=EventKind.AWAIT_E, seq=1,
+            sync_var="A", sync_index=-1, overhead=64,
+        ),
+    ]
+    tr = Trace(events, meta={"instrumented": True})
+    approx = event_based_approximation(tr, constants)
+    # awaitB anchored at 10-64 -> clamped 0; awaitE = t_a(awaitB)+s_nowait.
+    b = approx.trace.of_kind(EventKind.AWAIT_B)[0]
+    e = approx.trace.of_kind(EventKind.AWAIT_E)[0]
+    assert e.time == b.time + constants.s_nowait
+
+
+def test_duplicate_advance_rejected(constants):
+    mk = lambda t, seq: TraceEvent(
+        time=t, thread=0, kind=EventKind.ADVANCE, seq=seq,
+        sync_var="A", sync_index=0, overhead=64,
+    )
+    tr = Trace([mk(5, 0), mk(9, 1)], meta={"instrumented": True})
+    with pytest.raises(AnalysisError, match="duplicate advance"):
+        event_based_approximation(tr, constants)
+
+
+def test_degenerates_to_timebased_without_sync(constants):
+    """On a sequential statement trace event-based == time-based."""
+    from repro.analysis import time_based_approximation
+    from repro.instrument.plan import PLAN_STATEMENTS
+
+    prog = build_toy_sequential(trips=30)
+    measured = Executor(seed=4).run(prog, PLAN_STATEMENTS)
+    eb = event_based_approximation(measured.trace, constants)
+    tb = time_based_approximation(measured.trace, constants)
+    assert eb.total_time == tb.total_time
+    assert eb.times == tb.times
+
+
+def test_thread_order_monotonic(constants):
+    prog = build_toy_bigcs(trips=60)
+    measured = Executor(seed=4).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    for view in approx.trace.by_thread().values():
+        times = [e.time for e in view]
+        assert times == sorted(times)
+
+
+def test_metadata_and_method(constants):
+    prog = build_toy_doacross(trips=30)
+    measured = Executor(seed=4).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    assert approx.method == "event-based"
+    assert approx.trace.meta["method"] == "event-based"
+
+
+def test_figure2_synthetic_case_waiting_introduced():
+    """Hand-built Figure 2(A): measured shows no waiting (advance precedes
+    awaitB) but overhead removal pushes the advance later than the awaitB,
+    so the approximation must introduce waiting via t_a(advance)+s_wait."""
+    constants = AnalysisConstants(
+        costs=InstrumentationCosts(
+            stmt_event=50, advance_event=10, await_b_event=10, await_e_event=10,
+            loop_event=0,
+        ),
+        s_nowait=2,
+        s_wait=5,
+        barrier_release=0,
+    )
+    events = [
+        # Thread 0: one heavy instrumented statement then the advance.
+        TraceEvent(time=60, thread=0, kind=EventKind.STMT, eid=0, seq=0, overhead=50),
+        TraceEvent(
+            time=75, thread=0, kind=EventKind.ADVANCE, eid=1, seq=1,
+            sync_var="A", sync_index=0, overhead=10,
+        ),
+        # Thread 1: awaits after the advance (measured: no waiting).
+        TraceEvent(
+            time=90, thread=1, kind=EventKind.AWAIT_B, eid=2, seq=2,
+            sync_var="A", sync_index=0, overhead=10,
+        ),
+        TraceEvent(
+            time=102, thread=1, kind=EventKind.AWAIT_E, eid=3, seq=3,
+            sync_var="A", sync_index=0, overhead=10,
+        ),
+    ]
+    tr = Trace(events, meta={"instrumented": True})
+    approx = event_based_approximation(tr, constants)
+    t = {e.seq: e.time for e in approx.trace}
+    # t_a(stmt)=10, t_a(advance)=10+15-10=15, t_a(awaitB)=90-10=80:
+    # advance(15) <= awaitB(80) -> no waiting: awaitE = 80+2.
+    assert t[1] == 15
+    assert t[3] == t[2] + constants.s_nowait
+
+    # Now flip: make thread 1 reach the await *before* the de-overheaded
+    # advance -> waiting must be introduced.
+    events2 = [
+        TraceEvent(time=60, thread=0, kind=EventKind.STMT, eid=0, seq=0, overhead=50),
+        TraceEvent(
+            time=75, thread=0, kind=EventKind.ADVANCE, eid=1, seq=1,
+            sync_var="A", sync_index=0, overhead=10,
+        ),
+        TraceEvent(
+            time=12, thread=1, kind=EventKind.AWAIT_B, eid=2, seq=2,
+            sync_var="A", sync_index=0, overhead=10,
+        ),
+        TraceEvent(
+            time=80, thread=1, kind=EventKind.AWAIT_E, eid=3, seq=3,
+            sync_var="A", sync_index=0, overhead=10,
+        ),
+    ]
+    tr2 = Trace(events2, meta={"instrumented": True})
+    approx2 = event_based_approximation(tr2, constants)
+    t2 = {e.seq: e.time for e in approx2.trace}
+    # t_a(awaitB)=12-10=2 < t_a(advance)=15 -> waiting is introduced:
+    assert t2[2] == 2
+    assert t2[3] == t2[1] + constants.s_wait == 20

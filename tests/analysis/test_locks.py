@@ -1,0 +1,311 @@
+"""Tests for lock-based synchronization: machine, executor, analysis.
+
+Locks extend the paper's advance/await study to general mutual exclusion
+(the conservative semaphore analysis of the framework the paper builds
+on): the measured acquisition order is preserved and the handoff chain is
+replayed with calibrated constants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import event_based_approximation, liberal_approximation
+from repro.analysis.approximation import AnalysisError
+from repro.exec import Executor, PerturbationConfig
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE, PLAN_STATEMENTS
+from repro.ir import ProgramBuilder, loop_body
+from repro.ir.program import ProgramError
+from repro.machine.bus import LockUnit
+from repro.machine.costs import CostTables
+from repro.sim.engine import Engine, ProcessCrashed, Timeout
+from repro.trace.events import EventKind
+from repro.trace.order import verify_causality, verify_feasible
+
+COSTS = CostTables()
+
+
+def lock_reduction(trips=120, work=30, cs=5):
+    """DOALL reduction protected by a lock."""
+    return (
+        ProgramBuilder("lock-reduce")
+        .compute("setup", cost=30, memory_refs=1)
+        .doall(
+            "R",
+            trips=trips,
+            body=loop_body()
+            .compute("control", cost=6)
+            .compute("partial", cost=work, memory_refs=2)
+            .lock("SUM")
+            .compute("accumulate", cost=cs, memory_refs=1)
+            .unlock("SUM"),
+        )
+        .compute("wrapup", cost=10)
+        .build()
+    )
+
+
+# ------------------------------------------------------------- LockUnit
+def test_uncontended_acquire_cost():
+    eng = Engine()
+    lock = LockUnit(eng, "L")
+    out = {}
+
+    def proc():
+        t0 = eng.now
+        waited = yield from lock.acquire(COSTS)
+        out["elapsed"] = eng.now - t0
+        out["waited"] = waited
+        yield from lock.release(COSTS)
+
+    eng.process(proc())
+    eng.run()
+    assert out == {"elapsed": COSTS.lock_acquire, "waited": False}
+    assert not lock.held
+
+
+def test_contended_acquire_fifo_handoff():
+    eng = Engine()
+    lock = LockUnit(eng, "L")
+    order = []
+
+    def user(name, start, hold):
+        yield Timeout(start)
+        yield from lock.acquire(COSTS)
+        order.append((name, eng.now))
+        yield Timeout(hold)
+        yield from lock.release(COSTS)
+
+    eng.process(user("a", 0, 50))
+    eng.process(user("b", 5, 10))
+    eng.process(user("c", 6, 10))
+    eng.run()
+    names = [n for n, _t in order]
+    assert names == ["a", "b", "c"]  # FIFO
+    # b acquires lock_handoff after a's release completes.
+    t_a = order[0][1]
+    t_b = order[1][1]
+    assert t_b == t_a + 50 + COSTS.lock_release + COSTS.lock_handoff
+    assert lock.wait_count == 2 and lock.nowait_count == 1
+
+
+def test_release_unheld_lock_crashes():
+    eng = Engine()
+    lock = LockUnit(eng, "L")
+
+    def proc():
+        yield from lock.release(COSTS)
+
+    eng.process(proc())
+    with pytest.raises(ProcessCrashed):
+        eng.run()
+
+
+# ------------------------------------------------------------ validation
+def test_unmatched_lock_rejected():
+    with pytest.raises(ProgramError, match="never released"):
+        (
+            ProgramBuilder("bad")
+            .doall("L", trips=4, body=loop_body().compute("w", cost=1).lock("X"))
+            .build()
+        )
+
+
+def test_release_without_acquire_rejected():
+    with pytest.raises(ProgramError, match="without matching acquire"):
+        (
+            ProgramBuilder("bad")
+            .doall("L", trips=4, body=loop_body().compute("w", cost=1).unlock("X"))
+            .build()
+        )
+
+
+def test_nested_locks_rejected():
+    with pytest.raises(ProgramError, match="nested"):
+        (
+            ProgramBuilder("bad")
+            .doall(
+                "L",
+                trips=4,
+                body=loop_body().lock("X").lock("Y").unlock("Y").unlock("X"),
+            )
+            .build()
+        )
+
+
+def test_lock_reuse_across_loops_rejected():
+    with pytest.raises(ProgramError, match="reused across loops"):
+        (
+            ProgramBuilder("bad")
+            .doall("L1", trips=4, body=loop_body().lock("X").compute("w", cost=1).unlock("X"))
+            .doall("L2", trips=4, body=loop_body().lock("X").compute("w", cost=1).unlock("X"))
+            .build()
+        )
+
+
+def test_lock_in_sequential_loop_rejected():
+    with pytest.raises(ProgramError, match="sequential"):
+        (
+            ProgramBuilder("bad")
+            .sequential_loop(
+                "S", trips=4, body=loop_body().lock("X").compute("w", cost=1).unlock("X")
+            )
+            .build()
+        )
+
+
+def test_lock_allowed_in_doacross():
+    prog = (
+        ProgramBuilder("mixed")
+        .doacross(
+            "M",
+            trips=8,
+            body=loop_body()
+            .compute("w", cost=5)
+            .await_("V", distance=1)
+            .compute("c", cost=2)
+            .advance("V")
+            .lock("X")
+            .compute("l", cost=2)
+            .unlock("X"),
+        )
+        .build()
+    )
+    assert prog.finalized
+
+
+# -------------------------------------------------------------- executor
+def test_logical_trace_has_lock_triples(executor):
+    prog = lock_reduction(trips=20)
+    result = executor.run(prog, PLAN_NONE)
+    uses = result.trace.lock_uses()
+    assert len(uses) == 20
+    for key, use in uses.items():
+        assert key[0] == "SUM"
+        assert use["req"].time <= use["acq"].time <= use["rel"].time
+
+
+def test_full_plan_records_lock_events(executor):
+    prog = lock_reduction(trips=20)
+    result = executor.run(prog, PLAN_FULL)
+    assert len(result.trace.of_kind(EventKind.LOCK_REQ)) == 20
+    assert len(result.trace.of_kind(EventKind.LOCK_ACQ)) == 20
+    assert len(result.trace.of_kind(EventKind.LOCK_REL)) == 20
+    verify_causality(result.trace)
+
+
+def test_statement_plan_has_no_lock_events(executor):
+    prog = lock_reduction(trips=20)
+    result = executor.run(prog, PLAN_STATEMENTS)
+    kinds = {e.kind for e in result.trace}
+    assert not kinds & {EventKind.LOCK_REQ, EventKind.LOCK_ACQ, EventKind.LOCK_REL}
+
+
+def test_lock_stats_in_result(executor):
+    prog = lock_reduction(trips=60, work=10, cs=20)  # heavy contention
+    result = executor.run(prog, PLAN_NONE)
+    stats = result.sync_stats["SUM"]
+    assert stats.operations == 60
+    assert stats.blocking_probability > 0.5
+    assert stats.total_wait_cycles > 0
+
+
+def test_acquisition_order_is_total(executor):
+    prog = lock_reduction(trips=40)
+    result = executor.run(prog, PLAN_FULL)
+    order = result.trace.lock_acquisition_order()["SUM"]
+    assert len(order) == 40
+    uses = result.trace.lock_uses()
+    times = [uses[k]["acq"].time for k in order]
+    assert times == sorted(times)
+
+
+# --------------------------------------------------------------- analysis
+def test_event_based_exact_on_lock_reduction(constants):
+    prog = lock_reduction(trips=120)
+    ex = Executor(seed=5)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    assert approx.total_time == actual.total_time
+    verify_feasible(approx.trace, measured.trace)
+
+
+def test_event_based_close_under_noise(constants):
+    prog = lock_reduction(trips=120)
+    ex = Executor(perturb=PerturbationConfig(dilation=0.04, jitter=0.05), seed=5)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    ratio = approx.total_time / actual.total_time
+    assert 0.9 < ratio < 1.1
+
+
+def test_approximation_preserves_acquisition_order(constants):
+    prog = lock_reduction(trips=60)
+    measured = Executor(seed=5).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    assert (
+        approx.trace.lock_acquisition_order()["SUM"]
+        == measured.trace.lock_acquisition_order()["SUM"]
+    )
+
+
+def test_lock_waiting_reconstructed(constants):
+    """Instrumentation outside the lock region reduces contention; the
+    approximation must reintroduce the queueing."""
+    prog = lock_reduction(trips=100, work=10, cs=20)
+    ex = Executor(seed=5)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    from repro.metrics import waiting_intervals
+
+    approx_wait = sum(
+        w.length for w in waiting_intervals(approx.trace, constants, include_barriers=False)
+    )
+    actual_wait = sum(
+        w.length for w in waiting_intervals(actual.trace, constants, include_barriers=False)
+    )
+    assert actual_wait > 0
+    assert approx_wait == pytest.approx(actual_wait, rel=0.05)
+
+
+def test_mixed_advance_await_and_lock_loop(constants):
+    prog = (
+        ProgramBuilder("mixed")
+        .compute("setup", cost=20)
+        .doacross(
+            "M",
+            trips=60,
+            body=loop_body()
+            .compute("w", cost=25, memory_refs=2)
+            .await_("MV", distance=1)
+            .compute("ordered cs", cost=4, compound=True)
+            .advance("MV")
+            .lock("ML")
+            .compute("unordered cs", cost=3)
+            .unlock("ML"),
+        )
+        .compute("wrapup", cost=10)
+        .build()
+    )
+    ex = Executor(seed=9)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    assert approx.total_time == actual.total_time
+    verify_feasible(approx.trace, measured.trace)
+
+
+def test_liberal_rejects_lock_traces(constants):
+    prog = lock_reduction(trips=30)
+    measured = Executor(seed=5).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    with pytest.raises(AnalysisError, match="lock"):
+        liberal_approximation(approx, constants)
+
+
+def test_lock_calibration(constants, fx80):
+    assert constants.lock_nowait == fx80.costs.lock_acquire
+    assert constants.lock_handoff == fx80.costs.lock_handoff

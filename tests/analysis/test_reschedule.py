@@ -1,0 +1,110 @@
+"""Tests for the liberal (rescheduling) approximation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import event_based_approximation, liberal_approximation
+from repro.analysis.approximation import AnalysisError
+from repro.exec import Executor, PerturbationConfig
+from repro.instrument.plan import PLAN_FULL, PLAN_STATEMENTS
+from repro.ir import ProgramBuilder, loop_body
+
+from tests.conftest import build_toy_bigcs, build_toy_doacross, build_toy_sequential
+
+
+def eb_for(prog, constants, seed=8, noisy=False):
+    pert = PerturbationConfig(dilation=0.04, jitter=0.05) if noisy else None
+    ex = Executor(perturb=pert, seed=seed) if pert else Executor(seed=seed)
+    measured = ex.run(prog, PLAN_FULL)
+    return event_based_approximation(measured.trace, constants)
+
+
+def test_liberal_close_to_conservative_noise_free(constants):
+    prog = build_toy_doacross(trips=100)
+    eb = eb_for(prog, constants)
+    lib = liberal_approximation(eb, constants)
+    assert lib.method == "liberal"
+    ratio = lib.total_time / eb.total_time
+    assert 0.8 < ratio < 1.2
+
+
+def test_liberal_close_on_large_cs(constants):
+    prog = build_toy_bigcs(trips=60)
+    eb = eb_for(prog, constants)
+    lib = liberal_approximation(eb, constants)
+    ratio = lib.total_time / eb.total_time
+    assert 0.8 < ratio < 1.2
+
+
+def test_liberal_reassigns_to_all_threads(constants):
+    prog = build_toy_doacross(trips=100)
+    eb = eb_for(prog, constants)
+    lib = liberal_approximation(eb, constants)
+    loop_threads = {
+        e.thread for e in lib.trace if e.iteration is not None
+    }
+    assert len(loop_threads) == 8
+
+
+def test_liberal_covers_all_iterations(constants):
+    prog = build_toy_doacross(trips=100)
+    eb = eb_for(prog, constants)
+    lib = liberal_approximation(eb, constants)
+    iters = {e.iteration for e in lib.trace if e.iteration is not None}
+    assert iters == set(range(100))
+
+
+def test_liberal_on_trace_without_loops_is_identity(constants):
+    prog = build_toy_sequential(trips=30)
+    measured = Executor(seed=8).run(prog, PLAN_STATEMENTS)
+    eb = event_based_approximation(measured.trace, constants)
+    lib = liberal_approximation(eb, constants)
+    assert lib.total_time == eb.total_time
+    assert lib.method == "liberal"
+
+
+def test_liberal_under_noise_stays_near_actual(constants):
+    from repro.instrument.plan import PLAN_NONE
+
+    prog = build_toy_doacross(trips=120)
+    pert = PerturbationConfig(dilation=0.04, jitter=0.05)
+    ex = Executor(perturb=pert, seed=8)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    eb = event_based_approximation(measured.trace, constants)
+    lib = liberal_approximation(eb, constants)
+    ratio = lib.total_time / actual.total_time
+    assert 0.85 < ratio < 1.15
+
+
+def test_liberal_rejects_multi_dependence_loops(constants):
+    prog = (
+        ProgramBuilder("two-deps")
+        .compute("setup", cost=10)
+        .doacross(
+            "L",
+            trips=20,
+            body=loop_body()
+            .compute("w", cost=10)
+            .await_("A", distance=1)
+            .compute("c1", cost=2)
+            .advance("A")
+            .await_("B", distance=2)
+            .compute("c2", cost=2)
+            .advance("B"),
+        )
+        .compute("wrapup", cost=5)
+        .build()
+    )
+    eb = eb_for(prog, constants)
+    with pytest.raises(AnalysisError, match="sync variables"):
+        liberal_approximation(eb, constants)
+
+
+def test_liberal_handles_doall(constants, toy_doall):
+    measured = Executor(seed=8).run(toy_doall, PLAN_FULL)
+    eb = event_based_approximation(measured.trace, constants)
+    lib = liberal_approximation(eb, constants)
+    ratio = lib.total_time / eb.total_time
+    assert 0.8 < ratio < 1.2

@@ -1,0 +1,264 @@
+"""Tests for counting-semaphore synchronization.
+
+Advance/await is "a special case of the general semaphore" (§4.2); this
+module covers the general case: capacity-k resource throttling with
+conservative grant-order-preserving analysis.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import event_based_approximation, liberal_approximation
+from repro.analysis.approximation import AnalysisError
+from repro.exec import Executor, PerturbationConfig
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE
+from repro.ir import ProgramBuilder, loop_body
+from repro.ir.program import ProgramError
+from repro.machine.bus import SemaphoreUnit
+from repro.machine.costs import CostTables
+from repro.sim.engine import Engine, ProcessCrashed, Timeout
+from repro.trace.events import EventKind
+from repro.trace.order import verify_causality, verify_feasible
+from repro.trace.trace import Trace, TraceError
+
+COSTS = CostTables()
+
+
+def throttled_doall(capacity=3, trips=120, prep=20, burst=40, post=10):
+    return (
+        ProgramBuilder(f"sem{capacity}")
+        .semaphore("PORT", capacity=capacity)
+        .compute("setup", cost=30)
+        .doall(
+            "IO",
+            trips=trips,
+            body=loop_body()
+            .compute("prep", cost=prep, memory_refs=2)
+            .sem_wait("PORT")
+            .compute("burst", cost=burst, memory_refs=4)
+            .sem_signal("PORT")
+            .compute("post", cost=post, memory_refs=1),
+        )
+        .compute("wrapup", cost=10)
+        .build()
+    )
+
+
+# ----------------------------------------------------------- SemaphoreUnit
+def test_unit_capacity_grants_without_wait():
+    eng = Engine()
+    sem = SemaphoreUnit(eng, "S", capacity=2)
+    waited = []
+
+    def user(start, hold):
+        yield Timeout(start)
+        w = yield from sem.wait(COSTS)
+        waited.append(w)
+        yield Timeout(hold)
+        yield from sem.signal(COSTS)
+
+    eng.process(user(0, 50))
+    eng.process(user(1, 50))
+    eng.process(user(2, 10))  # third must queue
+    eng.run()
+    assert waited == [False, False, True]
+    assert sem.available == 2
+    assert sem.wait_count == 1 and sem.nowait_count == 2
+
+
+def test_unit_fifo_grant_order():
+    eng = Engine()
+    sem = SemaphoreUnit(eng, "S", capacity=1)
+    order = []
+
+    def user(name, start):
+        yield Timeout(start)
+        yield from sem.wait(COSTS)
+        order.append(name)
+        yield Timeout(20)
+        yield from sem.signal(COSTS)
+
+    for i, name in enumerate("abc"):
+        eng.process(user(name, i))
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_unit_invalid_capacity():
+    eng = Engine()
+    from repro.sim.engine import SimulationError
+
+    with pytest.raises(SimulationError):
+        SemaphoreUnit(eng, "S", capacity=0)
+
+
+def test_unit_over_signal_crashes():
+    eng = Engine()
+    sem = SemaphoreUnit(eng, "S", capacity=1)
+
+    def proc():
+        yield from sem.signal(COSTS)
+
+    eng.process(proc())
+    with pytest.raises(ProcessCrashed):
+        eng.run()
+
+
+# --------------------------------------------------------------- validation
+def test_undeclared_semaphore_rejected():
+    with pytest.raises(ProgramError, match="undeclared"):
+        (
+            ProgramBuilder("bad")
+            .doall(
+                "L", trips=4,
+                body=loop_body().sem_wait("S").compute("w", cost=1).sem_signal("S"),
+            )
+            .build()
+        )
+
+
+def test_wait_without_signal_rejected():
+    with pytest.raises(ProgramError, match="never signalled"):
+        (
+            ProgramBuilder("bad")
+            .semaphore("S", 2)
+            .doall("L", trips=4, body=loop_body().sem_wait("S").compute("w", cost=1))
+            .build()
+        )
+
+
+def test_signal_without_wait_rejected():
+    with pytest.raises(ProgramError, match="without"):
+        (
+            ProgramBuilder("bad")
+            .semaphore("S", 2)
+            .doall("L", trips=4, body=loop_body().compute("w", cost=1).sem_signal("S"))
+            .build()
+        )
+
+
+def test_capacity_validation():
+    with pytest.raises(ProgramError, match="capacity"):
+        ProgramBuilder("bad").semaphore("S", 0)
+    with pytest.raises(ProgramError, match="twice"):
+        ProgramBuilder("bad").semaphore("S", 1).semaphore("S", 2)
+
+
+def test_sem_reuse_across_loops_rejected():
+    builder = ProgramBuilder("bad").semaphore("S", 2)
+    for name in ("L1", "L2"):
+        builder.doall(
+            name, trips=4,
+            body=loop_body().sem_wait("S").compute("w", cost=1).sem_signal("S"),
+        )
+    with pytest.raises(ProgramError, match="reused across loops"):
+        builder.build()
+
+
+# ----------------------------------------------------------------- executor
+def test_logical_trace_sem_triples(executor):
+    result = executor.run(throttled_doall(trips=20), PLAN_NONE)
+    uses = result.trace.sem_uses()
+    assert len(uses) == 20
+    for use in uses.values():
+        assert use["req"].time <= use["acq"].time <= use["sig"].time
+    assert result.trace.meta["semaphores"] == {"PORT": 3}
+
+
+def test_full_plan_sem_events(executor):
+    result = executor.run(throttled_doall(trips=20), PLAN_FULL)
+    assert len(result.trace.of_kind(EventKind.SEM_REQ)) == 20
+    assert len(result.trace.of_kind(EventKind.SEM_ACQ)) == 20
+    assert len(result.trace.of_kind(EventKind.SEM_SIG)) == 20
+    verify_causality(result.trace)
+
+
+def test_sem_throttles_concurrency(executor, constants):
+    """With capacity k, at most k bursts overlap."""
+    result = executor.run(throttled_doall(capacity=3, trips=60), PLAN_NONE)
+    uses = result.trace.sem_uses()
+    # Sweep: count overlapping [acq, sig) windows.
+    points = []
+    for use in uses.values():
+        points.append((use["acq"].time, 1))
+        points.append((use["sig"].time, -1))
+    points.sort()
+    level = peak = 0
+    for _t, d in points:
+        level += d
+        peak = max(peak, level)
+    assert peak <= 3
+    assert result.sync_stats["PORT"].blocking_probability > 0.5
+
+
+def test_grant_order_total(executor):
+    result = executor.run(throttled_doall(trips=40), PLAN_FULL)
+    order = result.trace.sem_grant_order()["PORT"]
+    assert len(order) == 40
+
+
+# ------------------------------------------------------------------ analysis
+@pytest.mark.parametrize("capacity", (1, 2, 3, 7))
+def test_event_based_exact_per_capacity(constants, capacity):
+    prog = throttled_doall(capacity=capacity, trips=100)
+    ex = Executor(seed=31)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    assert approx.total_time == actual.total_time
+    verify_feasible(approx.trace, measured.trace)
+
+
+def test_event_based_close_under_noise(constants):
+    prog = throttled_doall(trips=100)
+    ex = Executor(perturb=PerturbationConfig(dilation=0.04, jitter=0.05), seed=31)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    ratio = approx.total_time / actual.total_time
+    assert 0.9 < ratio < 1.1
+
+
+def test_missing_capacities_rejected(constants):
+    prog = throttled_doall(trips=20)
+    measured = Executor(seed=31).run(prog, PLAN_FULL)
+    stripped_meta = {k: v for k, v in measured.trace.meta.items() if k != "semaphores"}
+    stripped = Trace(measured.trace.events, stripped_meta)
+    with pytest.raises(AnalysisError, match="capacities"):
+        event_based_approximation(stripped, constants)
+
+
+def test_liberal_rejects_sem_traces(constants):
+    prog = throttled_doall(trips=20)
+    measured = Executor(seed=31).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    with pytest.raises(AnalysisError, match="semaphore"):
+        liberal_approximation(approx, constants)
+
+
+def test_sem_waiting_reconstructed(constants):
+    prog = throttled_doall(capacity=2, trips=80, prep=10, burst=60)
+    ex = Executor(seed=31)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    from repro.metrics import waiting_intervals
+
+    a = sum(w.length for w in waiting_intervals(actual.trace, constants, False))
+    x = sum(w.length for w in waiting_intervals(approx.trace, constants, False))
+    assert a > 0
+    assert x == pytest.approx(a, rel=0.05)
+
+
+def test_incomplete_sem_use_rejected():
+    from repro.trace.events import TraceEvent
+
+    tr = Trace(
+        [
+            TraceEvent(time=1, thread=0, kind=EventKind.SEM_REQ, seq=0,
+                       sync_var="S", sync_index=0),
+        ]
+    )
+    with pytest.raises(TraceError, match="incomplete"):
+        tr.sem_uses()

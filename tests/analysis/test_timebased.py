@@ -1,0 +1,120 @@
+"""Tests for time-based perturbation analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import time_based_approximation, per_event_errors
+from repro.analysis.approximation import AnalysisError
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_NONE, PLAN_STATEMENTS
+from repro.trace.events import EventKind
+from repro.trace.trace import Trace
+
+from tests.conftest import build_toy_bigcs, build_toy_doacross, build_toy_sequential
+
+
+def test_exact_on_sequential_noise_free(constants):
+    """§3: time-based analysis is exact when events are independent."""
+    prog = build_toy_sequential(trips=50)
+    actual = Executor(seed=1).run(prog, PLAN_NONE)
+    measured = Executor(seed=1).run(prog, PLAN_STATEMENTS)
+    approx = time_based_approximation(measured.trace, constants)
+    assert approx.total_time == actual.total_time
+
+
+def test_per_event_accuracy_on_sequential(constants):
+    prog = build_toy_sequential(trips=50)
+    actual = Executor(seed=1).run(prog, PLAN_NONE)
+    measured = Executor(seed=1).run(prog, PLAN_STATEMENTS)
+    approx = time_based_approximation(measured.trace, constants)
+    stats = per_event_errors(approx, actual.trace, kinds={EventKind.STMT})
+    assert stats.n_matched > 90
+    assert stats.max_abs_error == 0
+
+
+def test_under_approximates_small_critical_section(constants):
+    """Table 1 loops 3/4: approximated/actual well below 1."""
+    prog = build_toy_doacross(trips=150)
+    actual = Executor(seed=2).run(prog, PLAN_NONE)
+    measured = Executor(seed=2).run(prog, PLAN_STATEMENTS)
+    approx = time_based_approximation(measured.trace, constants)
+    ratio = approx.total_time / actual.total_time
+    assert ratio < 0.7
+
+
+def test_over_approximates_large_critical_section(constants):
+    """Table 1 loop 17: approximated/actual well above 1."""
+    prog = build_toy_bigcs(trips=80)
+    actual = Executor(seed=2).run(prog, PLAN_NONE)
+    measured = Executor(seed=2).run(prog, PLAN_STATEMENTS)
+    approx = time_based_approximation(measured.trace, constants)
+    ratio = approx.total_time / actual.total_time
+    assert ratio > 1.5
+
+
+def test_approximation_removes_all_overhead(constants):
+    prog = build_toy_sequential(trips=20)
+    measured = Executor(seed=1).run(prog, PLAN_STATEMENTS)
+    approx = time_based_approximation(measured.trace, constants)
+    total_overhead = sum(e.overhead for e in measured.trace)
+    assert approx.total_time == measured.total_time - total_overhead
+
+
+def test_rejects_empty_trace(constants):
+    with pytest.raises(AnalysisError):
+        time_based_approximation(Trace([], meta={"instrumented": True}), constants)
+
+
+def test_rejects_uninstrumented_trace(constants, executor, toy_sequential):
+    actual = executor.run(toy_sequential, PLAN_NONE)
+    with pytest.raises(AnalysisError):
+        time_based_approximation(actual.trace, constants)
+
+
+def test_thread_order_preserved(constants):
+    prog = build_toy_doacross(trips=60)
+    measured = Executor(seed=3).run(prog, PLAN_STATEMENTS)
+    approx = time_based_approximation(measured.trace, constants)
+    for view in approx.trace.by_thread().values():
+        times = [e.time for e in view]
+        assert times == sorted(times)
+
+
+def test_overestimated_overheads_clamp_not_negative(constants):
+    """With 3x-overestimated constants intervals would go negative; the
+    model clamps to keep per-thread order and non-negative times."""
+    prog = build_toy_sequential(trips=20)
+    measured = Executor(seed=1).run(prog, PLAN_STATEMENTS)
+    bad = constants.perturbed(2.0)  # constants 3x too large
+    approx = time_based_approximation(measured.trace, bad)
+    assert all(e.time >= 0 for e in approx.trace)
+    for view in approx.trace.by_thread().values():
+        times = [e.time for e in view]
+        assert times == sorted(times)
+
+
+def test_approx_trace_metadata(constants):
+    prog = build_toy_sequential(trips=10)
+    measured = Executor(seed=1).run(prog, PLAN_STATEMENTS)
+    approx = time_based_approximation(measured.trace, constants)
+    assert approx.method == "time-based"
+    assert approx.trace.meta["kind"] == "approximated"
+    assert approx.trace.meta["method"] == "time-based"
+    assert all(e.overhead == 0 for e in approx.trace)
+
+
+def test_times_map_covers_all_events(constants):
+    prog = build_toy_sequential(trips=10)
+    measured = Executor(seed=1).run(prog, PLAN_STATEMENTS)
+    approx = time_based_approximation(measured.trace, constants)
+    assert set(approx.times.keys()) == {e.seq for e in measured.trace}
+    for e in measured.trace:
+        assert approx.t_a(e) == approx.times[e.seq]
+
+
+def test_total_time_is_max_ta(constants):
+    prog = build_toy_doacross(trips=40)
+    measured = Executor(seed=1).run(prog, PLAN_STATEMENTS)
+    approx = time_based_approximation(measured.trace, constants)
+    assert approx.total_time == max(approx.times.values())

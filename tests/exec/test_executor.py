@@ -1,0 +1,277 @@
+"""Tests for the executor: semantics, accounting, timing invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import Executor, PerturbationConfig
+from repro.instrument.plan import (
+    PLAN_FULL,
+    PLAN_NONE,
+    PLAN_STATEMENTS,
+    Detail,
+    InstrumentationPlan,
+)
+from repro.instrument.costs import InstrumentationCosts
+from repro.ir import ProgramBuilder, Schedule, loop_body
+from repro.machine.costs import FX80, MachineConfig
+from repro.trace.events import EventKind
+from repro.trace.order import verify_causality
+
+from tests.conftest import build_toy_doacross, build_toy_sequential
+
+
+def test_logical_trace_contains_every_statement(executor, toy_sequential):
+    result = executor.run(toy_sequential, PLAN_NONE)
+    stmts = result.trace.of_kind(EventKind.STMT)
+    # setup + 100*(control+work) + wrapup
+    assert len(stmts) == 2 + 100 * 2
+    # plus loop begin/end markers
+    assert len(result.trace.of_kind(EventKind.LOOP_BEGIN)) == 1
+    assert len(result.trace.of_kind(EventKind.LOOP_END)) == 1
+
+
+def test_logical_trace_has_zero_overhead(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_NONE)
+    assert all(e.overhead == 0 for e in result.trace)
+    assert result.total_overhead == 0
+    assert result.trace.meta["kind"] == "logical"
+    assert not result.instrumented
+
+
+def test_measured_trace_charges_overheads(executor, toy_sequential):
+    result = executor.run(toy_sequential, PLAN_STATEMENTS)
+    stmts = result.trace.of_kind(EventKind.STMT)
+    assert all(e.overhead == InstrumentationCosts().stmt_event for e in stmts)
+    assert result.total_overhead == len(stmts) * InstrumentationCosts().stmt_event
+    assert result.trace.meta["kind"] == "measured"
+
+
+def test_sequential_gap_equals_work_plus_overhead():
+    """The invariant time-based analysis relies on."""
+    prog = build_toy_sequential(trips=10)
+    ex = Executor(seed=3)
+    result = ex.run(prog, PLAN_STATEMENTS)
+    view = result.trace.thread(0)
+    h = InstrumentationCosts().stmt_event
+    # work costs alternate control=6 / work=18 inside the loop
+    for a, b in zip(view.events, view.events[1:]):
+        gap = b.time - a.time
+        assert gap - h in (6, 18, 10, 30)  # loop stmts, wrapup, setup
+
+
+def test_statement_plan_does_not_probe_sync(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_STATEMENTS)
+    kinds = {e.kind for e in result.trace}
+    assert EventKind.ADVANCE not in kinds
+    assert EventKind.AWAIT_B not in kinds
+    assert EventKind.AWAIT_E not in kinds
+    assert EventKind.LOOP_BEGIN not in kinds
+
+
+def test_statement_plan_does_not_probe_compound_members(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_STATEMENTS)
+    labels = {e.label for e in result.trace.of_kind(EventKind.STMT)}
+    assert "accumulate" not in labels  # compound member: probe-less
+    assert "multiply" in labels
+
+
+def test_full_plan_records_paired_sync_events(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_FULL)
+    advances = result.trace.advances()
+    pairs = result.trace.await_pairs()
+    trips = 120
+    assert len(advances) == trips
+    assert len(pairs) == trips  # every await recorded, incl. prologue
+    # Pairing identity: awaitE(i) matches advance(i) for i >= 0.
+    for key in pairs:
+        if key[1] >= 0:
+            assert key in advances
+
+
+def test_full_plan_loop_markers_per_ce(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_FULL)
+    begins = result.trace.of_kind(EventKind.LOOP_BEGIN)
+    arrives = result.trace.of_kind(EventKind.BARRIER_ARRIVE)
+    exits = result.trace.of_kind(EventKind.BARRIER_EXIT)
+    assert len(begins) == 8
+    assert len(arrives) == 8
+    assert len(exits) == 8
+    assert len(result.trace.of_kind(EventKind.LOOP_END)) == 1  # initiator only
+
+
+def test_measured_trace_is_causal(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_FULL)
+    verify_causality(result.trace)
+
+
+def test_logical_trace_is_causal(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_NONE)
+    verify_causality(result.trace)
+
+
+def test_instrumentation_reduces_blocking_small_cs(executor, toy_doacross):
+    """The loop 3/4 phenomenon: statement probes (outside the critical
+    section) reduce blocking probability."""
+    actual = Executor(seed=9).run(toy_doacross, PLAN_NONE)
+    measured = Executor(seed=9).run(toy_doacross, PLAN_STATEMENTS)
+    bp_actual = actual.sync_stats["TQ"].blocking_probability
+    bp_measured = measured.sync_stats["TQ"].blocking_probability
+    assert bp_actual > 0.8
+    assert bp_measured < 0.3
+
+
+def test_instrumentation_increases_blocking_large_cs():
+    """The loop 17 phenomenon: probes inside a large critical section
+    increase blocking."""
+    from tests.conftest import build_toy_bigcs
+
+    prog = build_toy_bigcs(trips=60)
+    actual = Executor(seed=9).run(prog, PLAN_NONE)
+    measured = Executor(seed=9).run(prog, PLAN_STATEMENTS)
+    bp_actual = actual.sync_stats["BC"].blocking_probability
+    bp_measured = measured.sync_stats["BC"].blocking_probability
+    assert bp_measured > bp_actual + 0.3
+
+
+def test_self_scheduling_covers_all_iterations(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_NONE)
+    assignment = result.assignments["T"]
+    assert sorted(assignment.keys()) == list(range(120))
+    assert set(assignment.values()) <= set(range(8))
+
+
+def test_static_cyclic_schedule():
+    prog = build_toy_doacross(trips=32)
+    # Rebuild with static schedule
+    from repro.ir import DoAcrossLoop
+
+    for loop in prog.loops():
+        loop.schedule = Schedule.STATIC_CYCLIC
+    result = Executor().run(prog, PLAN_NONE)
+    for it, ce in result.assignments["T"].items():
+        assert ce == it % 8
+
+
+def test_static_block_schedule():
+    prog = build_toy_doacross(trips=32)
+    for loop in prog.loops():
+        loop.schedule = Schedule.STATIC_BLOCK
+    result = Executor().run(prog, PLAN_NONE)
+    for it, ce in result.assignments["T"].items():
+        assert ce == it // 4  # 32 trips over 8 CEs -> 4 per CE
+
+
+def test_doall_runs_parallel(executor, toy_doall):
+    result = executor.run(toy_doall, PLAN_NONE)
+    # 64 iterations of 31 cycles over 8 CEs: far faster than serial.
+    serial = 64 * 31
+    assert result.total_time < serial
+    assert sum(ce.iterations for ce in result.ce_stats) == 64
+
+
+def test_single_ce_machine():
+    prog = build_toy_doacross(trips=16)
+    result = Executor(machine_config=FX80.with_cores(1)).run(prog, PLAN_NONE)
+    assert result.n_ce == 1
+    assert result.ce_stats[0].iterations == 16
+    # With one CE there is never await blocking (iterations in order).
+    assert result.sync_stats["TQ"].wait_count == 0
+
+
+def test_determinism_same_seed_identical_traces(toy_doacross):
+    r1 = Executor(seed=77).run(toy_doacross, PLAN_FULL)
+    r2 = Executor(seed=77).run(toy_doacross, PLAN_FULL)
+    assert r1.total_time == r2.total_time
+    assert r1.trace.events == r2.trace.events
+
+
+def test_jitter_changes_timing_but_not_structure(toy_doacross):
+    quiet = Executor(seed=5).run(toy_doacross, PLAN_FULL)
+    noisy = Executor(
+        perturb=PerturbationConfig(jitter=0.2), seed=5
+    ).run(toy_doacross, PLAN_FULL)
+    assert quiet.total_time != noisy.total_time
+    assert len(quiet.trace) == len(noisy.trace)
+
+
+def test_dilation_only_affects_instrumented_runs(toy_sequential):
+    pert = PerturbationConfig(dilation=0.5)
+    plain = Executor(seed=5).run(toy_sequential, PLAN_NONE)
+    dilated_actual = Executor(perturb=pert, seed=5).run(toy_sequential, PLAN_NONE)
+    assert plain.total_time == dilated_actual.total_time  # no probes, no dilation
+    m_plain = Executor(seed=5).run(toy_sequential, PLAN_STATEMENTS)
+    m_dilated = Executor(perturb=pert, seed=5).run(toy_sequential, PLAN_STATEMENTS)
+    assert m_dilated.total_time > m_plain.total_time
+
+
+def test_sync_as_statements_ablation(toy_doacross):
+    plan = InstrumentationPlan(
+        statements=True, sync_events=False, sync_as_statements=True, loop_events=False
+    )
+    result = Executor().run(toy_doacross, plan)
+    kinds = {e.kind for e in result.trace}
+    assert kinds == {EventKind.STMT}
+    # sync ops recorded as plain statement events: 2 per iteration extra
+    n_stmt_plan = len(Executor().run(toy_doacross, PLAN_STATEMENTS).trace)
+    assert len(result.trace) == n_stmt_plan + 2 * 120
+
+
+def test_total_time_equals_trace_end(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_FULL)
+    assert result.total_time == result.trace.end_time
+
+
+def test_iteration_field_present_on_loop_events(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_FULL)
+    for e in result.trace.of_kind(EventKind.STMT):
+        if e.label in ("control", "multiply"):
+            assert e.iteration is not None
+
+
+def test_invalid_program_rejected(executor):
+    from repro.ir.program import Program
+    from repro.ir.statements import Compute
+
+    p = Program("bad", [Compute(label="x", cost=1)])  # not finalized
+    with pytest.raises(Exception):
+        executor.run(p, PLAN_NONE)
+
+
+def test_wait_accounting_positive_when_blocked(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_NONE)
+    assert result.total_wait > 0
+    assert result.waiting_fraction() > 0.0
+    assert 0.0 <= result.waiting_fraction(0) <= 1.0
+
+
+def test_serialized_dispatch_mode(toy_doacross):
+    """Bus-serialized dispatch: still covers all iterations, costs more."""
+    from dataclasses import replace
+
+    cfg = replace(FX80, serialize_dispatch=True)
+    r = Executor(machine_config=cfg, seed=4).run(toy_doacross, PLAN_NONE)
+    assert sorted(r.assignments["T"].keys()) == list(range(120))
+    plain = Executor(seed=4).run(toy_doacross, PLAN_NONE)
+    assert r.total_time >= plain.total_time
+
+
+def test_serialized_dispatch_analysis_still_recovers(toy_doacross, constants):
+    from dataclasses import replace
+    from repro.analysis import event_based_approximation
+
+    cfg = replace(FX80, serialize_dispatch=True)
+    ex = Executor(machine_config=cfg, seed=4)
+    actual = ex.run(toy_doacross, PLAN_NONE)
+    measured = ex.run(toy_doacross, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    ratio = approx.total_time / actual.total_time
+    assert 0.95 < ratio < 1.05
+
+
+def test_summary_renders(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_FULL)
+    text = result.summary()
+    assert "toy-doacross" in text
+    assert "CE0" in text and "CE7" in text
+    assert "sync TQ" in text

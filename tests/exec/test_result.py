@@ -1,0 +1,57 @@
+"""Tests for execution result types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.result import CESnapshot, ExecutionResult, SyncVarStats
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE
+from repro.trace.trace import Trace
+
+
+def test_ce_snapshot_active():
+    ce = CESnapshot(ce_id=0, busy=100, wait=50, dispatch=10, overhead=20, iterations=5)
+    assert ce.active == 130
+
+
+def test_sync_var_stats():
+    s = SyncVarStats(var="A", wait_count=3, nowait_count=7, total_wait_cycles=90)
+    assert s.operations == 10
+    assert s.blocking_probability == pytest.approx(0.3)
+
+
+def test_sync_var_stats_no_ops():
+    s = SyncVarStats(var="A", wait_count=0, nowait_count=0, total_wait_cycles=0)
+    assert s.blocking_probability == 0.0
+
+
+def test_result_totals(executor, toy_doacross):
+    r = executor.run(toy_doacross, PLAN_FULL)
+    assert r.total_wait == sum(ce.wait for ce in r.ce_stats)
+    assert r.total_overhead == sum(ce.overhead for ce in r.ce_stats)
+    assert r.instrumented
+
+
+def test_result_time_conversion(executor, toy_doacross):
+    r = executor.run(toy_doacross, PLAN_NONE)
+    assert r.total_time_us() == pytest.approx(r.total_time / r.clock_mhz)
+
+
+def test_waiting_fraction_bounds(executor, toy_doacross):
+    r = executor.run(toy_doacross, PLAN_NONE)
+    assert 0.0 <= r.waiting_fraction() <= 1.0
+    for ce in range(r.n_ce):
+        assert 0.0 <= r.waiting_fraction(ce) <= 1.0
+
+
+def test_waiting_fraction_zero_time():
+    r = ExecutionResult(
+        program="p", plan=PLAN_NONE, trace=Trace([]), total_time=0,
+        n_ce=1, clock_mhz=1.0,
+    )
+    assert r.waiting_fraction() == 0.0
+
+
+def test_iterations_accounting(executor, toy_doacross):
+    r = executor.run(toy_doacross, PLAN_NONE)
+    assert sum(ce.iterations for ce in r.ce_stats) == 120

@@ -1,0 +1,75 @@
+"""Tests for the shared experiment pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import PerturbationConfig
+from repro.experiments.common import (
+    DEFAULT_CONFIG,
+    QUICK_CONFIG,
+    ExperimentConfig,
+    run_loop_study,
+    run_sequential_study,
+)
+
+CFG = QUICK_CONFIG
+
+
+def test_quick_config_overrides_trips():
+    assert QUICK_CONFIG.trips == 200
+    assert DEFAULT_CONFIG.trips is None
+    assert DEFAULT_CONFIG.quick(50).trips == 50
+
+
+def test_config_constants_match_machine():
+    c = CFG.constants()
+    assert c.s_nowait == CFG.machine.costs.await_check
+    assert c.s_wait == CFG.machine.costs.await_resume
+
+
+def test_loop_study_bundle_consistency():
+    study = run_loop_study(3, CFG)
+    assert study.loop == 3
+    assert study.actual.program == study.measured_full.program
+    assert not study.actual.instrumented
+    assert study.measured_statements.instrumented
+    assert study.measured_full.instrumented
+    assert study.time_based.method == "time-based"
+    assert study.event_based.method == "event-based"
+    assert study.liberal.method == "liberal"
+
+
+def test_loop_study_ratios_sensible():
+    study = run_loop_study(3, CFG)
+    assert study.measured_ratio(full=False) > 1.0
+    assert study.measured_ratio(full=True) > study.measured_ratio(full=False)
+    assert study.time_based_ratio < 1.0  # loop 3 under-approximates
+    assert 0.9 < study.event_based_ratio < 1.1
+
+
+def test_sequential_study():
+    study = run_sequential_study(7, CFG)
+    assert study.measured_ratio > 3.0
+    assert abs(study.model_ratio - 1.0) < 0.15
+
+
+def test_studies_reproducible():
+    a = run_loop_study(4, CFG)
+    b = run_loop_study(4, CFG)
+    assert a.actual.total_time == b.actual.total_time
+    assert a.event_based.total_time == b.event_based.total_time
+
+
+def test_seed_changes_timing():
+    from dataclasses import replace
+
+    a = run_loop_study(4, CFG)
+    b = run_loop_study(4, replace(CFG, seed=777))
+    assert a.actual.total_time != b.actual.total_time
+
+
+def test_noise_free_config_gives_exact_event_based():
+    cfg = ExperimentConfig(perturb=PerturbationConfig(), trips=150)
+    study = run_loop_study(3, cfg)
+    assert study.event_based_ratio == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,55 @@
+"""Tests for the Figure 1 experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import QUICK_CONFIG, run_figure1
+from repro.experiments.figure1 import Figure1Result
+from repro.livermore.classify import figure1_kernels
+
+
+@pytest.fixture(scope="module")
+def fig1() -> Figure1Result:
+    return run_figure1(QUICK_CONFIG)
+
+
+def test_covers_paper_loop_set(fig1):
+    assert fig1.loops == sorted(figure1_kernels())
+
+
+def test_slowdowns_large(fig1):
+    """Measured/actual must be in the paper's 4x-17x band (we allow 3.5-20)."""
+    for k, ratio in fig1.measured_ratios().items():
+        assert 3.5 <= ratio <= 20.0, f"loop {k} slowdown {ratio}"
+
+
+def test_slowdowns_spread(fig1):
+    """Different loops must slow down by meaningfully different factors."""
+    ratios = list(fig1.measured_ratios().values())
+    assert max(ratios) / min(ratios) > 2.0
+
+
+def test_model_within_15_percent(fig1):
+    """The paper's headline: approximations within 15% despite the
+    slowdowns."""
+    for k, ratio in fig1.model_ratios().items():
+        assert abs(ratio - 1.0) <= 0.15, f"loop {k} model ratio {ratio}"
+
+
+def test_shape_ok(fig1):
+    assert fig1.shape_ok()
+
+
+def test_render_contains_chart_and_table(fig1):
+    text = fig1.render()
+    assert "Figure 1" in text
+    assert "measured/actual" in text
+    assert "model error" in text
+    for k in fig1.loops:
+        assert f"L{k}" in text
+
+
+def test_subset_run():
+    res = run_figure1(QUICK_CONFIG, loops=[1, 7])
+    assert res.loops == [1, 7]

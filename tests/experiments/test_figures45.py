@@ -1,0 +1,68 @@
+"""Tests for Figures 4 and 5."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import QUICK_CONFIG, run_figure4, run_figure5
+from repro.experiments.common import run_loop_study
+
+
+@pytest.fixture(scope="module")
+def study17():
+    return run_loop_study(17, QUICK_CONFIG)
+
+
+def test_figure4_every_ce_waits_sometimes(study17):
+    f4 = run_figure4(QUICK_CONFIG, study=study17)
+    assert set(f4.per_thread) == set(range(8))
+    for t in range(8):
+        assert f4.per_thread[t], f"CE{t} shows no waiting episodes"
+
+
+def test_figure4_waiting_is_light(study17):
+    """Loop 17's approximated waiting is a small fraction per CE."""
+    f4 = run_figure4(QUICK_CONFIG, study=study17)
+    span = f4.span().length
+    for t in range(8):
+        assert f4.total_wait(t) < 0.25 * span
+
+
+def test_figure4_shape_ok(study17):
+    assert run_figure4(QUICK_CONFIG, study=study17).shape_ok()
+
+
+def test_figure4_render(study17):
+    f4 = run_figure4(QUICK_CONFIG, study=study17)
+    text = f4.render(width=60)
+    assert "Figure 4" in text
+    for t in range(8):
+        assert f"CE{t}" in text
+    assert "#" in text and "." in text
+
+
+def test_figure5_average_near_machine_width(study17):
+    f5 = run_figure5(QUICK_CONFIG, study=study17)
+    avg = f5.average()
+    assert 6.0 <= avg <= 8.0  # paper: 7.5 of 8
+
+
+def test_figure5_sequential_average_lower(study17):
+    f5 = run_figure5(QUICK_CONFIG, study=study17)
+    assert f5.average(exclude_sequential=False) < f5.average(exclude_sequential=True)
+
+
+def test_figure5_peak_is_full_width(study17):
+    f5 = run_figure5(QUICK_CONFIG, study=study17)
+    assert f5.profile.peak == 8
+
+
+def test_figure5_shape_ok(study17):
+    assert run_figure5(QUICK_CONFIG, study=study17).shape_ok()
+
+
+def test_figure5_render(study17):
+    f5 = run_figure5(QUICK_CONFIG, study=study17)
+    text = f5.render(width=60)
+    assert "Figure 5" in text
+    assert "average parallelism" in text

@@ -1,0 +1,84 @@
+"""Tests for the execution-mode and per-event accuracy studies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import QUICK_CONFIG, run_accuracy, run_mode_study
+
+
+@pytest.fixture(scope="module")
+def modes():
+    return run_mode_study(QUICK_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def accuracy():
+    return run_accuracy(QUICK_CONFIG)
+
+
+def test_modes_covers_spectrum(modes):
+    assert [r.mode for r in modes.rows] == ["sequential", "vector", "doall", "doacross"]
+
+
+def test_vector_mode_barely_perturbed(modes):
+    """One event per vector statement -> negligible slowdown."""
+    row = modes.row("vector")
+    assert row.measured_ratio < 1.5
+    assert row.events < 10
+    assert modes.row("sequential").events > 100
+
+
+def test_time_based_accurate_for_independent_modes(modes):
+    for mode in ("sequential", "vector", "doall"):
+        assert abs(modes.row(mode).model_ratio - 1.0) <= 0.15, mode
+
+
+def test_time_based_fails_for_doacross(modes):
+    assert abs(modes.row("doacross").model_ratio - 1.0) > 0.2
+
+
+def test_modes_shape_and_render(modes):
+    assert modes.shape_ok()
+    text = modes.render()
+    assert "vector" in text and "doacross" in text
+
+
+def test_modes_custom_cases():
+    res = run_mode_study(QUICK_CONFIG, cases=[(1, "sequential"), (1, "vector")])
+    assert len(res.rows) == 2
+    with pytest.raises(KeyError):
+        res.row("doall")
+
+
+def test_accuracy_rows_cover_methods(accuracy):
+    methods = {(r.kernel, r.method) for r in accuracy.rows}
+    assert (12, "time-based") in methods
+    for k in (3, 4, 17):
+        assert (k, "event-based") in methods
+
+
+def test_accuracy_per_event_errors_small(accuracy):
+    for r in accuracy.rows:
+        assert r.stats.n_matched > 100
+        assert r.mean_error_pct_of_duration < 5.0
+
+
+def test_accuracy_shape_and_render(accuracy):
+    assert accuracy.shape_ok()
+    text = accuracy.render()
+    assert "Per-event" in text and "L17" in text
+
+
+def test_accuracy_row_lookup(accuracy):
+    assert accuracy.row(3).kernel == 3
+    with pytest.raises(KeyError):
+        accuracy.row(99)
+
+
+def test_cli_includes_new_experiments():
+    from repro.cli import run
+
+    cfg = QUICK_CONFIG.quick(100)
+    assert "Execution-mode study" in run("modes", cfg)
+    assert "Per-event timing accuracy" in run("accuracy", cfg)

@@ -1,0 +1,84 @@
+"""Tests for text rendering utilities."""
+
+from __future__ import annotations
+
+from repro.experiments.report import (
+    ascii_bars,
+    ascii_curve,
+    ascii_table,
+    ascii_timeline,
+    format_ratio,
+)
+from repro.metrics.intervals import Interval
+
+
+def test_ascii_table_alignment():
+    text = ascii_table(["name", "value"], [("a", 1), ("long-name", 22)], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert len(lines) == 5
+
+
+def test_ascii_table_empty_rows():
+    text = ascii_table(["a"], [])
+    assert "a" in text
+
+
+def test_ascii_bars_scale_and_values():
+    text = ascii_bars(["x", "y"], {"s": [10.0, 5.0]}, width=20)
+    lines = [l for l in text.splitlines() if l.strip()]
+    assert "10.00" in lines[0]
+    assert "5.00" in lines[1]
+    # The longer bar belongs to the larger value.
+    assert lines[0].count("#") > lines[1].count("#")
+
+
+def test_ascii_bars_multiple_series_distinct_marks():
+    text = ascii_bars(["x"], {"a": [4.0], "b": [4.0]})
+    assert "#" in text and "=" in text
+
+
+def test_ascii_bars_zero_values():
+    text = ascii_bars(["x"], {"a": [0.0]})
+    assert "0.00" in text
+
+
+def test_ascii_timeline_coverage():
+    text = ascii_timeline(
+        Interval(0, 100),
+        {"CE0": [Interval(0, 50)], "CE1": [Interval(90, 100)]},
+        width=10,
+    )
+    lines = text.splitlines()
+    ce0 = next(l for l in lines if l.startswith("CE0"))
+    ce1 = next(l for l in lines if l.startswith("CE1"))
+    body0 = ce0.split("|")[1]
+    body1 = ce1.split("|")[1]
+    assert body0.startswith("#####")
+    assert body1.endswith("#")
+    assert body1.startswith(".")
+
+
+def test_ascii_timeline_tiny_interval_visible():
+    text = ascii_timeline(Interval(0, 1000), {"t": [Interval(500, 501)]}, width=10)
+    assert "#" in text
+
+
+def test_ascii_curve_renders_levels():
+    steps = [(0, 2), (50, 8), (100, 0)]
+    text = ascii_curve(steps, Interval(0, 100), height=4, width=20)
+    assert "#" in text
+    lines = text.splitlines()
+    assert any("|" in l for l in lines)
+
+
+def test_ascii_curve_empty():
+    text = ascii_curve([], Interval(0, 10), title="t")
+    assert "empty" in text
+
+
+def test_format_ratio():
+    assert format_ratio(1.034) == "1.03"
+    assert format_ratio(1.034, 0.96) == "1.03 (paper 0.96)"

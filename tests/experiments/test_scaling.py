@@ -1,0 +1,67 @@
+"""Tests for the scalability (CE-sweep) experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import QUICK_CONFIG, run_scaling
+
+
+@pytest.fixture(scope="module")
+def scale17():
+    return run_scaling(17, QUICK_CONFIG, widths=(1, 2, 4, 8))
+
+
+@pytest.fixture(scope="module")
+def scale3():
+    return run_scaling(3, QUICK_CONFIG, widths=(1, 2, 4, 8))
+
+
+def test_loop17_scales_nearly_linearly(scale17):
+    truth = scale17.actual_speedups()
+    assert truth[1] == pytest.approx(1.0)
+    assert truth[8] > 6.0
+
+
+def test_loop3_saturates_early(scale3):
+    truth = scale3.actual_speedups()
+    assert truth[8] < 3.0  # serialized by the critical section
+
+
+def test_measured_curves_are_distorted(scale17, scale3):
+    """The naive (measured) curves must differ materially from truth
+    somewhere — that's the problem the analysis solves."""
+    for res in (scale17, scale3):
+        truth = res.actual_speedups()
+        meas = res.measured_speedups()
+        worst = max(abs(meas[n] / truth[n] - 1.0) for n in truth)
+        assert worst > 0.3
+
+
+def test_recovered_curves_track_truth(scale17, scale3):
+    assert scale17.max_curve_error() < 0.10
+    assert scale3.max_curve_error() < 0.10
+
+
+def test_shape_ok(scale17, scale3):
+    assert scale17.shape_ok()
+    assert scale3.shape_ok()
+
+
+def test_per_point_recovery(scale17):
+    for p in scale17.points:
+        assert abs(p.approx_ratio - 1.0) < 0.10
+        assert p.measured_ratio > 2.0
+
+
+def test_render(scale17):
+    text = scale17.render()
+    assert "Scalability study" in text
+    assert "recovered speedup" in text
+
+
+def test_cli_scaling():
+    from repro.cli import run
+
+    out = run("scaling", QUICK_CONFIG.quick(100))
+    assert out.count("Scalability study") == 2

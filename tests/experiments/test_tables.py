@@ -1,0 +1,111 @@
+"""Tests for Tables 1, 2 and 3."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import QUICK_CONFIG, run_table1, run_table2, run_table3
+from repro.experiments.common import run_loop_study
+from repro.experiments.table1 import DOACROSS_LOOPS, PAPER_TABLE1
+from repro.experiments.table2 import PAPER_TABLE2
+
+
+@pytest.fixture(scope="module")
+def studies():
+    return {k: run_loop_study(k, QUICK_CONFIG) for k in DOACROSS_LOOPS}
+
+
+@pytest.fixture(scope="module")
+def t1(studies):
+    return run_table1(QUICK_CONFIG, studies=studies)
+
+
+@pytest.fixture(scope="module")
+def t2(studies):
+    return run_table2(QUICK_CONFIG, studies=studies)
+
+
+def test_table1_covers_paper_loops(t1):
+    assert [k for k, *_ in t1.rows()] == [3, 4, 17]
+    assert set(PAPER_TABLE1) == {3, 4, 17}
+
+
+def test_table1_direction_of_errors(t1):
+    rows = dict((k, (m, a)) for k, m, a in t1.rows())
+    # Loops 3/4 under-approximated, loop 17 over-approximated.
+    assert rows[3][1] < 0.7
+    assert rows[4][1] < 0.8
+    assert rows[17][1] > 2.0
+
+
+def test_table1_measured_slowdowns(t1):
+    for k, m, _a in t1.rows():
+        assert m > 1.5, f"loop {k}"
+    rows = dict((k, m) for k, m, _ in t1.rows())
+    assert rows[17] > rows[3]  # loop 17 hit hardest, as in the paper
+
+
+def test_table1_shape_ok(t1):
+    assert t1.shape_ok()
+
+
+def test_table1_render(t1):
+    text = t1.render()
+    assert "Table 1" in text and "Time-Based" in text
+    assert "2.48" in text  # paper reference column present
+
+
+def test_table2_recovery_within_tolerance(t2):
+    for k, _m, a in t2.rows():
+        assert abs(a - 1.0) <= 0.10, f"loop {k}: {a}"
+
+
+def test_table2_more_instrumentation_more_slowdown(t2, t1):
+    m1 = dict((k, m) for k, m, _ in t1.rows())
+    m2 = dict((k, m) for k, m, _ in t2.rows())
+    for k in DOACROSS_LOOPS:
+        assert m2[k] > m1[k], f"loop {k}: sync instrumentation must cost more"
+
+
+def test_table2_shape_ok(t2):
+    assert t2.shape_ok()
+
+
+def test_table2_accuracy_improvement(t2):
+    """Event-based must beat time-based by a wide margin (paper: >8x on
+    loop 17)."""
+    imp = t2.accuracy_improvements()
+    assert imp[17] > 8.0
+    assert all(v > 2.0 for v in imp.values())
+
+
+def test_table2_render(t2):
+    text = t2.render()
+    assert "Table 2" in text and "Event-Based" in text
+    assert "14.08" in text
+
+
+def test_table3_percentages(studies):
+    t3 = run_table3(QUICK_CONFIG, study=studies[17])
+    pct = t3.percentages()
+    assert set(pct) == set(range(8))
+    assert all(0 <= p <= 15 for p in pct.values())
+    assert max(pct.values()) > 0
+
+
+def test_table3_shape_ok(studies):
+    t3 = run_table3(QUICK_CONFIG, study=studies[17])
+    assert t3.shape_ok()
+
+
+def test_table3_render(studies):
+    t3 = run_table3(QUICK_CONFIG, study=studies[17])
+    text = t3.render()
+    assert "Table 3" in text
+    assert "CE0" in text and "CE7" in text
+
+
+def test_tables_share_studies_consistent(studies, t1, t2):
+    """Sharing the study objects means Table 1/2 rows describe the same
+    underlying runs."""
+    assert t1.studies is studies and t2.studies is studies

@@ -1,0 +1,83 @@
+"""Tests for the instrumentation-volume sweep."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.exec import Executor
+from repro.experiments import QUICK_CONFIG, run_volume
+from repro.instrument.plan import PLAN_NONE, PLAN_STATEMENTS, InstrumentationPlan
+from repro.trace.events import EventKind
+
+from tests.conftest import build_toy_sequential
+
+
+@pytest.fixture(scope="module")
+def volume():
+    return run_volume(20, QUICK_CONFIG)
+
+
+def test_events_monotone_in_volume(volume):
+    counts = [p.n_events for p in volume.points]
+    assert counts == sorted(counts)
+    assert counts[-1] > counts[0]
+
+
+def test_slowdown_monotone_in_volume(volume):
+    ratios = [p.measured_ratio for p in volume.points]
+    assert ratios[-1] > 2 * ratios[0] or ratios[-1] > ratios[0] + 1
+
+
+def test_model_accuracy_volume_independent(volume):
+    errors = [abs(p.model_ratio - 1.0) for p in volume.points]
+    assert max(errors) < 0.15
+    # The raw reading at full volume is far worse than the model anywhere.
+    assert volume.points[-1].measured_ratio - 1.0 > 10 * max(errors)
+
+
+def test_shape_and_render(volume):
+    assert volume.shape_ok()
+    text = volume.render()
+    assert "volume sweep" in text
+    assert "100%" in text
+
+
+def test_fraction_validation():
+    with pytest.raises(ValueError):
+        InstrumentationPlan(statement_fraction=1.5)
+    with pytest.raises(ValueError):
+        InstrumentationPlan(statement_fraction=-0.1)
+
+
+def test_zero_fraction_probes_nothing():
+    plan = replace(PLAN_STATEMENTS, statement_fraction=0.0)
+    prog = build_toy_sequential(trips=20)
+    result = Executor(seed=1).run(prog, plan)
+    assert len(result.trace.of_kind(EventKind.STMT)) == 0
+
+
+def test_sampling_is_deterministic_per_statement():
+    plan = replace(PLAN_STATEMENTS, statement_fraction=0.5)
+    prog = build_toy_sequential(trips=20)
+    r1 = Executor(seed=1).run(prog, plan)
+    r2 = Executor(seed=2).run(prog, plan)
+    # Same statements selected regardless of machine seed.
+    assert {e.eid for e in r1.trace} == {e.eid for e in r2.trace}
+
+
+def test_partial_volume_between_none_and_full():
+    prog = build_toy_sequential(trips=50)
+    full = Executor(seed=1).run(prog, PLAN_STATEMENTS)
+    half = Executor(seed=1).run(
+        prog, replace(PLAN_STATEMENTS, statement_fraction=0.5)
+    )
+    none = Executor(seed=1).run(prog, PLAN_NONE)
+    assert none.total_time <= half.total_time <= full.total_time
+
+
+def test_cli_volume():
+    from repro.cli import run
+
+    assert "volume sweep" in run("volume", QUICK_CONFIG.quick(100))

@@ -1,0 +1,38 @@
+"""Tests for in-vitro calibration."""
+
+from __future__ import annotations
+
+from repro.instrument import InstrumentationCosts, calibrate_analysis_constants
+from repro.machine.costs import FX80, CostTables, MachineConfig
+
+
+def test_calibration_matches_machine_truth():
+    """The whole point: measured constants equal the platform's real costs."""
+    constants = calibrate_analysis_constants(FX80, InstrumentationCosts())
+    assert constants.s_nowait == FX80.costs.await_check
+    assert constants.s_wait == FX80.costs.await_resume
+    assert constants.barrier_release == FX80.costs.barrier_op
+
+
+def test_calibration_tracks_scaled_machines():
+    cfg = MachineConfig(n_ce=4, costs=CostTables().scaled(3.0))
+    constants = calibrate_analysis_constants(cfg, InstrumentationCosts())
+    assert constants.s_nowait == cfg.costs.await_check
+    assert constants.s_wait == cfg.costs.await_resume
+    assert constants.barrier_release == cfg.costs.barrier_op
+
+
+def test_calibration_carries_cost_table():
+    costs = InstrumentationCosts(stmt_event=7)
+    constants = calibrate_analysis_constants(FX80, costs)
+    assert constants.costs.stmt_event == 7
+
+
+def test_calibration_is_repeatable():
+    a = calibrate_analysis_constants(FX80, InstrumentationCosts())
+    b = calibrate_analysis_constants(FX80, InstrumentationCosts())
+    assert (a.s_nowait, a.s_wait, a.barrier_release) == (
+        b.s_nowait,
+        b.s_wait,
+        b.barrier_release,
+    )

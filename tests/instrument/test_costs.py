@@ -1,0 +1,63 @@
+"""Tests for instrumentation costs and analysis constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instrument.costs import AnalysisConstants, InstrumentationCosts
+from repro.trace.events import EventKind
+
+
+def test_overhead_per_kind():
+    c = InstrumentationCosts(
+        stmt_event=10, advance_event=20, await_b_event=30, await_e_event=40, loop_event=50
+    )
+    assert c.overhead_for(EventKind.STMT) == 10
+    assert c.overhead_for(EventKind.ADVANCE) == 20
+    assert c.overhead_for(EventKind.AWAIT_B) == 30
+    assert c.overhead_for(EventKind.AWAIT_E) == 40
+    assert c.overhead_for(EventKind.LOOP_BEGIN) == 50
+    assert c.overhead_for(EventKind.LOOP_END) == 50
+    assert c.overhead_for(EventKind.BARRIER_ARRIVE) == 50
+    assert c.overhead_for(EventKind.BARRIER_EXIT) == 50
+    assert c.overhead_for(EventKind.ITER_BEGIN) == 50
+    assert c.overhead_for(EventKind.PROG_BEGIN) == 0
+
+
+def test_scaled():
+    c = InstrumentationCosts(stmt_event=100)
+    assert c.scaled(0.5).stmt_event == 50
+    assert c.scaled(0).stmt_event == 0
+    with pytest.raises(ValueError):
+        c.scaled(-1)
+
+
+def test_constants_with_costs():
+    base = AnalysisConstants(
+        costs=InstrumentationCosts(), s_nowait=4, s_wait=8, barrier_release=12
+    )
+    new_costs = InstrumentationCosts(stmt_event=1)
+    updated = base.with_costs(new_costs)
+    assert updated.costs.stmt_event == 1
+    assert updated.s_wait == 8
+
+
+def test_constants_perturbed():
+    base = AnalysisConstants(
+        costs=InstrumentationCosts(stmt_event=100),
+        s_nowait=10,
+        s_wait=20,
+        barrier_release=30,
+    )
+    up = base.perturbed(0.1)
+    assert up.costs.stmt_event == 110
+    assert up.s_nowait == 11 and up.s_wait == 22 and up.barrier_release == 33
+    down = base.perturbed(-0.5)
+    assert down.s_nowait == 5
+    floor = base.perturbed(-2.0)
+    assert floor.s_nowait == 0  # clamped, never negative
+
+
+def test_costs_frozen():
+    with pytest.raises(AttributeError):
+        InstrumentationCosts().stmt_event = 1  # type: ignore[misc]

@@ -1,0 +1,79 @@
+"""Tests for instrumentation plans."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instrument.plan import (
+    PLAN_FULL,
+    PLAN_NONE,
+    PLAN_STATEMENTS,
+    PLAN_SYNC_ONLY,
+    Detail,
+    InstrumentationPlan,
+)
+from repro.ir.statements import Advance, Await, Compute
+
+
+def test_none_preset_has_no_probes():
+    assert not PLAN_NONE.any_probes
+    assert not PLAN_NONE.probes_statement(Compute(cost=1))
+    assert not PLAN_NONE.probes_statement(Advance(var="A"))
+
+
+def test_statements_preset_source_level():
+    """Source-level probes cannot see compiler-inserted sync ops
+    (paper footnote 5)."""
+    p = PLAN_STATEMENTS
+    assert p.statements
+    assert not p.sync_events
+    assert not p.sync_as_statements
+    assert not p.loop_events
+    assert p.probes_statement(Compute(cost=1))
+    assert not p.probes_statement(Await(var="A"))
+    assert not p.probes_statement(Advance(var="A"))
+
+
+def test_full_preset():
+    p = PLAN_FULL
+    assert p.statements and p.sync_events and p.loop_events
+    assert p.probes_statement(Compute(cost=1))
+    assert p.probes_statement(Await(var="A"))
+    assert p.probes_statement(Advance(var="A"))
+
+
+def test_sync_only_preset():
+    p = PLAN_SYNC_ONLY
+    assert not p.statements
+    assert p.sync_events and p.loop_events
+    assert not p.probes_statement(Compute(cost=1))
+    assert p.probes_statement(Advance(var="A"))
+
+
+def test_preset_lookup_all_details():
+    for d in Detail:
+        plan = InstrumentationPlan.preset(d)
+        assert isinstance(plan, InstrumentationPlan)
+
+
+def test_describe_strings():
+    assert PLAN_NONE.describe() == "none"
+    assert "statements" in PLAN_STATEMENTS.describe()
+    assert "sync(paired)" in PLAN_FULL.describe()
+    custom = InstrumentationPlan(
+        statements=False, sync_events=False, sync_as_statements=True, loop_events=False
+    )
+    assert "sync(as-stmt)" in custom.describe()
+
+
+def test_any_probes():
+    assert PLAN_FULL.any_probes
+    assert PLAN_STATEMENTS.any_probes
+    assert InstrumentationPlan(
+        statements=False, sync_events=False, sync_as_statements=False, loop_events=True
+    ).any_probes
+
+
+def test_plan_frozen():
+    with pytest.raises(AttributeError):
+        PLAN_FULL.statements = False  # type: ignore[misc]

@@ -1,0 +1,134 @@
+"""Failure injection: malformed/corrupted traces must fail loudly.
+
+A perturbation analysis that silently produces garbage on a damaged trace
+is worse than one that crashes; these tests corrupt real measured traces
+in targeted ways and assert the library reports structured errors
+instead of nonsense approximations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import event_based_approximation, time_based_approximation
+from repro.analysis.approximation import AnalysisError
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.order import CausalityViolation, verify_causality
+from repro.trace.trace import Trace, TraceError
+
+from tests.conftest import build_toy_doacross
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return Executor(seed=99).run(build_toy_doacross(trips=40), PLAN_FULL)
+
+
+def drop(trace: Trace, predicate) -> Trace:
+    return Trace([e for e in trace if not predicate(e)], dict(trace.meta))
+
+
+def test_dropped_advances_detected(measured, constants):
+    broken = drop(measured.trace, lambda e: e.kind is EventKind.ADVANCE)
+    with pytest.raises(AnalysisError, match="no matching advance"):
+        event_based_approximation(broken, constants)
+
+
+def test_dropped_await_begin_detected(measured, constants):
+    broken = drop(measured.trace, lambda e: e.kind is EventKind.AWAIT_B)
+    with pytest.raises(AnalysisError, match="awaitE without awaitB"):
+        event_based_approximation(broken, constants)
+
+
+def test_dropped_barrier_arrivals_detected(measured, constants):
+    broken = drop(measured.trace, lambda e: e.kind is EventKind.BARRIER_ARRIVE)
+    with pytest.raises(AnalysisError, match="without arrivals"):
+        event_based_approximation(broken, constants)
+
+
+def test_duplicated_advance_detected(measured, constants):
+    adv = next(e for e in measured.trace if e.kind is EventKind.ADVANCE)
+    dup = TraceEvent(
+        time=adv.time + 1, thread=adv.thread, kind=adv.kind, eid=adv.eid,
+        seq=10_000, iteration=adv.iteration, sync_var=adv.sync_var,
+        sync_index=adv.sync_index, overhead=adv.overhead,
+    )
+    broken = Trace(list(measured.trace.events) + [dup], dict(measured.trace.meta))
+    with pytest.raises(AnalysisError, match="duplicate advance"):
+        event_based_approximation(broken, constants)
+
+
+def test_cyclic_sync_dependency_deadlocks_cleanly(constants):
+    """awaitE before its own thread's enabling advance on another thread
+    that itself awaits the first thread: circular -> clean error."""
+    evs = [
+        # thread 0 awaits A[0]; its advance of B[0] comes after.
+        TraceEvent(time=10, thread=0, kind=EventKind.AWAIT_B, seq=0,
+                   sync_var="A", sync_index=0, overhead=64),
+        TraceEvent(time=20, thread=0, kind=EventKind.AWAIT_E, seq=1,
+                   sync_var="A", sync_index=0, overhead=64),
+        TraceEvent(time=30, thread=0, kind=EventKind.ADVANCE, seq=2,
+                   sync_var="B", sync_index=0, overhead=64),
+        # thread 1 awaits B[0] and only then advances A[0]: a cycle.
+        TraceEvent(time=10, thread=1, kind=EventKind.AWAIT_B, seq=3,
+                   sync_var="B", sync_index=0, overhead=64),
+        TraceEvent(time=20, thread=1, kind=EventKind.AWAIT_E, seq=4,
+                   sync_var="B", sync_index=0, overhead=64),
+        TraceEvent(time=30, thread=1, kind=EventKind.ADVANCE, seq=5,
+                   sync_var="A", sync_index=0, overhead=64),
+    ]
+    broken = Trace(evs, {"instrumented": True})
+    with pytest.raises(AnalysisError, match="deadlocked"):
+        event_based_approximation(broken, constants)
+
+
+def test_causality_checker_catches_reordered_sync(measured):
+    # Push all advances 10^6 cycles into the future: awaitE < advance.
+    shifted = Trace(
+        [
+            e.with_time(e.time + 1_000_000) if e.kind is EventKind.ADVANCE else e
+            for e in measured.trace
+        ],
+        dict(measured.trace.meta),
+    )
+    with pytest.raises(CausalityViolation):
+        verify_causality(shifted)
+
+
+def test_time_based_survives_sync_corruption(measured, constants):
+    """Time-based analysis doesn't interpret sync events, so it still
+    produces a (wrong but well-formed) approximation from a trace whose
+    sync pairing is destroyed — documenting the robustness difference."""
+    broken = drop(measured.trace, lambda e: e.kind is EventKind.ADVANCE)
+    approx = time_based_approximation(broken, constants)
+    assert approx.total_time > 0
+
+
+def test_lock_triple_corruption_detected(constants):
+    from tests.analysis.test_locks import lock_reduction
+
+    measured = Executor(seed=99).run(lock_reduction(trips=10), PLAN_FULL)
+    broken = drop(measured.trace, lambda e: e.kind is EventKind.LOCK_REL)
+    with pytest.raises(TraceError, match="incomplete lock use"):
+        event_based_approximation(broken, constants)
+
+
+def test_truncated_trace_tail_still_analyzable(measured, constants):
+    """Losing the trace tail (tool crash) keeps the prefix analyzable as
+    long as pairing survives: drop everything after the loop's barrier."""
+    exits = measured.trace.of_kind(EventKind.BARRIER_EXIT)
+    cutoff = max(e.time for e in exits)
+    prefix = Trace(
+        [e for e in measured.trace if e.time <= cutoff], dict(measured.trace.meta)
+    )
+    approx = event_based_approximation(prefix, constants)
+    assert approx.total_time > 0
+
+
+def test_empty_meta_defaults(measured, constants):
+    """A trace without metadata still analyzes (instrumented assumed)."""
+    bare = Trace(measured.trace.events, {})
+    approx = event_based_approximation(bare, constants)
+    assert approx.total_time > 0

@@ -1,0 +1,203 @@
+"""Multi-loop programs: anchoring, barriers, and analysis across phases.
+
+A realistic application alternates sequential sections with several
+parallel loops.  The loop-anchor rule of the event-based analysis must
+remove prologue inflation for *every* loop instance, and barriers of
+different loops must not interfere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import event_based_approximation, time_based_approximation
+from repro.exec import Executor, PerturbationConfig
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE
+from repro.ir import ProgramBuilder, Schedule, loop_body
+from repro.trace.events import EventKind
+from repro.trace.order import verify_feasible
+
+
+def multi_phase_program(trips=60):
+    """sequential -> DOACROSS -> sequential -> DOALL -> DOACROSS."""
+    return (
+        ProgramBuilder("multi-phase")
+        .compute("init", cost=50, memory_refs=2)
+        .doacross(
+            "phase1",
+            trips=trips,
+            body=loop_body()
+            .compute("p1 work", cost=18, memory_refs=2)
+            .await_("P1", distance=1)
+            .compute("p1 cs", cost=4, compound=True)
+            .advance("P1"),
+        )
+        .compute("mid", cost=80, memory_refs=3)
+        .doall(
+            "phase2",
+            trips=trips,
+            body=loop_body().compute("p2 work", cost=30, memory_refs=2),
+        )
+        .compute("mid2", cost=40, memory_refs=1)
+        .doacross(
+            "phase3",
+            trips=trips,
+            body=loop_body()
+            .compute("p3 outer", cost=60, memory_refs=2)
+            .compute("p3 outer2", cost=55, memory_refs=2)
+            .await_("P3", distance=1)
+            .compute("p3 cs", cost=6, memory_refs=1)
+            .advance("P3"),
+        )
+        .compute("fini", cost=30)
+        .build()
+    )
+
+
+@pytest.fixture(scope="module")
+def runs(constants):
+    prog = multi_phase_program()
+    ex = Executor(seed=42)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    return prog, actual, measured, approx
+
+
+def test_all_loops_present_in_trace(runs):
+    _prog, actual, measured, _approx = runs
+    for trace in (actual.trace, measured.trace):
+        labels = {e.label for e in trace.of_kind(EventKind.LOOP_BEGIN)}
+        assert labels == {"phase1", "phase2", "phase3"}
+        assert len(trace.of_kind(EventKind.LOOP_BEGIN)) == 24  # 3 loops x 8 CEs
+
+
+def test_exact_recovery_multi_loop(runs):
+    _prog, actual, _measured, approx = runs
+    assert approx.total_time == actual.total_time
+
+
+def test_feasible(runs):
+    _prog, _actual, measured, approx = runs
+    verify_feasible(approx.trace, measured.trace)
+
+
+def test_every_loop_anchor_corrected(runs, constants):
+    """Each loop's approximated start must equal the actual one — lateness
+    inherited from earlier instrumented phases is removed per loop."""
+    _prog, actual, _measured, approx = runs
+    for label in ("phase1", "phase2", "phase3"):
+        a = min(
+            e.time for e in actual.trace.of_kind(EventKind.LOOP_BEGIN)
+            if e.label == label
+        )
+        x = min(
+            e.time for e in approx.trace.of_kind(EventKind.LOOP_BEGIN)
+            if e.label == label
+        )
+        assert x == a, label
+
+
+def test_barrier_generations_do_not_mix(runs):
+    _prog, _actual, measured, _approx = runs
+    keys = {
+        (e.sync_var, e.sync_index)
+        for e in measured.trace.of_kind(EventKind.BARRIER_ARRIVE)
+    }
+    assert keys == {
+        ("phase1.barrier", 0),
+        ("phase2.barrier", 0),
+        ("phase3.barrier", 0),
+    }
+
+
+def test_time_based_mixes_phase_errors(runs, constants):
+    """Time-based analysis under-approximates phase1 (loop-3-like) and
+    the phases' errors combine into a wrong total."""
+    _prog, actual, _measured, _approx = runs
+    prog = multi_phase_program()
+    from repro.instrument.plan import PLAN_STATEMENTS
+
+    measured_stmt = Executor(seed=42).run(prog, PLAN_STATEMENTS)
+    tb = time_based_approximation(measured_stmt.trace, constants)
+    ratio = tb.total_time / actual.total_time
+    assert abs(ratio - 1.0) > 0.15  # materially wrong
+
+
+def test_static_schedule_multi_loop(constants):
+    """Static-cyclic variant: analysis remains exact."""
+    prog = (
+        ProgramBuilder("multi-static")
+        .compute("init", cost=20)
+        .doacross(
+            "s1",
+            trips=40,
+            schedule=Schedule.STATIC_CYCLIC,
+            body=loop_body()
+            .compute("w", cost=15, memory_refs=1)
+            .await_("SV", distance=1)
+            .compute("c", cost=3, compound=True)
+            .advance("SV"),
+        )
+        .compute("fini", cost=10)
+        .build()
+    )
+    ex = Executor(seed=7)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    assert approx.total_time == actual.total_time
+
+
+def test_mixed_sync_kinds_across_loops(constants):
+    """Advance/await in one loop, locks in another, semaphores in a third."""
+    prog = (
+        ProgramBuilder("mixed-kinds")
+        .semaphore("MS", capacity=2)
+        .compute("init", cost=20)
+        .doacross(
+            "k1",
+            trips=30,
+            body=loop_body()
+            .compute("w", cost=20, memory_refs=1)
+            .await_("MV", distance=1)
+            .compute("c", cost=3, compound=True)
+            .advance("MV"),
+        )
+        .doall(
+            "k2",
+            trips=30,
+            body=loop_body()
+            .compute("w", cost=15, memory_refs=1)
+            .lock("MLK")
+            .compute("c", cost=4)
+            .unlock("MLK"),
+        )
+        .doall(
+            "k3",
+            trips=30,
+            body=loop_body()
+            .compute("w", cost=10)
+            .sem_wait("MS")
+            .compute("burst", cost=25, memory_refs=2)
+            .sem_signal("MS"),
+        )
+        .compute("fini", cost=10)
+        .build()
+    )
+    ex = Executor(seed=11)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    assert approx.total_time == actual.total_time
+    verify_feasible(approx.trace, measured.trace)
+
+
+def test_multi_loop_under_noise(constants):
+    prog = multi_phase_program()
+    ex = Executor(perturb=PerturbationConfig(dilation=0.04, jitter=0.05), seed=42)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    ratio = approx.total_time / actual.total_time
+    assert 0.9 < ratio < 1.1

@@ -1,0 +1,92 @@
+"""The definitive regression gate: every claim EXPERIMENTS.md makes.
+
+One test per headline conclusion of the paper, run at the standard
+configuration (McMahon loop lengths, default noise).  If any of these
+fails, the reproduction story is broken regardless of what the unit
+tests say.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_CONFIG,
+    run_accuracy,
+    run_figure1,
+    run_figure4,
+    run_figure5,
+    run_loop_study,
+    run_mode_study,
+    run_scaling,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_volume,
+)
+from repro.experiments.table1 import DOACROSS_LOOPS
+
+
+@pytest.fixture(scope="module")
+def studies():
+    return {k: run_loop_study(k, DEFAULT_CONFIG) for k in DOACROSS_LOOPS}
+
+
+def test_figure1_claim():
+    """Sequential loops slow down 4-17x yet time-based models stay within
+    15%."""
+    assert run_figure1(DEFAULT_CONFIG).shape_ok()
+
+
+def test_table1_claim(studies):
+    """Time-based analysis under-approximates loops 3/4 and
+    over-approximates loop 17."""
+    assert run_table1(DEFAULT_CONFIG, studies=studies).shape_ok()
+
+
+def test_table2_claim(studies):
+    """More instrumentation, better approximation: event-based analysis
+    recovers all three loops within a few percent."""
+    t2 = run_table2(DEFAULT_CONFIG, studies=studies)
+    assert t2.shape_ok()
+    assert t2.accuracy_improvements()[17] > 8.0  # the paper's ">8x"
+
+
+def test_table3_claim(studies):
+    """Loop 17's per-CE waiting: single-digit, non-uniform."""
+    assert run_table3(DEFAULT_CONFIG, study=studies[17]).shape_ok()
+
+
+def test_figure4_claim(studies):
+    """Scattered short waiting episodes on every CE."""
+    assert run_figure4(DEFAULT_CONFIG, study=studies[17]).shape_ok()
+
+
+def test_figure5_claim(studies):
+    """Average parallelism close to machine width (paper: 7.5 of 8)."""
+    f5 = run_figure5(DEFAULT_CONFIG, study=studies[17])
+    assert f5.shape_ok()
+    assert 7.0 <= f5.average() <= 8.0
+
+
+def test_modes_claim():
+    """§3's spectrum: accurate for sequential/vector/fork-join; wrong for
+    dependent concurrency."""
+    assert run_mode_study(DEFAULT_CONFIG).shape_ok()
+
+
+def test_accuracy_claim():
+    """Individual event timings are as accurate as the totals."""
+    assert run_accuracy(DEFAULT_CONFIG).shape_ok()
+
+
+def test_scaling_claim():
+    """Speedup curves recovered within 10% at every machine width."""
+    assert run_scaling(17, DEFAULT_CONFIG).shape_ok()
+    assert run_scaling(3, DEFAULT_CONFIG).shape_ok()
+
+
+def test_volume_claim():
+    """The volume/accuracy trade-off applies to raw readings, not to
+    perturbation-analyzed ones."""
+    assert run_volume(20, DEFAULT_CONFIG).shape_ok()

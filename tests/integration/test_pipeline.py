@@ -1,0 +1,145 @@
+"""End-to-end integration tests: the full paper pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    event_based_approximation,
+    liberal_approximation,
+    per_event_errors,
+    time_based_approximation,
+)
+from repro.exec import Executor, PerturbationConfig
+from repro.instrument import InstrumentationCosts, calibrate_analysis_constants
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE, PLAN_STATEMENTS
+from repro.livermore import doacross_program, sequential_program
+from repro.machine.costs import FX80, MachineConfig
+from repro.metrics import average_parallelism, waiting_percentages
+from repro.trace.io import read_trace, write_trace
+from repro.trace.order import verify_feasible
+
+
+@pytest.fixture(scope="module")
+def constants():
+    return calibrate_analysis_constants(FX80, InstrumentationCosts())
+
+
+def test_full_loop3_pipeline(constants):
+    """The complete Table 1 + Table 2 story for loop 3 in one test."""
+    prog = doacross_program(3, trips=300)
+    pert = PerturbationConfig(dilation=0.04, jitter=0.05)
+    ex = Executor(perturb=pert, seed=3)
+    actual = ex.run(prog, PLAN_NONE)
+    m_stmt = ex.run(prog, PLAN_STATEMENTS)
+    m_full = ex.run(prog, PLAN_FULL)
+    A = actual.total_time
+
+    # Table 1 row: statement instrumentation, time-based analysis.
+    assert 1.5 < m_stmt.total_time / A < 3.5
+    tb = time_based_approximation(m_stmt.trace, constants)
+    assert tb.total_time / A < 0.6  # under-approximation
+
+    # Table 2 row: full instrumentation, event-based analysis.
+    assert m_full.total_time / A > m_stmt.total_time / A
+    eb = event_based_approximation(m_full.trace, constants)
+    assert abs(eb.total_time / A - 1.0) < 0.08
+    verify_feasible(eb.trace, m_full.trace)
+
+    # Liberal extension stays close too.
+    lib = liberal_approximation(eb, constants)
+    assert abs(lib.total_time / A - 1.0) < 0.15
+
+
+def test_full_loop17_pipeline(constants):
+    prog = doacross_program(17, trips=101)
+    pert = PerturbationConfig(dilation=0.04, jitter=0.05)
+    ex = Executor(perturb=pert, seed=17)
+    actual = ex.run(prog, PLAN_NONE)
+    m_stmt = ex.run(prog, PLAN_STATEMENTS)
+    m_full = ex.run(prog, PLAN_FULL)
+    A = actual.total_time
+
+    assert m_stmt.total_time / A > 5.0
+    tb = time_based_approximation(m_stmt.trace, constants)
+    assert tb.total_time / A > 3.0  # over-approximation
+
+    eb = event_based_approximation(m_full.trace, constants)
+    assert abs(eb.total_time / A - 1.0) < 0.08
+
+    # §5.3 statistics on the approximation.
+    report = waiting_percentages(eb.trace, constants)
+    pct = report.percentages()
+    assert all(p < 15 for p in pct.values())
+    avg = average_parallelism(eb.trace, constants)
+    assert 6.5 <= avg <= 8.0
+
+
+def test_trace_file_pipeline(tmp_path, constants):
+    """Measure -> write trace file -> read back -> analyze: the offline
+    tool workflow."""
+    prog = doacross_program(4, trips=120)
+    ex = Executor(seed=4)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    path = tmp_path / "loop4.trace"
+    write_trace(measured.trace, path)
+    loaded = read_trace(path)
+    approx = event_based_approximation(loaded, constants)
+    assert approx.total_time == actual.total_time
+
+
+def test_figure1_style_sequential_pipeline(constants):
+    prog = sequential_program(12, trips=400)
+    ex = Executor(perturb=PerturbationConfig(dilation=0.04, jitter=0.05), seed=12)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_STATEMENTS)
+    assert measured.total_time / actual.total_time > 4
+    tb = time_based_approximation(measured.trace, constants)
+    assert abs(tb.total_time / actual.total_time - 1.0) < 0.15
+    stats = per_event_errors(tb, actual.trace)
+    assert stats.n_matched > 300
+
+
+def test_machine_width_sweep(constants):
+    """The analysis is correct for any CE count, not just 8."""
+    prog = doacross_program(3, trips=100)
+    for n_ce in (1, 2, 4, 16):
+        cfg = MachineConfig(n_ce=n_ce)
+        consts = calibrate_analysis_constants(cfg, InstrumentationCosts())
+        ex = Executor(machine_config=cfg, seed=5)
+        actual = ex.run(prog, PLAN_NONE)
+        measured = ex.run(prog, PLAN_FULL)
+        approx = event_based_approximation(measured.trace, consts)
+        assert approx.total_time == actual.total_time, f"n_ce={n_ce}"
+
+
+def test_overhead_scale_sweep(constants):
+    """Event-based recovery is exact regardless of probe cost magnitude."""
+    prog = doacross_program(3, trips=100)
+    for scale in (0.25, 1.0, 4.0):
+        costs = InstrumentationCosts().scaled(scale)
+        consts = calibrate_analysis_constants(FX80, costs)
+        ex = Executor(inst_costs=costs, seed=6)
+        actual = ex.run(prog, PLAN_NONE)
+        measured = ex.run(prog, PLAN_FULL)
+        approx = event_based_approximation(measured.trace, consts)
+        assert approx.total_time == actual.total_time, f"scale={scale}"
+
+
+def test_calibration_error_degrades_gracefully(constants):
+    """Mis-calibrated constants hurt accuracy smoothly, not catastrophically."""
+    prog = doacross_program(3, trips=150)
+    ex = Executor(seed=7)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    exact = event_based_approximation(measured.trace, constants)
+    off10 = event_based_approximation(measured.trace, constants.perturbed(0.10))
+    off05 = event_based_approximation(measured.trace, constants.perturbed(0.05))
+    assert exact.total_time == actual.total_time
+    err10 = abs(off10.total_time - actual.total_time) / actual.total_time
+    err05 = abs(off05.total_time - actual.total_time) / actual.total_time
+    # Errors amplify along the serialized critical path (every iteration's
+    # window absorbs the mis-calibrated s_wait), but stay bounded and
+    # monotone in the calibration error.
+    assert err05 <= err10 < 0.5

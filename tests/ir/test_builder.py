@@ -1,0 +1,102 @@
+"""Tests for the fluent program builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.builder import ProgramBuilder, loop_body
+from repro.ir.program import DoAcrossLoop, DoAllLoop, ProgramError, Schedule, SequentialLoop
+from repro.ir.statements import Advance, Await, Compute
+
+
+def test_builds_finalized_validated_program():
+    prog = (
+        ProgramBuilder("p")
+        .compute("setup", cost=10)
+        .doacross(
+            "L",
+            trips=8,
+            body=loop_body().compute("w", cost=5).await_("A").compute("c", cost=2).advance("A"),
+        )
+        .build()
+    )
+    assert prog.finalized
+    assert prog.statement_count() == 5
+
+
+def test_critical_flag_tracked_between_await_and_advance():
+    body = (
+        loop_body()
+        .compute("before", cost=1)
+        .await_("A")
+        .compute("inside", cost=1)
+        .advance("A")
+        .compute("after", cost=1)
+    ).block()
+    flags = {s.label: s.in_critical for s in body if isinstance(s, Compute)}
+    assert flags == {"before": False, "inside": True, "after": False}
+
+
+def test_critical_flag_override():
+    body = loop_body().compute("x", cost=1, critical=True).block()
+    assert body.stmts[0].in_critical is True
+
+
+def test_compound_flag():
+    body = loop_body().compute("x", cost=1, compound=True).block()
+    assert body.stmts[0].compound_member is True
+
+
+def test_await_distance_encoded_as_negative_offset():
+    body = loop_body().await_("A", distance=3).compute("c", cost=1).advance("A").block()
+    awaits = [s for s in body if isinstance(s, Await)]
+    advances = [s for s in body if isinstance(s, Advance)]
+    assert awaits[0].offset == -3
+    assert advances[0].offset == 0
+
+
+def test_await_distance_must_be_positive():
+    with pytest.raises(ProgramError):
+        loop_body().await_("A", distance=0)
+
+
+def test_doall_builder():
+    prog = (
+        ProgramBuilder("p")
+        .doall("D", trips=4, body=loop_body().compute("w", cost=1), schedule=Schedule.STATIC_CYCLIC)
+        .build()
+    )
+    loop = next(iter(prog.loops()))
+    assert isinstance(loop, DoAllLoop)
+    assert loop.schedule is Schedule.STATIC_CYCLIC
+
+
+def test_sequential_builder():
+    prog = (
+        ProgramBuilder("p")
+        .sequential_loop("S", trips=3, body=loop_body().compute("w", cost=1))
+        .build()
+    )
+    assert isinstance(next(iter(prog.loops())), SequentialLoop)
+
+
+def test_build_validates_by_default():
+    builder = ProgramBuilder("p").doacross(
+        "L", trips=4, body=loop_body().compute("w", cost=1)  # no sync: invalid DOACROSS
+    )
+    with pytest.raises(ProgramError):
+        builder.build()
+
+
+def test_build_validation_can_be_skipped():
+    prog = (
+        ProgramBuilder("p")
+        .doacross("L", trips=4, body=loop_body().compute("w", cost=1))
+        .build(validate=False)
+    )
+    assert isinstance(next(iter(prog.loops())), DoAcrossLoop)
+
+
+def test_bad_body_type_rejected():
+    with pytest.raises(ProgramError):
+        ProgramBuilder("p").sequential_loop("S", trips=1, body="nope")  # type: ignore[arg-type]

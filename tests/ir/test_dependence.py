@@ -1,0 +1,112 @@
+"""Tests for dependence extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.builder import loop_body
+from repro.ir.dependence import Dependence, loop_dependences, max_distance
+from repro.ir.program import DoAcrossLoop, ProgramError
+
+
+def make_loop(body, trips=16):
+    return DoAcrossLoop(trips=trips, body=body.block(), name="L")
+
+
+def test_single_dependence():
+    loop = make_loop(
+        loop_body().compute("pre", cost=1).await_("A", distance=1).compute("c", cost=1).advance("A")
+    )
+    deps = loop_dependences(loop)
+    assert deps == [Dependence(var="A", distance=1, await_position=1, advance_position=3)]
+    assert deps[0].critical_span == 1
+    assert max_distance(loop) == 1
+
+
+def test_distance_from_offsets():
+    loop = make_loop(
+        loop_body().await_("A", distance=4).compute("c", cost=1).advance("A")
+    )
+    assert loop_dependences(loop)[0].distance == 4
+
+
+def test_multiple_sync_vars():
+    loop = make_loop(
+        loop_body()
+        .await_("A", distance=1)
+        .compute("c1", cost=1)
+        .advance("A")
+        .await_("B", distance=2)
+        .compute("c2", cost=1)
+        .advance("B")
+    )
+    deps = loop_dependences(loop)
+    assert [d.var for d in deps] == ["A", "B"]
+    assert max_distance(loop) == 2
+
+
+def test_advance_before_await_rejected():
+    from repro.ir.program import Block
+    from repro.ir.statements import Advance, Await, Compute
+
+    loop = DoAcrossLoop(
+        trips=4,
+        body=Block([Advance(var="A"), Compute(cost=1), Await(var="A", offset=-1)]),
+        name="L",
+    )
+    with pytest.raises(ProgramError):
+        loop_dependences(loop)
+
+
+def test_await_without_advance_rejected():
+    from repro.ir.program import Block
+    from repro.ir.statements import Await, Compute
+
+    loop = DoAcrossLoop(trips=4, body=Block([Await(var="A", offset=-1), Compute(cost=1)]), name="L")
+    with pytest.raises(ProgramError):
+        loop_dependences(loop)
+
+
+def test_double_await_rejected():
+    from repro.ir.program import Block
+    from repro.ir.statements import Advance, Await
+
+    loop = DoAcrossLoop(
+        trips=4,
+        body=Block([Await(var="A", offset=-1), Await(var="A", offset=-2), Advance(var="A")]),
+        name="L",
+    )
+    with pytest.raises(ProgramError):
+        loop_dependences(loop)
+
+
+def test_double_advance_rejected():
+    from repro.ir.program import Block
+    from repro.ir.statements import Advance, Await
+
+    loop = DoAcrossLoop(
+        trips=4,
+        body=Block([Await(var="A", offset=-1), Advance(var="A"), Advance(var="A")]),
+        name="L",
+    )
+    with pytest.raises(ProgramError):
+        loop_dependences(loop)
+
+
+def test_nonpositive_distance_rejected():
+    from repro.ir.program import Block
+    from repro.ir.statements import Advance, Await
+
+    loop = DoAcrossLoop(
+        trips=4,
+        body=Block([Await(var="A", offset=0), Advance(var="A", offset=0)]),
+        name="L",
+    )
+    with pytest.raises(ProgramError):
+        loop_dependences(loop)
+
+
+def test_no_dependences_rejected_by_max_distance():
+    loop = make_loop(loop_body().compute("w", cost=1))
+    with pytest.raises(ProgramError):
+        max_distance(loop)

@@ -1,0 +1,57 @@
+"""Unit tests for the random-program generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.fuzz import FuzzLimits, random_program
+from repro.ir.program import DoAcrossLoop, DoAllLoop, Loop, SequentialLoop
+from repro.ir.statements import LockAcquire, SemWait
+from repro.ir.validate import validate_program
+
+
+def test_determinism():
+    a = random_program(12345)
+    b = random_program(12345)
+    assert [s.label for s in a.all_statements()] == [
+        s.label for s in b.all_statements()
+    ]
+    assert a.semaphores == b.semaphores
+
+
+def test_different_seeds_differ():
+    shapes = {
+        tuple(type(i).__name__ for i in random_program(s).items) for s in range(30)
+    }
+    assert len(shapes) > 5
+
+
+def test_limits_respected():
+    limits = FuzzLimits(max_loops=2, max_trips=10, max_body_statements=2, max_cost=9)
+    for seed in range(40):
+        prog = random_program(seed, limits)
+        loops = list(prog.loops())
+        assert 1 <= len(loops) <= 2
+        for loop in loops:
+            assert loop.trips <= 10
+
+
+def test_every_kind_appears_across_seeds():
+    kinds = set()
+    for seed in range(80):
+        prog = random_program(seed)
+        for loop in prog.loops():
+            if isinstance(loop, SequentialLoop):
+                kinds.add("seq")
+            elif isinstance(loop, DoAcrossLoop):
+                kinds.add("doacross")
+            elif isinstance(loop, DoAllLoop):
+                has_lock = any(isinstance(s, LockAcquire) for s in loop.body)
+                has_sem = any(isinstance(s, SemWait) for s in loop.body)
+                kinds.add("lock" if has_lock else "sem" if has_sem else "doall")
+    assert kinds == {"seq", "doall", "doacross", "lock", "sem"}
+
+
+def test_all_fuzz_programs_validate():
+    for seed in range(60):
+        validate_program(random_program(seed))

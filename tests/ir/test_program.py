@@ -1,0 +1,93 @@
+"""Tests for program structure and finalization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.program import (
+    Block,
+    DoAcrossLoop,
+    DoAllLoop,
+    Program,
+    ProgramError,
+    SequentialLoop,
+)
+from repro.ir.statements import Advance, Await, Compute
+
+
+def body3():
+    return Block(
+        [
+            Compute(label="a", cost=5),
+            Await(var="V", offset=-1),
+            Compute(label="b", cost=3),
+            Advance(var="V", offset=0),
+        ]
+    )
+
+
+def test_finalize_assigns_dense_eids():
+    p = Program("p", [Compute(label="pre", cost=1), DoAcrossLoop(trips=4, body=body3(), name="L")])
+    p.finalize()
+    eids = [s.eid for s in p.all_statements()]
+    assert eids == list(range(5))
+    assert p.finalized
+
+
+def test_add_after_finalize_rejected():
+    p = Program("p", [Compute(label="x", cost=1)])
+    p.finalize()
+    with pytest.raises(ProgramError):
+        p.add(Compute(label="y", cost=1))
+
+
+def test_statement_and_event_counts():
+    p = Program(
+        "p",
+        [
+            Compute(label="pre", cost=1),
+            SequentialLoop(trips=10, body=Block([Compute(label="s", cost=2)]), name="S"),
+            Compute(label="post", cost=1),
+        ],
+    ).finalize()
+    assert p.statement_count() == 3
+    assert p.dynamic_event_count() == 1 + 10 + 1
+
+
+def test_loops_iterator():
+    p = Program(
+        "p",
+        [
+            SequentialLoop(trips=2, body=Block([Compute(cost=1)]), name="A"),
+            DoAllLoop(trips=2, body=Block([Compute(cost=1)]), name="B"),
+        ],
+    )
+    names = [l.name for l in p.loops()]
+    assert names == ["A", "B"]
+
+
+def test_parallel_flags():
+    assert not SequentialLoop(trips=1, body=Block([Compute(cost=1)])).is_parallel
+    assert DoAllLoop(trips=1, body=Block([Compute(cost=1)])).is_parallel
+    assert DoAcrossLoop(trips=2, body=body3()).is_parallel
+
+
+def test_doacross_sync_vars():
+    loop = DoAcrossLoop(trips=4, body=body3(), name="L")
+    assert loop.sync_vars() == ["V"]
+
+
+def test_clone_is_deep_and_unfinalized():
+    p = Program("p", [DoAcrossLoop(trips=4, body=body3(), name="L")]).finalize()
+    c = p.clone()
+    assert not c.finalized
+    assert all(s.eid == -1 for s in c.all_statements())
+    # Mutating the clone's body must not touch the original.
+    next(iter(c.loops())).body.stmts[0].label = "changed"
+    assert next(iter(p.loops())).body.stmts[0].label == "a"
+
+
+def test_clone_rename():
+    p = Program("orig", [Compute(label="x", cost=1)])
+    assert p.clone("new").name == "new"
+    assert p.clone().name == "orig"

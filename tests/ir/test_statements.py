@@ -1,0 +1,74 @@
+"""Tests for IR statements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.statements import Advance, Await, Compute
+
+
+def test_compute_constant_cost():
+    s = Compute(label="s", cost=12)
+    assert s.nominal_cost(None) == 12
+    assert s.nominal_cost(5) == 12
+
+
+def test_compute_callable_cost():
+    s = Compute(label="s", cost=lambda i: 2 * i + 1)
+    assert s.nominal_cost(0) == 1
+    assert s.nominal_cost(10) == 21
+
+
+def test_compute_callable_cost_outside_loop_raises():
+    s = Compute(label="s", cost=lambda i: i)
+    with pytest.raises(ValueError):
+        s.nominal_cost(None)
+
+
+def test_compute_negative_cost_rejected():
+    s = Compute(label="s", cost=lambda i: -1)
+    with pytest.raises(ValueError):
+        s.nominal_cost(0)
+
+
+def test_compute_clone_preserves_fields():
+    s = Compute(
+        label="x",
+        cost=9,
+        memory_refs=3,
+        vector=True,
+        in_critical=True,
+        compound_member=True,
+    )
+    s.eid = 7
+    c = s.clone()
+    assert c.label == "x" and c.cost == 9 and c.memory_refs == 3
+    assert c.vector and c.in_critical and c.compound_member
+    assert c.eid == -1  # clone resets eid
+
+
+def test_advance_index_for():
+    a = Advance(var="A", offset=0)
+    assert a.index_for(5) == 5
+    a2 = Advance(var="A", offset=2)
+    assert a2.index_for(5) == 7
+
+
+def test_await_index_for_distance():
+    w = Await(var="A", offset=-3)
+    assert w.index_for(5) == 2
+    assert w.index_for(0) == -3  # prologue: pre-satisfied
+
+
+def test_sync_statements_have_zero_nominal_cost():
+    assert Advance(var="A").nominal_cost(3) == 0
+    assert Await(var="A").nominal_cost(3) == 0
+
+
+def test_sync_clone():
+    a = Advance(label="adv", var="V", offset=1)
+    w = Await(label="awt", var="V", offset=-2)
+    a.eid, w.eid = 3, 4
+    ac, wc = a.clone(), w.clone()
+    assert (ac.var, ac.offset, ac.eid) == ("V", 1, -1)
+    assert (wc.var, wc.offset, wc.eid) == ("V", -2, -1)

@@ -1,0 +1,144 @@
+"""Tests for program validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.builder import ProgramBuilder, loop_body
+from repro.ir.program import (
+    Block,
+    DoAcrossLoop,
+    DoAllLoop,
+    Program,
+    ProgramError,
+    SequentialLoop,
+)
+from repro.ir.statements import Advance, Await, Compute
+from repro.ir.validate import validate_program
+
+
+def valid_program():
+    return (
+        ProgramBuilder("ok")
+        .compute("pre", cost=1)
+        .doacross(
+            "L",
+            trips=8,
+            body=loop_body().compute("w", cost=1).await_("A").compute("c", cost=1).advance("A"),
+        )
+        .build()
+    )
+
+
+def test_valid_program_passes():
+    validate_program(valid_program())
+
+
+def test_unfinalized_rejected():
+    p = Program("p", [Compute(label="x", cost=1)])
+    with pytest.raises(ProgramError, match="not finalized"):
+        validate_program(p)
+
+
+def test_empty_program_rejected():
+    p = Program("p", []).finalize()
+    with pytest.raises(ProgramError):
+        validate_program(p)
+
+
+def test_sync_outside_loop_rejected():
+    p = Program("p", [Advance(var="A")]).finalize()
+    with pytest.raises(ProgramError, match="outside any loop"):
+        validate_program(p)
+
+
+def test_zero_trip_loop_rejected():
+    p = Program(
+        "p", [SequentialLoop(trips=0, body=Block([Compute(cost=1)]), name="L")]
+    ).finalize()
+    with pytest.raises(ProgramError, match="trip count"):
+        validate_program(p)
+
+
+def test_duplicate_loop_names_rejected():
+    p = Program(
+        "p",
+        [
+            SequentialLoop(trips=1, body=Block([Compute(cost=1)]), name="L"),
+            SequentialLoop(trips=1, body=Block([Compute(cost=1)]), name="L"),
+        ],
+    ).finalize()
+    with pytest.raises(ProgramError, match="duplicate loop name"):
+        validate_program(p)
+
+
+def test_sync_in_doall_rejected():
+    p = Program(
+        "p",
+        [
+            DoAllLoop(
+                trips=4,
+                body=Block([Await(var="A", offset=-1), Advance(var="A")]),
+                name="L",
+            )
+        ],
+    ).finalize()
+    with pytest.raises(ProgramError, match="DOALL"):
+        validate_program(p)
+
+
+def test_sync_in_sequential_loop_rejected():
+    p = Program(
+        "p",
+        [
+            SequentialLoop(
+                trips=4,
+                body=Block([Await(var="A", offset=-1), Advance(var="A")]),
+                name="L",
+            )
+        ],
+    ).finalize()
+    with pytest.raises(ProgramError, match="sequential"):
+        validate_program(p)
+
+
+def test_doacross_without_sync_rejected():
+    p = Program(
+        "p", [DoAcrossLoop(trips=4, body=Block([Compute(cost=1)]), name="L")]
+    ).finalize()
+    with pytest.raises(ProgramError, match="no dependences"):
+        validate_program(p)
+
+
+def test_sync_var_reuse_across_loops_rejected():
+    def body():
+        return Block(
+            [Await(var="A", offset=-1), Compute(cost=1), Advance(var="A")]
+        )
+
+    p = Program(
+        "p",
+        [
+            DoAcrossLoop(trips=4, body=body(), name="L1"),
+            DoAcrossLoop(trips=4, body=body(), name="L2"),
+        ],
+    ).finalize()
+    with pytest.raises(ProgramError, match="reused"):
+        validate_program(p)
+
+
+def test_distance_exceeding_trips_rejected():
+    p = Program(
+        "p",
+        [
+            DoAcrossLoop(
+                trips=3,
+                body=Block(
+                    [Await(var="A", offset=-5), Compute(cost=1), Advance(var="A")]
+                ),
+                name="L",
+            )
+        ],
+    ).finalize()
+    with pytest.raises(ProgramError, match="effectively DOALL"):
+        validate_program(p)

@@ -1,0 +1,48 @@
+"""Frozen checksum regression tests for the Livermore kernels.
+
+These values were computed once from the scalar implementations on the
+standard working set (seed 1986) at n=64 and frozen.  They catch
+accidental numeric changes to any kernel or to the data generator; an
+*intentional* change to either must update this table (and say why in
+the commit).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.livermore.kernels import run_kernel
+
+FROZEN_N64 = {
+    1: 5575.548967748646,
+    2: 33.65881520842724,
+    3: 16.78581230401569,
+    4: 26.574781917139518,
+    5: 12.572122491518925,
+    6: 77.23059167033341,
+    7: 78703210.07160427,
+    8: 1078.1654423604973,
+    9: 371.8017941814636,
+    10: -1119.3964917190008,
+    11: 1109.3180844504477,
+    12: 0.4345727923042665,
+    13: 768.9646421559515,
+    14: 259.0103159990424,
+    15: 378.62260137897863,
+    16: 64.0,
+    17: 29.731400839227284,
+    18: 1149.7596427738335,
+    19: 46.50748131242712,
+    20: 343.57910204058936,
+    21: 10843.160190207156,
+    22: 30.903943893094514,
+    23: 428.2152202750292,
+    24: 26.0,
+}
+
+
+@pytest.mark.parametrize("kernel", sorted(FROZEN_N64))
+def test_frozen_checksum(kernel):
+    assert run_kernel(kernel, "scalar", n=64) == pytest.approx(
+        FROZEN_N64[kernel], rel=1e-12
+    )

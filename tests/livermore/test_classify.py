@@ -1,0 +1,39 @@
+"""Tests for kernel classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.livermore.classify import (
+    CLASSIFICATION,
+    KernelClass,
+    classify,
+    doacross_kernels,
+    figure1_kernels,
+)
+
+
+def test_all_24_classified():
+    assert set(CLASSIFICATION) == set(range(1, 25))
+
+
+def test_paper_doacross_loops():
+    assert doacross_kernels() == [3, 4, 17]
+
+
+def test_classify_lookup():
+    assert classify(3) is KernelClass.DOACROSS
+    assert classify(7) is KernelClass.VECTOR
+    assert classify(5) is KernelClass.SEQUENTIAL
+    assert classify(21) is KernelClass.DOALL
+    with pytest.raises(KeyError):
+        classify(0)
+
+
+def test_figure1_set_matches_paper_axis():
+    loops = figure1_kernels()
+    # Figure 1's axis plus loop 19 (cited in the text for its >16x slowdown).
+    assert set(loops) >= {1, 2, 6, 7, 8, 13, 16, 20, 22}
+    assert 19 in loops
+    # None of the event-analysis loops belong in the sequential study.
+    assert not set(loops) & {3, 4, 17}

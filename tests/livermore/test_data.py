@@ -1,0 +1,56 @@
+"""Tests for the LFK working set."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.livermore.data import LFKData, STANDARD_TRIPS, standard_data
+
+
+def test_standard_trips_cover_all_24():
+    assert set(STANDARD_TRIPS) == set(range(1, 25))
+    assert all(v >= 1 for v in STANDARD_TRIPS.values())
+
+
+def test_arrays_sized_for_offsets():
+    d = standard_data(101)
+    assert len(d.x) >= 2 * 101 + 32
+    assert len(d.zx) >= 101 + 16
+    assert d.px.shape[0] == 25
+
+
+def test_values_tame():
+    d = standard_data(200)
+    for arr in (d.x, d.y, d.z, d.u, d.v, d.w):
+        assert np.all(arr > 0.05) and np.all(arr < 1.0)
+
+
+def test_deterministic_by_seed():
+    a = standard_data(50, seed=3)
+    b = standard_data(50, seed=3)
+    assert np.array_equal(a.x, b.x)
+    assert np.array_equal(a.za, b.za)
+    c = standard_data(50, seed=4)
+    assert not np.array_equal(a.x, c.x)
+
+
+def test_copy_is_deep():
+    d = standard_data(50)
+    c = d.copy()
+    c.x[0] = 123.0
+    c.za[0, 0] = 456.0
+    assert d.x[0] != 123.0
+    assert d.za[0, 0] != 456.0
+    assert c.n == d.n and c.seed == d.seed
+
+
+def test_invalid_length_rejected():
+    with pytest.raises(ValueError):
+        standard_data(0)
+
+
+def test_scalars_present():
+    d = standard_data(10)
+    assert d.r == pytest.approx(4.86)
+    assert d.t == pytest.approx(276.0)

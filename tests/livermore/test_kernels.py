@@ -1,0 +1,135 @@
+"""Tests for the Livermore kernel implementations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.livermore.data import STANDARD_TRIPS, standard_data
+from repro.livermore.kernels import (
+    KERNELS,
+    kernel,
+    kernel_checksum,
+    run_kernel,
+)
+
+VECTORIZABLE = [k for k, e in KERNELS.items() if e.vector is not None]
+
+
+def test_registry_complete():
+    assert set(KERNELS) == set(range(1, 25))
+    for k, e in KERNELS.items():
+        assert e.number == k
+        assert e.name
+
+
+def test_kernel_lookup():
+    assert kernel(3).name == "inner product"
+    with pytest.raises(KeyError):
+        kernel(25)
+
+
+@pytest.mark.parametrize("k", sorted(KERNELS))
+def test_scalar_runs_and_finite(k):
+    s = run_kernel(k, "scalar", n=64)
+    assert math.isfinite(s)
+
+
+@pytest.mark.parametrize("k", VECTORIZABLE)
+def test_scalar_vector_agree(k):
+    """The defining property of the vectorizable kernels."""
+    s = run_kernel(k, "scalar", n=64)
+    v = run_kernel(k, "vector", n=64)
+    assert math.isclose(s, v, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@pytest.mark.parametrize("k", VECTORIZABLE)
+def test_scalar_vector_agree_standard_length(k):
+    s = run_kernel(k, "scalar")
+    v = run_kernel(k, "vector")
+    assert math.isclose(s, v, rel_tol=1e-9, abs_tol=1e-9)
+
+
+def test_nonvectorizable_vector_mode_rejected():
+    with pytest.raises(ValueError):
+        run_kernel(5, "vector")
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        run_kernel(1, "warp")
+
+
+def test_checksums_deterministic():
+    assert kernel_checksum(7, n=64) == kernel_checksum(7, n=64)
+
+
+def test_kernel3_is_dot_product():
+    d = standard_data(101)
+    expected = float(np.dot(d.z[:101], d.x[:101]))
+    got = run_kernel(3, "scalar", data=d.copy())
+    assert got == pytest.approx(expected)
+
+
+def test_kernel11_is_cumsum():
+    d = standard_data(101)
+    expected = float(np.sum(np.cumsum(d.y[:101])))
+    got = run_kernel(11, "scalar", data=d.copy())
+    assert got == pytest.approx(expected)
+
+
+def test_kernel12_is_first_difference():
+    d = standard_data(101)
+    expected = float(np.sum(d.y[1:102] - d.y[:101]))
+    got = run_kernel(12, "scalar", data=d.copy())
+    assert got == pytest.approx(expected)
+
+
+def test_kernel21_is_matmul():
+    d = standard_data(40)
+    ref = d.copy()
+    n = 40
+    expected = float(np.sum(ref.px[:, :n] + ref.vy @ ref.cx[:, :n]))
+    got = run_kernel(21, "scalar", data=d)
+    assert got == pytest.approx(expected, rel=1e-9)
+
+
+def test_kernel24_is_argmin():
+    d = standard_data(101)
+    expected = float(np.argmin(d.x[:101]))
+    assert run_kernel(24, "scalar", data=d.copy()) == expected
+
+
+def test_kernel5_recurrence_matches_reference():
+    d = standard_data(64)
+    ref = d.copy()
+    x = np.array(ref.x)
+    for i in range(1, 64):
+        x[i] = ref.z[i] * (ref.y[i] - x[i - 1])
+    got = run_kernel(5, "scalar", data=d)
+    assert got == pytest.approx(float(np.sum(x[:64])))
+
+
+def test_kernel17_bounded():
+    """The conditional recurrence must not blow up on standard data."""
+    s = run_kernel(17, "scalar")
+    assert math.isfinite(s)
+    assert abs(s) < 1e6
+
+
+def test_kernels_mutate_only_their_data():
+    d = standard_data(64)
+    snapshot = d.copy()
+    run_kernel(1, "scalar", data=d)
+    # Kernel 1 writes x only.
+    assert not np.array_equal(d.x, snapshot.x)
+    assert np.array_equal(d.y, snapshot.y)
+    assert np.array_equal(d.z, snapshot.z)
+
+
+def test_run_kernel_default_builds_standard_data():
+    a = run_kernel(1, "scalar")
+    b = run_kernel(1, "scalar", n=STANDARD_TRIPS[1])
+    assert a == b

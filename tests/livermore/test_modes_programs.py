@@ -1,0 +1,92 @@
+"""Tests for vector and DOALL program generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_NONE, PLAN_STATEMENTS
+from repro.ir.program import DoAllLoop, Schedule
+from repro.ir.validate import validate_program
+from repro.livermore import doall_program, statement_specs, vector_program
+from repro.livermore.classify import CLASSIFICATION, KernelClass
+from repro.livermore.programs import VECTOR_STARTUP
+
+VECTOR_KERNELS = [
+    k for k, c in CLASSIFICATION.items() if c in (KernelClass.VECTOR, KernelClass.DOALL)
+]
+
+
+@pytest.mark.parametrize("k", VECTOR_KERNELS)
+def test_vector_programs_valid(k):
+    prog = vector_program(k, trips=64)
+    validate_program(prog)
+    # Straight-line: no loops at all.
+    assert not list(prog.loops())
+    # setup + one statement per source statement + wrapup
+    assert prog.statement_count() == 2 + len(statement_specs(k))
+
+
+def test_vector_program_rejects_sequential_kernels():
+    with pytest.raises(ValueError, match="did not vectorize"):
+        vector_program(5)
+
+
+def test_vector_cost_scales_with_length():
+    short = vector_program(1, trips=64)
+    long = vector_program(1, trips=640)
+    cost_short = sum(
+        s.nominal_cost(None) for s in short.all_statements() if "V0" in s.label
+    )
+    cost_long = sum(
+        s.nominal_cost(None) for s in long.all_statements() if "V0" in s.label
+    )
+    assert cost_long > cost_short
+    assert cost_short >= VECTOR_STARTUP + 64
+
+
+def test_vector_mode_few_events(executor):
+    prog = vector_program(7, trips=500)
+    result = executor.run(prog, PLAN_NONE)
+    assert len(result.trace) == 3  # setup + one vector stmt + wrapup
+
+
+def test_doall_program_valid_and_parallel():
+    prog = doall_program(21, trips=64)
+    validate_program(prog)
+    loop = next(iter(prog.loops()))
+    assert isinstance(loop, DoAllLoop)
+    result = Executor(seed=1).run(prog, PLAN_NONE)
+    assert sum(ce.iterations for ce in result.ce_stats) == 64
+
+
+def test_doall_program_rejects_dependent_kernels():
+    with pytest.raises(ValueError, match="loop-carried"):
+        doall_program(3)
+
+
+def test_doall_schedule_option():
+    prog = doall_program(21, trips=32, schedule=Schedule.STATIC_BLOCK)
+    loop = next(iter(prog.loops()))
+    assert loop.schedule is Schedule.STATIC_BLOCK
+
+
+def test_doall_speedup_over_sequential(executor):
+    from repro.livermore import sequential_program
+
+    seq = Executor(seed=1).run(sequential_program(21, trips=64), PLAN_NONE)
+    par = Executor(seed=1).run(doall_program(21, trips=64), PLAN_NONE)
+    assert par.total_time < seq.total_time / 3  # at least ~3x on 8 CEs
+
+
+def test_vector_much_less_perturbed_than_sequential():
+    from repro.livermore import sequential_program
+
+    ex = Executor(seed=1)
+    seq_a = ex.run(sequential_program(7, trips=300), PLAN_NONE)
+    seq_m = ex.run(sequential_program(7, trips=300), PLAN_STATEMENTS)
+    vec_a = ex.run(vector_program(7, trips=300), PLAN_NONE)
+    vec_m = ex.run(vector_program(7, trips=300), PLAN_STATEMENTS)
+    seq_slow = seq_m.total_time / seq_a.total_time
+    vec_slow = vec_m.total_time / vec_a.total_time
+    assert vec_slow < 1.5 < seq_slow

@@ -1,0 +1,155 @@
+"""Tests for the IR program models of the Livermore loops."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE, PLAN_STATEMENTS
+from repro.ir.dependence import loop_dependences
+from repro.ir.program import DoAcrossLoop, SequentialLoop
+from repro.ir.statements import Compute
+from repro.ir.validate import validate_program
+from repro.livermore.data import STANDARD_TRIPS
+from repro.livermore.programs import (
+    DEFAULT_COST_MODEL,
+    LoopCostModel,
+    StmtSpec,
+    doacross_program,
+    livermore_program,
+    sequential_program,
+    statement_specs,
+)
+
+
+def test_statement_specs_cover_all_kernels():
+    for k in range(1, 25):
+        specs = statement_specs(k)
+        assert specs, f"kernel {k} has no statement specs"
+    with pytest.raises(KeyError):
+        statement_specs(25)
+
+
+def test_cost_model_default():
+    spec = StmtSpec("s", flops=3, memrefs=2)
+    assert DEFAULT_COST_MODEL.cost(spec) == 2 + 6 + 4
+
+
+def test_cost_model_override():
+    spec = StmtSpec("s", flops=3, memrefs=2, cost_override=99)
+    assert DEFAULT_COST_MODEL.cost(spec) == 99
+
+
+def test_custom_cost_model():
+    cm = LoopCostModel(base=0, cycles_per_flop=1, cycles_per_ref=0)
+    assert cm.cost(StmtSpec("s", flops=7)) == 7
+
+
+@pytest.mark.parametrize("k", range(1, 25))
+def test_sequential_programs_valid_for_all_kernels(k):
+    prog = sequential_program(k, trips=10)
+    validate_program(prog)
+    loop = next(iter(prog.loops()))
+    assert isinstance(loop, SequentialLoop)
+    assert loop.trips == 10
+
+
+def test_sequential_default_trips_standard():
+    prog = sequential_program(1)
+    assert next(iter(prog.loops())).trips == STANDARD_TRIPS[1]
+
+
+@pytest.mark.parametrize("k", (3, 4, 17))
+def test_doacross_programs_have_single_distance1_dependence(k):
+    prog = doacross_program(k, trips=32)
+    loop = next(iter(prog.loops()))
+    assert isinstance(loop, DoAcrossLoop)
+    deps = loop_dependences(loop)
+    assert len(deps) == 1
+    assert deps[0].distance == 1
+
+
+def test_doacross_invalid_kernel_rejected():
+    with pytest.raises(ValueError):
+        doacross_program(7)
+
+
+def test_loop3_critical_piece_is_compound():
+    """Loop 3's accumulate is a sub-expression of one source statement:
+    never probed, so its probe falls outside the serialized region."""
+    prog = doacross_program(3, trips=16)
+    loop = next(iter(prog.loops()))
+    crit = [
+        s for s in loop.body
+        if isinstance(s, Compute) and s.in_critical
+    ]
+    assert len(crit) == 1
+    assert crit[0].compound_member
+
+
+def test_loop17_critical_statements_probed():
+    """Loop 17's critical section spans whole source statements: all
+    probed (not compound)."""
+    prog = doacross_program(17, trips=16)
+    loop = next(iter(prog.loops()))
+    crit = [s for s in loop.body if isinstance(s, Compute) and s.in_critical]
+    assert len(crit) >= 4
+    assert all(not s.compound_member for s in crit)
+
+
+def test_loop17_outside_work_dominates_uninstrumented():
+    """Calibration invariant: loop 17's actual run is mostly parallel.
+
+    Individual awaits may technically block for a few cycles (pipeline
+    skew), so the meaningful measure is waiting *time*, not count.
+    """
+    prog = doacross_program(17, trips=64)
+    result = Executor(seed=1).run(prog, PLAN_NONE)
+    assert result.waiting_fraction() < 0.15
+
+
+def test_loop3_serialized_uninstrumented():
+    """Calibration invariant: loop 3's actual run blocks at the critical
+    section."""
+    prog = doacross_program(3, trips=200)
+    result = Executor(seed=1).run(prog, PLAN_NONE)
+    assert result.sync_stats["L3Q"].blocking_probability > 0.8
+
+
+def test_loop3_instrumentation_reduces_blocking():
+    prog = doacross_program(3, trips=200)
+    actual = Executor(seed=1).run(prog, PLAN_NONE)
+    measured = Executor(seed=1).run(prog, PLAN_STATEMENTS)
+    assert (
+        measured.sync_stats["L3Q"].blocking_probability
+        < actual.sync_stats["L3Q"].blocking_probability - 0.3
+    )
+
+
+def test_loop17_instrumentation_increases_blocking():
+    """Probes inside the large critical section make waiting *time* (not
+    just count) dominate the measured execution."""
+    prog = doacross_program(17, trips=64)
+    actual = Executor(seed=1).run(prog, PLAN_NONE)
+    measured = Executor(seed=1).run(prog, PLAN_STATEMENTS)
+    assert measured.waiting_fraction() > actual.waiting_fraction() + 0.3
+
+
+def test_livermore_program_auto_mode():
+    assert "doacross" in livermore_program(3, trips=8).name
+    assert "seq" in livermore_program(7, trips=8).name
+
+
+def test_livermore_program_explicit_modes():
+    assert "seq" in livermore_program(3, mode="sequential", trips=8).name
+    assert "doacross" in livermore_program(17, mode="doacross", trips=8).name
+    with pytest.raises(ValueError):
+        livermore_program(1, mode="warp")
+
+
+def test_programs_execute_under_all_plans():
+    for k in (3, 17):
+        prog = doacross_program(k, trips=16)
+        for plan in (PLAN_NONE, PLAN_STATEMENTS, PLAN_FULL):
+            result = Executor().run(prog, plan)
+            assert result.total_time > 0

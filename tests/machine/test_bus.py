@@ -1,0 +1,210 @@
+"""Tests for the concurrency bus: sync registers and dispatch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.bus import ConcurrencyBus, IterationDispatcher, SyncRegister
+from repro.machine.costs import CostTables
+from repro.sim.engine import Engine, SimulationError, Timeout
+
+COSTS = CostTables()
+
+
+def test_await_after_advance_costs_check_time():
+    eng = Engine()
+    reg = SyncRegister(eng, "A")
+    times = {}
+
+    def proc():
+        yield from reg.advance(0, COSTS)
+        t0 = eng.now
+        waited = yield from reg.await_(0, COSTS)
+        times["elapsed"] = eng.now - t0
+        times["waited"] = waited
+
+    eng.process(proc())
+    eng.run()
+    assert times["waited"] is False
+    assert times["elapsed"] == COSTS.await_check
+    assert reg.nowait_count == 1 and reg.wait_count == 0
+
+
+def test_await_before_advance_blocks_then_resumes():
+    eng = Engine()
+    reg = SyncRegister(eng, "A")
+    times = {}
+
+    def waiter():
+        waited = yield from reg.await_(0, COSTS)
+        times["resumed"] = eng.now
+        times["waited"] = waited
+
+    def advancer():
+        yield Timeout(100)
+        yield from reg.advance(0, COSTS)
+        times["advanced"] = eng.now
+
+    eng.process(waiter())
+    eng.process(advancer())
+    eng.run()
+    assert times["waited"] is True
+    assert times["advanced"] == 100 + COSTS.advance_op
+    assert times["resumed"] == times["advanced"] + COSTS.await_resume
+    assert reg.wait_count == 1
+    assert reg.total_wait_cycles == times["advanced"]
+
+
+def test_negative_index_pre_advanced():
+    eng = Engine()
+    reg = SyncRegister(eng, "A")
+    assert reg.is_advanced(-1)
+    assert not reg.is_advanced(0)
+
+    def proc():
+        waited = yield from reg.await_(-5, COSTS)
+        assert waited is False
+
+    eng.process(proc())
+    eng.run()
+
+
+def test_double_advance_rejected():
+    eng = Engine()
+    reg = SyncRegister(eng, "A")
+
+    def proc():
+        yield from reg.advance(0, COSTS)
+        yield from reg.advance(0, COSTS)
+
+    from repro.sim.engine import ProcessCrashed
+
+    eng.process(proc())
+    with pytest.raises(ProcessCrashed):
+        eng.run()
+
+
+def test_advance_negative_index_rejected():
+    eng = Engine()
+    reg = SyncRegister(eng, "A")
+
+    def proc():
+        yield from reg.advance(-1, COSTS)
+
+    from repro.sim.engine import ProcessCrashed
+
+    eng.process(proc())
+    with pytest.raises(ProcessCrashed):
+        eng.run()
+
+
+def test_multiple_waiters_same_index_all_released():
+    eng = Engine()
+    reg = SyncRegister(eng, "A")
+    resumed = []
+
+    def waiter(name):
+        yield from reg.await_(3, COSTS)
+        resumed.append(name)
+
+    def advancer():
+        yield Timeout(10)
+        yield from reg.advance(3, COSTS)
+
+    eng.process(waiter("a"))
+    eng.process(waiter("b"))
+    eng.process(advancer())
+    eng.run()
+    assert sorted(resumed) == ["a", "b"]
+
+
+def test_dispatcher_hands_out_all_iterations_once():
+    eng = Engine()
+    disp = IterationDispatcher(eng, trips=10, costs=COSTS)
+    got = []
+
+    def worker(wid):
+        while True:
+            i = yield from disp.next_iteration(wid)
+            if i is None:
+                return
+            got.append(i)
+
+    for w in range(3):
+        eng.process(worker(w))
+    eng.run()
+    assert sorted(got) == list(range(10))
+    assert set(disp.assignment.keys()) == set(range(10))
+
+
+def test_dispatcher_charges_dispatch_cost():
+    eng = Engine()
+    disp = IterationDispatcher(eng, trips=1, costs=COSTS)
+    times = {}
+
+    def worker():
+        t0 = eng.now
+        i = yield from disp.next_iteration(0)
+        times["elapsed"] = eng.now - t0
+        times["index"] = i
+
+    eng.process(worker())
+    eng.run()
+    assert times == {"elapsed": COSTS.dispatch, "index": 0}
+
+
+def test_dispatcher_exhaustion_returns_none():
+    eng = Engine()
+    disp = IterationDispatcher(eng, trips=1, costs=COSTS)
+    out = []
+
+    def worker():
+        out.append((yield from disp.next_iteration(0)))
+        out.append((yield from disp.next_iteration(0)))
+
+    eng.process(worker())
+    eng.run()
+    assert out == [0, None]
+
+
+def test_dispatcher_serialized_mode():
+    eng = Engine()
+    disp = IterationDispatcher(eng, trips=6, costs=COSTS, serialize=True)
+    got = []
+
+    def worker(wid):
+        while True:
+            i = yield from disp.next_iteration(wid)
+            if i is None:
+                return
+            got.append((wid, i))
+
+    for w in range(2):
+        eng.process(worker(w))
+    eng.run()
+    assert sorted(i for _w, i in got) == list(range(6))
+
+
+def test_dispatcher_invalid_trips():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        IterationDispatcher(eng, trips=0, costs=COSTS)
+
+
+def test_bus_register_namespacing():
+    eng = Engine()
+    bus = ConcurrencyBus(eng, COSTS)
+    a = bus.register("A")
+    a2 = bus.register("A")
+    b = bus.register("B")
+    assert a is a2 and a is not b
+    assert set(bus.registers()) == {"A", "B"}
+
+
+def test_bus_builds_dispatcher_and_barrier():
+    eng = Engine()
+    bus = ConcurrencyBus(eng, COSTS)
+    disp = bus.dispatcher(4, "L")
+    assert disp.trips == 4
+    bar = bus.barrier(3, "L.barrier")
+    assert bar.parties == 3

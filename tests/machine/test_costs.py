@@ -1,0 +1,53 @@
+"""Tests for machine cost tables and configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.costs import FX80, CostTables, MachineConfig
+
+
+def test_default_fx80_shape():
+    assert FX80.n_ce == 8
+    assert FX80.clock_mhz == pytest.approx(5.9)
+    assert FX80.costs.advance_op > 0
+    assert FX80.costs.await_resume >= FX80.costs.await_check
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MachineConfig(n_ce=0)
+    with pytest.raises(ValueError):
+        MachineConfig(clock_mhz=0)
+
+
+def test_with_cores():
+    cfg = FX80.with_cores(4)
+    assert cfg.n_ce == 4
+    assert cfg.costs == FX80.costs
+    assert FX80.n_ce == 8  # original untouched (frozen dataclasses)
+
+
+def test_cycles_to_us():
+    cfg = MachineConfig(n_ce=1, clock_mhz=10.0)
+    assert cfg.cycles_to_us(100) == pytest.approx(10.0)
+
+
+def test_cost_tables_scaled():
+    base = CostTables()
+    double = base.scaled(2.0)
+    assert double.advance_op == 2 * base.advance_op
+    assert double.dispatch == 2 * base.dispatch
+    half = base.scaled(0.01)
+    # Scaling never produces zero-cost hardware ops.
+    assert half.advance_op >= 1 and half.barrier_op >= 1
+
+
+def test_cost_tables_scale_must_be_positive():
+    with pytest.raises(ValueError):
+        CostTables().scaled(0)
+
+
+def test_cost_tables_frozen():
+    with pytest.raises(AttributeError):
+        CostTables().advance_op = 99  # type: ignore[misc]

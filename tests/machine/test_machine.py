@@ -1,0 +1,55 @@
+"""Tests for the machine container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.costs import FX80, MachineConfig
+from repro.machine.machine import ComputationalElement, Machine
+
+
+def test_machine_builds_ces():
+    m = Machine(FX80)
+    assert m.n_ce == 8
+    assert [ce.ce_id for ce in m.ces] == list(range(8))
+    assert m.now == 0
+
+
+def test_machine_single_use():
+    m = Machine(FX80)
+    m.mark_used()
+    with pytest.raises(RuntimeError):
+        m.mark_used()
+
+
+def test_per_ce_rng_streams_deterministic():
+    m1 = Machine(FX80, seed=5)
+    m2 = Machine(FX80, seed=5)
+    assert [r.next_u64() for r in m1.ce_rngs] == [r.next_u64() for r in m2.ce_rngs]
+
+
+def test_per_ce_rng_streams_decorrelated():
+    m = Machine(FX80, seed=5)
+    outs = [r.next_u64() for r in m.ce_rngs]
+    assert len(set(outs)) == len(outs)
+
+
+def test_different_seed_different_streams():
+    m1 = Machine(FX80, seed=1)
+    m2 = Machine(FX80, seed=2)
+    assert m1.ce_rngs[0].next_u64() != m2.ce_rngs[0].next_u64()
+
+
+def test_ce_utilization():
+    ce = ComputationalElement(0, busy_cycles=50)
+    assert ce.utilization(100) == pytest.approx(0.5)
+    assert ce.utilization(0) == 0.0
+
+
+def test_totals():
+    m = Machine(MachineConfig(n_ce=2))
+    m.ces[0].busy_cycles = 10
+    m.ces[1].busy_cycles = 5
+    m.ces[1].wait_cycles = 7
+    assert m.total_busy() == 15
+    assert m.total_wait() == 7

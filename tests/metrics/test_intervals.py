@@ -1,0 +1,123 @@
+"""Tests for interval algebra and step functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics.intervals import (
+    Interval,
+    StepFunction,
+    merge_intervals,
+    subtract_intervals,
+    total_length,
+)
+
+
+def test_interval_basics():
+    iv = Interval(3, 10)
+    assert iv.length == 7
+    with pytest.raises(ValueError):
+        Interval(5, 2)
+
+
+def test_overlaps_and_intersect():
+    a = Interval(0, 10)
+    b = Interval(5, 15)
+    c = Interval(10, 20)
+    assert a.overlaps(b)
+    assert not a.overlaps(c)  # half-open: [0,10) and [10,20) are disjoint
+    assert a.intersect(b) == Interval(5, 10)
+    assert a.intersect(c).length == 0
+
+
+def test_merge_disjoint_sorted():
+    out = merge_intervals([Interval(5, 8), Interval(0, 2)])
+    assert out == [Interval(0, 2), Interval(5, 8)]
+
+
+def test_merge_overlapping_and_touching():
+    out = merge_intervals([Interval(0, 5), Interval(3, 7), Interval(7, 9)])
+    assert out == [Interval(0, 9)]
+
+
+def test_merge_drops_empty():
+    assert merge_intervals([Interval(4, 4)]) == []
+
+
+def test_subtract_no_holes():
+    assert subtract_intervals(Interval(0, 10), []) == [Interval(0, 10)]
+
+
+def test_subtract_middle_hole():
+    out = subtract_intervals(Interval(0, 10), [Interval(3, 6)])
+    assert out == [Interval(0, 3), Interval(6, 10)]
+
+
+def test_subtract_edge_holes():
+    out = subtract_intervals(Interval(0, 10), [Interval(0, 2), Interval(8, 12)])
+    assert out == [Interval(2, 8)]
+
+
+def test_subtract_full_cover():
+    assert subtract_intervals(Interval(2, 8), [Interval(0, 10)]) == []
+
+
+def test_subtract_outside_holes_ignored():
+    out = subtract_intervals(Interval(5, 10), [Interval(0, 3), Interval(12, 20)])
+    assert out == [Interval(5, 10)]
+
+
+def test_total_length_merges_overlaps():
+    assert total_length([Interval(0, 5), Interval(3, 8)]) == 8
+
+
+def test_step_function_levels():
+    fn = StepFunction()
+    fn.add(Interval(0, 10))
+    fn.add(Interval(5, 15))
+    assert fn.steps() == [(0, 1), (5, 2), (10, 1), (15, 0)]
+    assert fn.value_at(7) == 2
+    assert fn.value_at(12) == 1
+    assert fn.value_at(20) == 0
+    assert fn.maximum() == 2
+
+
+def test_step_function_weights():
+    fn = StepFunction()
+    fn.add(Interval(0, 4), weight=3)
+    assert fn.steps() == [(0, 3), (4, 0)]
+
+
+def test_step_function_empty_interval_ignored():
+    fn = StepFunction()
+    fn.add(Interval(5, 5))
+    assert fn.steps() == []
+    assert fn.maximum() == 0
+
+
+def test_mean_over_full_window():
+    fn = StepFunction()
+    fn.add(Interval(0, 10))  # level 1 for 10
+    fn.add(Interval(0, 5))  # +1 for first half
+    assert fn.mean_over(0, 10) == pytest.approx(1.5)
+
+
+def test_mean_over_partial_window():
+    fn = StepFunction()
+    fn.add(Interval(0, 10))
+    fn.add(Interval(0, 5))
+    assert fn.mean_over(5, 10) == pytest.approx(1.0)
+    assert fn.mean_over(0, 5) == pytest.approx(2.0)
+    assert fn.mean_over(2, 8) == pytest.approx((3 * 2 + 3 * 1) / 6)
+
+
+def test_mean_over_window_beyond_steps():
+    fn = StepFunction()
+    fn.add(Interval(0, 4))
+    assert fn.mean_over(0, 8) == pytest.approx(0.5)
+
+
+def test_mean_over_empty_window_raises():
+    fn = StepFunction()
+    with pytest.raises(ValueError):
+        fn.mean_over(5, 5)

@@ -1,0 +1,95 @@
+"""Tests for parallelism profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import event_based_approximation
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE, PLAN_STATEMENTS
+from repro.metrics import (
+    activity_intervals,
+    average_parallelism,
+    parallelism_profile,
+)
+from repro.metrics.intervals import Interval
+
+from tests.conftest import build_toy_bigcs, build_toy_doacross, build_toy_sequential
+
+
+def test_sequential_program_parallelism_is_one(constants):
+    prog = build_toy_sequential(trips=40)
+    actual = Executor(seed=7).run(prog, PLAN_NONE)
+    profile = parallelism_profile(actual.trace, constants)
+    assert profile.peak == 1
+    assert average_parallelism(actual.trace, constants, exclude_sequential=False) == pytest.approx(
+        1.0, abs=0.05
+    )
+
+
+def test_parallel_loop_reaches_machine_width(constants):
+    prog = build_toy_bigcs(trips=60)
+    actual = Executor(seed=7).run(prog, PLAN_NONE)
+    profile = parallelism_profile(actual.trace, constants)
+    assert profile.peak == 8
+
+
+def test_average_excluding_sequential_higher(constants):
+    prog = build_toy_bigcs(trips=60)
+    actual = Executor(seed=7).run(prog, PLAN_NONE)
+    incl = average_parallelism(actual.trace, constants, exclude_sequential=False)
+    excl = average_parallelism(actual.trace, constants, exclude_sequential=True)
+    assert excl >= incl
+    assert excl > 6.0  # mostly-parallel loop on 8 CEs
+
+
+def test_blocked_loop_has_low_parallelism(constants):
+    """The loop-3-shaped toy serializes: average parallelism stays low."""
+    prog = build_toy_doacross(trips=100)
+    actual = Executor(seed=7).run(prog, PLAN_NONE)
+    avg = average_parallelism(actual.trace, constants, exclude_sequential=True)
+    assert avg < 4.0
+
+
+def test_activity_intervals_exclude_waiting(constants):
+    prog = build_toy_doacross(trips=60)
+    actual = Executor(seed=7).run(prog, PLAN_NONE)
+    acts = activity_intervals(actual.trace, constants)
+    from repro.metrics import waiting_by_thread
+    from repro.metrics.intervals import total_length
+
+    waits = waiting_by_thread(actual.trace, constants)
+    for t, intervals in acts.items():
+        view = actual.trace.thread(t)
+        span = view.end_time - view.start_time
+        active = total_length(intervals)
+        waited = total_length([w.interval for w in waits.get(t, [])])
+        assert active + waited == span
+
+
+def test_profile_on_approximated_trace(constants):
+    prog = build_toy_bigcs(trips=60)
+    measured = Executor(seed=7).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    profile = parallelism_profile(approx.trace, constants)
+    assert profile.parallel_span is not None
+    avg = profile.mean(profile.parallel_span)
+    assert 6.0 < avg <= 8.0
+
+
+def test_parallel_span_none_without_loop_markers(constants):
+    prog = build_toy_sequential(trips=10)
+    measured = Executor(seed=7).run(prog, PLAN_STATEMENTS)
+    profile = parallelism_profile(measured.trace, constants)
+    assert profile.parallel_span is None
+    # average falls back to the whole span
+    assert average_parallelism(measured.trace, constants) > 0
+
+
+def test_level_at_and_mean_window(constants):
+    prog = build_toy_bigcs(trips=40)
+    actual = Executor(seed=7).run(prog, PLAN_NONE)
+    profile = parallelism_profile(actual.trace, constants)
+    mid = (profile.span.start + profile.span.end) // 2
+    assert 0 <= profile.level_at(mid) <= 8
+    assert profile.mean(Interval(profile.span.start, profile.span.start + 1)) >= 0

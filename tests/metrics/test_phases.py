@@ -1,0 +1,98 @@
+"""Tests for phase decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE
+from repro.metrics import phase_report
+
+from tests.conftest import build_toy_bigcs, build_toy_sequential
+from tests.integration.test_multiloop import multi_phase_program
+
+
+@pytest.fixture(scope="module")
+def multi_run():
+    return Executor(seed=33).run(multi_phase_program(trips=40), PLAN_NONE)
+
+
+def test_phases_alternate(multi_run, constants):
+    report = phase_report(multi_run.trace, constants)
+    kinds = [p.kind for p in report.phases]
+    names = [p.name for p in report.phases]
+    assert "phase1" in names and "phase2" in names and "phase3" in names
+    # Sequential sections surround and separate the loops.
+    assert kinds[0] == "sequential"
+    assert kinds[-1] == "sequential"
+    for a, b in zip(kinds, kinds[1:]):
+        assert not (a == b == "parallel")
+
+
+def test_phases_partition_timeline(multi_run, constants):
+    report = phase_report(multi_run.trace, constants)
+    covered = sum(p.duration for p in report.phases)
+    assert covered == report.total.length
+    cursor = report.total.start
+    for p in report.phases:
+        assert p.interval.start == cursor
+        cursor = p.interval.end
+    assert cursor == report.total.end
+
+
+def test_parallel_phases_have_high_parallelism(multi_run, constants):
+    report = phase_report(multi_run.trace, constants)
+    p2 = report.phase("phase2")  # DOALL: near-full width
+    assert p2.kind == "parallel"
+    assert p2.mean_parallelism > 4.0
+    seq = report.phase("sequential-0")
+    assert seq.mean_parallelism <= 1.2
+
+
+def test_parallel_fraction(multi_run, constants):
+    report = phase_report(multi_run.trace, constants)
+    assert 0.3 < report.parallel_fraction() < 1.0
+
+
+def test_sequential_program_single_phaseish(constants):
+    run = Executor(seed=33).run(build_toy_sequential(trips=20), PLAN_NONE)
+    report = phase_report(run.trace, constants)
+    # One sequential-loop window (recorded via LOOP markers) surrounded by
+    # sequential sections; parallelism never exceeds 1.
+    assert all(p.mean_parallelism <= 1.0 for p in report.phases)
+
+
+def test_phase_lookup_missing(multi_run, constants):
+    report = phase_report(multi_run.trace, constants)
+    with pytest.raises(KeyError):
+        report.phase("nope")
+
+
+def test_works_on_approximated_trace(constants):
+    from repro.analysis import event_based_approximation
+
+    measured = Executor(seed=33).run(build_toy_bigcs(trips=40), PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    report = phase_report(approx.trace, constants)
+    assert any(p.kind == "parallel" for p in report.phases)
+    assert report.parallel_fraction() > 0
+
+
+def test_render(multi_run, constants):
+    text = phase_report(multi_run.trace, constants).render()
+    assert "phases over" in text
+    assert "phase1" in text and "par=" in text
+
+
+def test_interloop_idle_counts_as_sequential(multi_run, constants):
+    """Workers idling between two parallel loops must not inflate the
+    parallelism of the sequential section separating them."""
+    report = phase_report(multi_run.trace, constants)
+    mids = [
+        p for p in report.phases
+        if p.kind == "sequential" and p.name not in ("sequential-0",)
+        and p.interval.end < report.total.end
+    ]
+    assert mids, "expected interior sequential phases"
+    for p in mids:
+        assert p.mean_parallelism <= 1.5, (p.name, p.mean_parallelism)

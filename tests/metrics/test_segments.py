@@ -1,0 +1,101 @@
+"""Tests for per-iteration schedule segments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE, PLAN_STATEMENTS
+from repro.metrics import (
+    loop_schedules,
+    render_schedule,
+    schedule_diff,
+)
+
+from tests.conftest import build_toy_bigcs, build_toy_doacross
+
+
+@pytest.fixture(scope="module")
+def actual_run():
+    return Executor(seed=23).run(build_toy_bigcs(trips=60), PLAN_NONE)
+
+
+@pytest.fixture(scope="module")
+def measured_run():
+    return Executor(seed=23).run(build_toy_bigcs(trips=60), PLAN_STATEMENTS)
+
+
+def test_extracts_all_iterations(actual_run):
+    schedules = loop_schedules(actual_run.trace)
+    assert set(schedules) == {"B"}
+    sched = schedules["B"]
+    assert sorted(s.iteration for s in sched.segments) == list(range(60))
+
+
+def test_assignment_matches_ground_truth(actual_run):
+    sched = loop_schedules(actual_run.trace)["B"]
+    assert sched.assignment() == actual_run.assignments["B"]
+
+
+def test_segments_ordered_and_disjoint_per_thread(actual_run):
+    sched = loop_schedules(actual_run.trace)["B"]
+    for _t, segs in sched.by_thread().items():
+        for a, b in zip(segs, segs[1:]):
+            assert a.interval.end <= b.interval.start
+
+
+def test_iterations_per_thread_sum(actual_run):
+    sched = loop_schedules(actual_run.trace)["B"]
+    assert sum(sched.iterations_per_thread().values()) == 60
+
+
+def test_imbalance_near_one_for_uniform_work(actual_run):
+    sched = loop_schedules(actual_run.trace)["B"]
+    assert 1.0 <= sched.imbalance() < 1.5
+
+
+def test_schedule_diff_actual_vs_measured(actual_run, measured_run):
+    """Instrumentation re-maps some iterations to different CEs —
+    §4.1's 're-mapping of event occurrence to threads of execution'.
+    Statement-only traces carry no loop markers; their iterations land
+    under a synthetic label."""
+    a = loop_schedules(actual_run.trace)["B"]
+    b = loop_schedules(measured_run.trace)["(unlabelled)"]
+    diff = schedule_diff(a, b)
+    assert diff["n_iterations"] == 60
+    assert 0.0 <= diff["moved_fraction"] <= 1.0
+    assert diff["loop"] == "B"
+
+
+def test_schedule_diff_identity():
+    run = Executor(seed=5).run(build_toy_doacross(trips=30), PLAN_NONE)
+    sched = loop_schedules(run.trace)["T"]
+    diff = schedule_diff(sched, sched)
+    assert diff["moved"] == [] and diff["moved_fraction"] == 0.0
+
+
+def test_full_plan_trace_also_works():
+    run = Executor(seed=5).run(build_toy_doacross(trips=30), PLAN_FULL)
+    sched = loop_schedules(run.trace)["T"]
+    assert len({s.iteration for s in sched.segments}) == 30
+
+
+def test_span_covers_segments(actual_run):
+    sched = loop_schedules(actual_run.trace)["B"]
+    span = sched.span
+    for s in sched.segments:
+        assert span.start <= s.interval.start <= s.interval.end <= span.end
+
+
+def test_render(actual_run):
+    text = render_schedule(loop_schedules(actual_run.trace)["B"], width=60)
+    assert "loop B" in text
+    assert "CE0" in text and "CE7" in text
+
+
+def test_empty_schedule():
+    from repro.metrics.segments import LoopSchedule
+
+    empty = LoopSchedule("X")
+    assert empty.imbalance() == 0.0
+    assert empty.span.length == 0

@@ -1,0 +1,103 @@
+"""Tests for waiting-time statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import event_based_approximation
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE
+from repro.metrics import (
+    waiting_by_thread,
+    waiting_intervals,
+    waiting_percentages,
+)
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.trace import Trace
+
+from tests.conftest import build_toy_bigcs, build_toy_doacross
+
+
+def test_blocked_await_produces_interval(constants):
+    prog = build_toy_doacross(trips=60)
+    actual = Executor(seed=6).run(prog, PLAN_NONE)
+    ivs = waiting_intervals(actual.trace, constants, include_barriers=False)
+    assert ivs  # the loop-3-shaped toy blocks heavily uninstrumented
+    for w in ivs:
+        assert w.length > 0
+        assert w.cause == "TQ"
+
+
+def test_waiting_matches_ground_truth_accounting(constants):
+    """Reconstructed waiting from the logical trace equals the simulator's
+    own wait accounting (within the s_wait bookkeeping convention)."""
+    prog = build_toy_doacross(trips=60)
+    actual = Executor(seed=6).run(prog, PLAN_NONE)
+    ivs = waiting_intervals(actual.trace, constants, include_barriers=False)
+    reconstructed = sum(w.length for w in ivs)
+    truth = actual.sync_stats["TQ"].total_wait_cycles
+    assert reconstructed == pytest.approx(truth, rel=0.05)
+
+
+def test_unblocked_awaits_produce_nothing(constants):
+    events = [
+        TraceEvent(time=10, thread=0, kind=EventKind.AWAIT_B, seq=0,
+                   sync_var="A", sync_index=-1),
+        TraceEvent(time=10 + constants.s_nowait, thread=0, kind=EventKind.AWAIT_E,
+                   seq=1, sync_var="A", sync_index=-1),
+    ]
+    tr = Trace(events)
+    assert waiting_intervals(tr, constants) == []
+
+
+def test_barrier_waiting_included_when_asked(constants):
+    prog = build_toy_doacross(trips=60)
+    actual = Executor(seed=6).run(prog, PLAN_NONE)
+    with_b = waiting_intervals(actual.trace, constants, include_barriers=True)
+    without = waiting_intervals(actual.trace, constants, include_barriers=False)
+    assert len(with_b) > len(without)
+    causes = {w.cause for w in with_b} - {w.cause for w in without}
+    assert causes == {"T.barrier"}
+
+
+def test_waiting_by_thread_groups_all(constants):
+    prog = build_toy_doacross(trips=60)
+    actual = Executor(seed=6).run(prog, PLAN_NONE)
+    grouped = waiting_by_thread(actual.trace, constants)
+    flat = [w for ws in grouped.values() for w in ws]
+    assert len(flat) == len(waiting_intervals(actual.trace, constants))
+    for t, ws in grouped.items():
+        assert all(w.thread == t for w in ws)
+
+
+def test_waiting_percentages_report(constants):
+    prog = build_toy_bigcs(trips=60)
+    measured = Executor(seed=6).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, constants)
+    report = waiting_percentages(approx.trace, constants)
+    pct = report.percentages()
+    assert set(pct) == set(range(8))
+    assert all(0.0 <= p <= 100.0 for p in pct.values())
+    assert report.total_wait == sum(report.per_thread_wait.values())
+
+
+def test_percentage_zero_total_time(constants):
+    from repro.metrics.waiting import WaitingReport
+
+    rep = WaitingReport(total_time=0, per_thread_wait={0: 5})
+    assert rep.percentage(0) == 0.0
+
+
+def test_percentage_of_unknown_thread(constants):
+    from repro.metrics.waiting import WaitingReport
+
+    rep = WaitingReport(total_time=100, per_thread_wait={0: 5})
+    assert rep.percentage(3) == 0.0
+
+
+def test_intervals_sorted_by_time(constants):
+    prog = build_toy_doacross(trips=60)
+    actual = Executor(seed=6).run(prog, PLAN_NONE)
+    ivs = waiting_intervals(actual.trace, constants)
+    starts = [w.interval.start for w in ivs]
+    assert starts == sorted(starts)

@@ -1,0 +1,80 @@
+"""Structured fuzzing: the full pipeline on random valid programs.
+
+Random programs mix every construct (sequential/DOALL/DOACROSSS loops,
+any dependence distance, static and dynamic schedules, locks, counting
+semaphores, inter-loop sequential sections).  The pipeline must:
+
+* execute deterministically under every plan;
+* produce causal traces;
+* yield feasible conservative approximations;
+* recover the actual execution near-exactly without ancillary noise.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import auto_approximation, event_based_approximation
+from repro.exec import Executor
+from repro.instrument import InstrumentationCosts, calibrate_analysis_constants
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE, PLAN_STATEMENTS
+from repro.ir.fuzz import random_program
+from repro.ir.validate import validate_program
+from repro.machine.costs import FX80
+from repro.trace.order import verify_causality, verify_feasible
+
+CONSTANTS = calibrate_analysis_constants(FX80, InstrumentationCosts())
+
+seeds = st.integers(min_value=0, max_value=2**62)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seeds)
+def test_random_programs_are_valid(seed):
+    prog = random_program(seed)
+    validate_program(prog)  # must not raise
+    assert prog.statement_count() > 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds)
+def test_random_programs_execute_under_all_plans(seed):
+    prog = random_program(seed)
+    for plan in (PLAN_NONE, PLAN_STATEMENTS, PLAN_FULL):
+        result = Executor(seed=seed & 0xFFFF).run(prog, plan)
+        assert result.total_time > 0
+        verify_causality(result.trace)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seeds)
+def test_random_programs_recover_near_exactly(seed):
+    prog = random_program(seed)
+    ex = Executor(seed=seed & 0xFFFF)
+    actual = ex.run(prog, PLAN_NONE)
+    measured = ex.run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, CONSTANTS)
+    verify_feasible(approx.trace, measured.trace)
+    tolerance = max(32, round(0.02 * actual.total_time))
+    assert abs(approx.total_time - actual.total_time) <= tolerance
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_auto_analysis_on_random_programs(seed):
+    prog = random_program(seed)
+    ex = Executor(seed=seed & 0xFFFF)
+    measured = ex.run(prog, PLAN_FULL)
+    result = auto_approximation(measured.trace, CONSTANTS)
+    assert result.method == "event-based"
+    assert result.total_time <= measured.total_time
+
+
+@settings(max_examples=10, deadline=None)
+@given(seeds)
+def test_random_program_generation_deterministic(seed):
+    a = random_program(seed)
+    b = random_program(seed)
+    assert a.name == b.name
+    assert a.statement_count() == b.statement_count()
+    assert [type(i).__name__ for i in a.items] == [type(i).__name__ for i in b.items]

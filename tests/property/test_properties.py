@@ -1,0 +1,363 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These encode the paper's formal claims as properties over randomly
+generated programs and traces:
+
+* determinism of the simulation substrate;
+* conservative approximations are feasible executions (§4.1);
+* event-based analysis is *exact* when the only perturbation is probe
+  overhead (no ancillary noise);
+* time-based analysis is exact for sequential execution (§3);
+* interval/step-function algebra laws the metrics rely on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import event_based_approximation, time_based_approximation
+from repro.exec import Executor
+from repro.instrument import InstrumentationCosts, calibrate_analysis_constants
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE, PLAN_STATEMENTS
+from repro.ir import ProgramBuilder, loop_body
+from repro.machine.costs import FX80
+from repro.metrics.intervals import (
+    Interval,
+    StepFunction,
+    merge_intervals,
+    subtract_intervals,
+    total_length,
+)
+from repro.sim.rng import SplitMix64
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.io import read_trace, write_trace
+from repro.trace.order import verify_causality, verify_feasible
+from repro.trace.trace import Trace
+
+CONSTANTS = calibrate_analysis_constants(FX80, InstrumentationCosts())
+
+
+# --------------------------------------------------------------- strategies
+@st.composite
+def doacross_params(draw):
+    return dict(
+        trips=draw(st.integers(min_value=10, max_value=60)),
+        outside=draw(st.integers(min_value=2, max_value=120)),
+        cs=draw(st.integers(min_value=1, max_value=80)),
+        distance=draw(st.integers(min_value=1, max_value=3)),
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+    )
+
+
+def build_program(p):
+    return (
+        ProgramBuilder("prop")
+        .compute("setup", cost=20, memory_refs=1)
+        .doacross(
+            "P",
+            trips=p["trips"],
+            body=loop_body()
+            .compute("out", cost=p["outside"], memory_refs=2)
+            .await_("PV", distance=p["distance"])
+            .compute("cs", cost=p["cs"], memory_refs=1, compound=True)
+            .advance("PV"),
+        )
+        .compute("wrapup", cost=10)
+        .build()
+    )
+
+
+intervals_st = st.lists(
+    st.tuples(st.integers(0, 500), st.integers(0, 200)).map(
+        lambda t: Interval(t[0], t[0] + t[1])
+    ),
+    max_size=12,
+)
+
+
+# ------------------------------------------------------------- simulation
+@settings(max_examples=20, deadline=None)
+@given(doacross_params())
+def test_simulation_deterministic(p):
+    prog = build_program(p)
+    a = Executor(seed=p["seed"]).run(prog, PLAN_FULL)
+    b = Executor(seed=p["seed"]).run(prog, PLAN_FULL)
+    assert a.total_time == b.total_time
+    assert a.trace.events == b.trace.events
+
+
+@settings(max_examples=20, deadline=None)
+@given(doacross_params())
+def test_measured_traces_always_causal(p):
+    prog = build_program(p)
+    result = Executor(seed=p["seed"]).run(prog, PLAN_FULL)
+    verify_causality(result.trace)
+
+
+@settings(max_examples=20, deadline=None)
+@given(doacross_params())
+def test_instrumentation_never_speeds_up(p):
+    prog = build_program(p)
+    actual = Executor(seed=p["seed"]).run(prog, PLAN_NONE)
+    measured = Executor(seed=p["seed"]).run(prog, PLAN_FULL)
+    assert measured.total_time >= actual.total_time
+
+
+# ---------------------------------------------------------------- analysis
+@settings(max_examples=20, deadline=None)
+@given(doacross_params())
+def test_event_based_near_exact_without_ancillary_noise(p):
+    """With probes as the only perturbation, event-based reconstruction is
+    exact for any critical-section geometry and dependence distance — up
+    to integer-cycle *ties*: when an advance completes in the very cycle
+    an await checks, the hardware race's outcome cannot be predicted by
+    the analysis's t_a(advance) <= t_a(awaitB) rule, costing at most
+    (s_wait - s_nowait) per tie.  Measure-zero on real hardware; bounded
+    here by a small tolerance."""
+    prog = build_program(p)
+    actual = Executor(seed=p["seed"]).run(prog, PLAN_NONE)
+    measured = Executor(seed=p["seed"]).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, CONSTANTS)
+    tolerance = max(16, round(0.01 * actual.total_time))
+    assert abs(approx.total_time - actual.total_time) <= tolerance
+
+
+@settings(max_examples=20, deadline=None)
+@given(doacross_params())
+def test_conservative_approximation_is_feasible(p):
+    prog = build_program(p)
+    measured = Executor(seed=p["seed"]).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, CONSTANTS)
+    verify_feasible(approx.trace, measured.trace)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    trips=st.integers(5, 80),
+    c1=st.integers(1, 100),
+    c2=st.integers(1, 100),
+    seed=st.integers(0, 2**31),
+)
+def test_time_based_exact_on_sequential(trips, c1, c2, seed):
+    prog = (
+        ProgramBuilder("seqprop")
+        .compute("setup", cost=15)
+        .sequential_loop(
+            "S", trips, loop_body().compute("a", cost=c1).compute("b", cost=c2)
+        )
+        .compute("wrapup", cost=5)
+        .build()
+    )
+    actual = Executor(seed=seed).run(prog, PLAN_NONE)
+    measured = Executor(seed=seed).run(prog, PLAN_STATEMENTS)
+    approx = time_based_approximation(measured.trace, CONSTANTS)
+    assert approx.total_time == actual.total_time
+
+
+@settings(max_examples=20, deadline=None)
+@given(doacross_params())
+def test_approximation_never_exceeds_measurement(p):
+    """Removing overhead can only shrink a noise-free measured execution."""
+    prog = build_program(p)
+    measured = Executor(seed=p["seed"]).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, CONSTANTS)
+    assert approx.total_time <= measured.total_time
+
+
+@st.composite
+def lock_params(draw):
+    return dict(
+        trips=draw(st.integers(min_value=8, max_value=50)),
+        work=draw(st.integers(min_value=1, max_value=120)),
+        cs=draw(st.integers(min_value=1, max_value=60)),
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+    )
+
+
+def build_lock_program(p):
+    return (
+        ProgramBuilder("lockprop")
+        .compute("setup", cost=20, memory_refs=1)
+        .doall(
+            "R",
+            trips=p["trips"],
+            body=loop_body()
+            .compute("work", cost=p["work"], memory_refs=2)
+            .lock("PL")
+            .compute("cs", cost=p["cs"], memory_refs=1)
+            .unlock("PL"),
+        )
+        .compute("wrapup", cost=10)
+        .build()
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(lock_params())
+def test_lock_analysis_near_exact_without_noise(p):
+    """Conservative lock replay recovers the actual time up to the
+    conservative order-preservation caveat (see the semaphore property)."""
+    prog = build_lock_program(p)
+    actual = Executor(seed=p["seed"]).run(prog, PLAN_NONE)
+    measured = Executor(seed=p["seed"]).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, CONSTANTS)
+    tolerance = max(16, round(0.01 * actual.total_time))
+    assert abs(approx.total_time - actual.total_time) <= tolerance
+
+
+@settings(max_examples=20, deadline=None)
+@given(lock_params())
+def test_lock_approximation_feasible(p):
+    prog = build_lock_program(p)
+    measured = Executor(seed=p["seed"]).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, CONSTANTS)
+    verify_feasible(approx.trace, measured.trace)
+
+
+@st.composite
+def sem_params(draw):
+    return dict(
+        capacity=draw(st.integers(min_value=1, max_value=8)),
+        trips=draw(st.integers(min_value=8, max_value=40)),
+        prep=draw(st.integers(min_value=1, max_value=60)),
+        burst=draw(st.integers(min_value=1, max_value=80)),
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+    )
+
+
+def build_sem_program(p):
+    return (
+        ProgramBuilder("semprop")
+        .semaphore("PS", capacity=p["capacity"])
+        .compute("setup", cost=15)
+        .doall(
+            "IO",
+            trips=p["trips"],
+            body=loop_body()
+            .compute("prep", cost=p["prep"], memory_refs=1)
+            .sem_wait("PS")
+            .compute("burst", cost=p["burst"], memory_refs=2)
+            .sem_signal("PS"),
+        )
+        .compute("wrapup", cost=10)
+        .build()
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(sem_params())
+def test_semaphore_analysis_near_exact_without_noise(p):
+    """Conservative grant-order replay recovers the actual time up to the
+    inherent conservative limitation: when the measured grant order
+    differs from the actual one (ties broken differently under
+    instrumentation), preserving the measured order costs a few cycles
+    (§4.1's work-reassignment caveat).  The error must stay within one
+    handoff per capacity-class plus 1%."""
+    prog = build_sem_program(p)
+    actual = Executor(seed=p["seed"]).run(prog, PLAN_NONE)
+    measured = Executor(seed=p["seed"]).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, CONSTANTS)
+    tolerance = max(16, round(0.01 * actual.total_time))
+    assert abs(approx.total_time - actual.total_time) <= tolerance
+
+
+@settings(max_examples=20, deadline=None)
+@given(sem_params())
+def test_semaphore_approximation_feasible(p):
+    prog = build_sem_program(p)
+    measured = Executor(seed=p["seed"]).run(prog, PLAN_FULL)
+    approx = event_based_approximation(measured.trace, CONSTANTS)
+    verify_feasible(approx.trace, measured.trace)
+
+
+# ------------------------------------------------------------------ RNG
+@settings(max_examples=100)
+@given(st.integers(0, 2**64 - 1), st.integers(-1000, 1000), st.integers(0, 1000))
+def test_randint_within_bounds(seed, lo, span):
+    rng = SplitMix64(seed)
+    v = rng.randint(lo, lo + span)
+    assert lo <= v <= lo + span
+
+
+@settings(max_examples=50)
+@given(st.integers(0, 2**64 - 1), st.integers(0, 10_000), st.floats(0, 2))
+def test_jitter_nonnegative_and_bounded(seed, base, frac):
+    rng = SplitMix64(seed)
+    v = rng.jitter(base, frac)
+    assert v >= 0
+    span = max(1, int(base * frac)) if frac > 0 and base > 0 else 0
+    assert abs(v - base) <= span
+
+
+# ------------------------------------------------------------- intervals
+@settings(max_examples=200)
+@given(intervals_st)
+def test_merge_idempotent(ivs):
+    once = merge_intervals(ivs)
+    twice = merge_intervals(once)
+    assert once == twice
+
+
+@settings(max_examples=200)
+@given(intervals_st)
+def test_merge_disjoint_sorted_property(ivs):
+    out = merge_intervals(ivs)
+    for a, b in zip(out, out[1:]):
+        assert a.end < b.start  # strictly disjoint, sorted
+
+
+@settings(max_examples=200)
+@given(st.integers(0, 100), st.integers(1, 400), intervals_st)
+def test_subtract_partitions_base(start, length, holes):
+    base = Interval(start, start + length)
+    kept = subtract_intervals(base, holes)
+    # Kept intervals lie inside base and avoid all holes.
+    merged_holes = merge_intervals(holes)
+    for iv in kept:
+        assert base.start <= iv.start <= iv.end <= base.end
+        for h in merged_holes:
+            assert not iv.overlaps(h)
+    # Kept + (holes ∩ base) exactly covers base.
+    hole_in_base = sum(h.intersect(base).length for h in merged_holes)
+    assert total_length(kept) + hole_in_base == base.length
+
+
+@settings(max_examples=100)
+@given(intervals_st)
+def test_step_function_mean_bounded_by_extremes(ivs):
+    fn = StepFunction()
+    for iv in ivs:
+        fn.add(iv)
+    levels = [v for _t, v in fn.steps()] or [0]
+    mean = fn.mean_over(0, 1000)
+    assert 0 <= mean <= max(max(levels), 0)
+
+
+# ---------------------------------------------------------------- trace IO
+event_st = st.builds(
+    TraceEvent,
+    time=st.integers(0, 10**6),
+    thread=st.integers(0, 7),
+    kind=st.sampled_from([EventKind.STMT, EventKind.ADVANCE, EventKind.LOOP_BEGIN]),
+    eid=st.integers(-1, 50),
+    seq=st.just(-1),
+    iteration=st.one_of(st.none(), st.integers(0, 100)),
+    sync_var=st.one_of(st.none(), st.sampled_from(["A", "B"])),
+    sync_index=st.one_of(st.none(), st.integers(-2, 100)),
+    label=st.text(alphabet="abcxyz ", max_size=8),
+    overhead=st.integers(0, 200),
+)
+
+
+@settings(max_examples=50)
+@given(st.lists(event_st, max_size=30))
+def test_trace_io_roundtrip(events):
+    import io
+
+    tr = Trace(events, meta={"program": "prop"})
+    buf = io.StringIO()
+    write_trace(tr, buf)
+    buf.seek(0)
+    back = read_trace(buf)
+    assert back.events == tr.events
+    assert back.meta == tr.meta

@@ -1,0 +1,390 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    Engine,
+    Interrupt,
+    Process,
+    ProcessCrashed,
+    Signal,
+    SimulationDeadlock,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(5)
+        yield Timeout(7)
+        return eng.now
+
+    p = eng.process(proc())
+    assert eng.run() == 12
+    assert p.result == 12
+
+
+def test_zero_timeout_runs_same_cycle():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(0)
+        return eng.now
+
+    p = eng.process(proc())
+    eng.run()
+    assert p.result == 0
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(ValueError):
+        Timeout(-1)
+
+
+def test_timeout_value_passed_back():
+    eng = Engine()
+    got = []
+
+    def proc():
+        v = yield Timeout(3, value="payload")
+        got.append(v)
+
+    eng.process(proc())
+    eng.run()
+    assert got == ["payload"]
+
+
+def test_process_return_value():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(1)
+        return 99
+
+    p = eng.process(proc())
+    eng.run()
+    assert p.done and p.result == 99
+
+
+def test_result_before_done_raises():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(1)
+
+    p = eng.process(proc())
+    with pytest.raises(SimulationError):
+        _ = p.result
+
+
+def test_waiting_on_process_gets_return_value():
+    eng = Engine()
+
+    def child():
+        yield Timeout(10)
+        return "child-done"
+
+    def parent():
+        result = yield eng.process(child())
+        return (eng.now, result)
+
+    p = eng.process(parent())
+    eng.run()
+    assert p.result == (10, "child-done")
+
+
+def test_waiting_on_already_finished_process():
+    eng = Engine()
+
+    def child():
+        yield Timeout(1)
+        return 5
+
+    c = eng.process(child())
+
+    def parent():
+        yield Timeout(20)
+        v = yield c
+        return (eng.now, v)
+
+    p = eng.process(parent())
+    eng.run()
+    assert p.result == (20, 5)
+
+
+def test_signal_wakes_all_waiters_in_order():
+    eng = Engine()
+    sig = Signal("s")
+    order = []
+
+    def waiter(name):
+        v = yield sig
+        order.append((name, eng.now, v))
+
+    def trigger():
+        yield Timeout(50)
+        sig.trigger(eng, "go")
+
+    eng.process(waiter("a"))
+    eng.process(waiter("b"))
+    eng.process(trigger())
+    eng.run()
+    assert order == [("a", 50, "go"), ("b", 50, "go")]
+
+
+def test_signal_already_triggered_resumes_immediately():
+    eng = Engine()
+    sig = Signal()
+    sig.trigger(eng, 123)
+
+    def proc():
+        v = yield sig
+        return (eng.now, v)
+
+    p = eng.process(proc())
+    eng.run()
+    assert p.result == (0, 123)
+
+
+def test_signal_double_trigger_raises():
+    eng = Engine()
+    sig = Signal("x")
+    sig.trigger(eng)
+    with pytest.raises(SimulationError):
+        sig.trigger(eng)
+
+
+def test_signal_value_property():
+    eng = Engine()
+    sig = Signal("v")
+    with pytest.raises(SimulationError):
+        _ = sig.value
+    sig.trigger(eng, 7)
+    assert sig.value == 7 and sig.triggered
+
+
+def test_allof_waits_for_every_child():
+    eng = Engine()
+
+    def child(d):
+        yield Timeout(d)
+        return d
+
+    def parent():
+        results = yield AllOf([eng.process(child(5)), eng.process(child(12)), eng.process(child(3))])
+        return (eng.now, results)
+
+    p = eng.process(parent())
+    eng.run()
+    assert p.result == (12, [5, 12, 3])
+
+
+def test_allof_empty_completes_immediately():
+    eng = Engine()
+
+    def parent():
+        res = yield AllOf([])
+        return (eng.now, res)
+
+    p = eng.process(parent())
+    eng.run()
+    assert p.result == (0, [])
+
+
+def test_crash_propagates_from_run():
+    eng = Engine()
+
+    def bad():
+        yield Timeout(1)
+        raise ValueError("boom")
+
+    eng.process(bad(), name="bad")
+    with pytest.raises(ProcessCrashed) as exc:
+        eng.run()
+    assert isinstance(exc.value.original, ValueError)
+    assert "bad" in str(exc.value)
+
+
+def test_crashed_process_result_raises():
+    eng = Engine()
+
+    def bad():
+        yield Timeout(1)
+        raise RuntimeError("x")
+
+    p = eng.process(bad())
+    with pytest.raises(ProcessCrashed):
+        eng.run()
+    assert p.done
+    with pytest.raises(ProcessCrashed):
+        _ = p.result
+
+
+def test_yielding_non_effect_crashes():
+    eng = Engine()
+
+    def bad():
+        yield 42
+
+    eng.process(bad())
+    with pytest.raises(ProcessCrashed):
+        eng.run()
+
+
+def test_deadlock_detected():
+    eng = Engine()
+    sig = Signal("never")
+
+    def stuck():
+        yield sig
+
+    eng.process(stuck())
+    with pytest.raises(SimulationDeadlock):
+        eng.run()
+
+
+def test_run_until_stops_at_time():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(100)
+
+    eng.process(proc())
+    assert eng.run(until=30) == 30
+    assert eng.now == 30
+    # Continue to completion.
+    assert eng.run() == 100
+
+
+def test_interrupt_terminates_process():
+    eng = Engine()
+
+    def sleeper():
+        yield Timeout(1000)
+        return "never"
+
+    p = eng.process(sleeper())
+
+    def killer():
+        yield Timeout(5)
+        p.interrupt("stop")
+
+    eng.process(killer())
+    eng.run()
+    assert p.done and p.result is None
+
+
+def test_interrupt_catchable_inside_process():
+    eng = Engine()
+    caught = []
+
+    def sleeper():
+        try:
+            yield Timeout(1000)
+        except Interrupt as i:
+            caught.append(i.cause)
+            yield Timeout(3)
+        return eng.now
+
+    p = eng.process(sleeper())
+
+    def killer():
+        yield Timeout(5)
+        p.interrupt("why")
+
+    eng.process(killer())
+    eng.run()
+    assert caught == ["why"]
+    assert p.result == 8
+
+
+def test_interrupt_after_done_is_noop():
+    eng = Engine()
+
+    def quick():
+        yield Timeout(1)
+        return 1
+
+    p = eng.process(quick())
+    eng.run()
+    p.interrupt()
+    eng.run()
+    assert p.result == 1
+
+
+def test_ties_broken_in_schedule_order():
+    eng = Engine()
+    order = []
+
+    def proc(name):
+        yield Timeout(10)
+        order.append(name)
+
+    for name in ("first", "second", "third"):
+        eng.process(proc(name))
+    eng.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_schedule_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.schedule(-1, lambda v: None)
+
+
+def test_step_without_events_raises():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.step()
+
+
+def test_determinism_two_runs_identical():
+    def build():
+        eng = Engine()
+        trace = []
+
+        def worker(wid, delay):
+            for i in range(5):
+                yield Timeout(delay)
+                trace.append((eng.now, wid, i))
+
+        for w in range(4):
+            eng.process(worker(w, 3 + w))
+        eng.run()
+        return trace
+
+    assert build() == build()
+
+
+def test_nested_yield_from_composition():
+    eng = Engine()
+
+    def inner():
+        yield Timeout(4)
+        return "inner"
+
+    def outer():
+        v = yield from inner()
+        yield Timeout(6)
+        return (v, eng.now)
+
+    p = eng.process(outer())
+    eng.run()
+    assert p.result == ("inner", 10)
+
+
+def test_process_named_from_generator():
+    eng = Engine()
+
+    def my_proc():
+        yield Timeout(1)
+
+    p = eng.process(my_proc())
+    assert p.name == "my_proc"
+    eng.run()

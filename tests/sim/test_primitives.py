@@ -1,0 +1,263 @@
+"""Tests for semaphores, mutexes, queues, stores, and barriers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError, Timeout
+from repro.sim.primitives import Barrier, Mutex, Semaphore, SimQueue, Store, at
+
+
+def test_semaphore_immediate_acquire():
+    eng = Engine()
+    sem = Semaphore(eng, initial=2)
+    times = []
+
+    def proc():
+        yield sem.acquire()
+        times.append(eng.now)
+
+    eng.process(proc())
+    eng.process(proc())
+    eng.run()
+    assert times == [0, 0]
+    assert sem.count == 0
+
+
+def test_semaphore_blocks_and_fifo_release():
+    eng = Engine()
+    sem = Semaphore(eng, initial=1)
+    order = []
+
+    def holder():
+        yield sem.acquire()
+        yield Timeout(10)
+        sem.release()
+
+    def waiter(name, delay):
+        yield Timeout(delay)
+        yield sem.acquire()
+        order.append((name, eng.now))
+        yield Timeout(5)
+        sem.release()
+
+    eng.process(holder())
+    eng.process(waiter("a", 1))
+    eng.process(waiter("b", 2))
+    eng.run()
+    assert order == [("a", 10), ("b", 15)]
+
+
+def test_semaphore_try_acquire():
+    eng = Engine()
+    sem = Semaphore(eng, initial=1)
+    assert sem.try_acquire() is True
+    assert sem.try_acquire() is False
+    sem.release()
+    assert sem.try_acquire() is True
+
+
+def test_semaphore_negative_initial_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        Semaphore(eng, initial=-1)
+
+
+def test_semaphore_queued_count():
+    eng = Engine()
+    sem = Semaphore(eng, initial=0)
+
+    def waiter():
+        yield sem.acquire()
+
+    eng.process(waiter())
+    eng.run(until=1)
+    assert sem.queued == 1
+    sem.release()
+    eng.run()
+    assert sem.queued == 0
+
+
+def test_mutex_hold_accounts_blocking():
+    eng = Engine()
+    m = Mutex(eng, "m")
+
+    def user(delay, dur):
+        yield Timeout(delay)
+        yield from m.hold(dur)
+
+    eng.process(user(0, 20))
+    eng.process(user(1, 5))
+    eng.run()
+    assert m.acquisitions == 2
+    assert m.total_blocked_time == 19  # second user waited 20-1
+
+
+def test_mutex_locked_flag():
+    eng = Engine()
+    m = Mutex(eng)
+    assert not m.locked()
+    assert m.try_acquire()
+    assert m.locked()
+    m.release()
+    assert not m.locked()
+
+
+def test_queue_put_then_get():
+    eng = Engine()
+    q = SimQueue(eng)
+    q.put("x")
+    got = []
+
+    def getter():
+        v = yield q.get()
+        got.append((eng.now, v))
+
+    eng.process(getter())
+    eng.run()
+    assert got == [(0, "x")]
+    assert len(q) == 0
+
+
+def test_queue_get_blocks_until_put():
+    eng = Engine()
+    q = SimQueue(eng)
+    got = []
+
+    def getter():
+        v = yield q.get()
+        got.append((eng.now, v))
+
+    def putter():
+        yield Timeout(30)
+        q.put(7)
+
+    eng.process(getter())
+    eng.process(putter())
+    eng.run()
+    assert got == [(30, 7)]
+
+
+def test_queue_fifo_across_waiters():
+    eng = Engine()
+    q = SimQueue(eng)
+    got = []
+
+    def getter(name):
+        v = yield q.get()
+        got.append((name, v))
+
+    eng.process(getter("a"))
+    eng.process(getter("b"))
+
+    def putter():
+        yield Timeout(1)
+        q.put(1)
+        q.put(2)
+
+    eng.process(putter())
+    eng.run()
+    assert got == [("a", 1), ("b", 2)]
+
+
+def test_store_set_once_broadcast():
+    eng = Engine()
+    st = Store(eng, "st")
+    got = []
+
+    def reader(name):
+        v = yield st.wait()
+        got.append((name, eng.now, v))
+
+    eng.process(reader("a"))
+    eng.process(reader("b"))
+
+    def writer():
+        yield Timeout(9)
+        st.set("val")
+
+    eng.process(writer())
+    eng.run()
+    assert got == [("a", 9, "val"), ("b", 9, "val")]
+    assert st.is_set and st.peek() == "val"
+
+
+def test_barrier_releases_all_at_last_arrival():
+    eng = Engine()
+    b = Barrier(eng, parties=3)
+    released = []
+
+    def party(delay):
+        yield Timeout(delay)
+        yield b.arrive()
+        released.append(eng.now)
+
+    for d in (5, 9, 20):
+        eng.process(party(d))
+    eng.run()
+    assert released == [20, 20, 20]
+    assert b.arrival_times[0] == [5, 9, 20]
+
+
+def test_barrier_reusable_generations():
+    eng = Engine()
+    b = Barrier(eng, parties=2)
+    gens = []
+
+    def party(d1, d2):
+        yield Timeout(d1)
+        g = yield b.arrive()
+        gens.append(g)
+        yield Timeout(d2)
+        g = yield b.arrive()
+        gens.append(g)
+
+    eng.process(party(1, 10))
+    eng.process(party(3, 2))
+    eng.run()
+    assert sorted(gens) == [0, 0, 1, 1]
+    assert b.generation == 2
+
+
+def test_barrier_single_party_never_blocks():
+    eng = Engine()
+    b = Barrier(eng, parties=1)
+
+    def solo():
+        yield b.arrive()
+        return eng.now
+
+    p = eng.process(solo())
+    eng.run()
+    assert p.result == 0
+
+
+def test_barrier_invalid_parties():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        Barrier(eng, parties=0)
+
+
+def test_at_schedules_absolute_time():
+    eng = Engine()
+    fired = []
+    at(eng, 42, lambda: fired.append(eng.now))
+
+    def keepalive():
+        yield Timeout(100)
+
+    eng.process(keepalive())
+    eng.run()
+    assert fired == [42]
+
+
+def test_at_in_past_rejected():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(10)
+
+    eng.process(proc())
+    eng.run()
+    with pytest.raises(SimulationError):
+        at(eng, 5, lambda: None)

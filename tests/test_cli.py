@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _build_config, make_parser, run
+from repro.experiments.common import DEFAULT_CONFIG
+
+
+def parse(args):
+    return make_parser().parse_args(args)
+
+
+def test_parser_accepts_all_experiments():
+    for exp in EXPERIMENTS + ("all",):
+        assert parse([exp]).experiment == exp
+
+
+def test_parser_rejects_unknown():
+    with pytest.raises(SystemExit):
+        parse(["figure9"])
+
+
+def test_config_flags():
+    cfg = _build_config(parse(["table1", "--quick"]))
+    assert cfg.trips == 200
+    cfg = _build_config(parse(["table1", "--trips", "55"]))
+    assert cfg.trips == 55
+    cfg = _build_config(parse(["table1", "--seed", "9"]))
+    assert cfg.seed == 9
+    cfg = _build_config(parse(["table1", "--no-noise"]))
+    assert cfg.perturb.jitter == 0 and cfg.perturb.dilation == 0
+    assert _build_config(parse(["table1"])).trips is DEFAULT_CONFIG.trips
+
+
+def test_run_single_experiment():
+    cfg = DEFAULT_CONFIG.quick(100)
+    text = run("table2", cfg)
+    assert "Table 2" in text
+    assert "Table 1" not in text
+
+
+def test_run_figure1_only():
+    cfg = DEFAULT_CONFIG.quick(100)
+    text = run("figure1", cfg)
+    assert "Figure 1" in text
+
+
+def test_run_all_contains_every_section():
+    cfg = DEFAULT_CONFIG.quick(100)
+    text = run("all", cfg)
+    for label in ("Figure 1", "Table 1", "Table 2", "Table 3", "Figure 4", "Figure 5"):
+        assert label in text
+
+
+def test_main_exit_code(capsys):
+    from repro.cli import main
+
+    assert main(["table3", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+
+
+def test_width_flag_changes_chart_width():
+    from repro.cli import run
+
+    cfg = DEFAULT_CONFIG.quick(100)
+    narrow = run("figure4", cfg, width=40)
+    wide = run("figure4", cfg, width=100)
+    n_line = next(l for l in narrow.splitlines() if l.strip().startswith("CE0"))
+    w_line = next(l for l in wide.splitlines() if l.strip().startswith("CE0"))
+    assert len(w_line) > len(n_line)
+
+
+def test_all_includes_extension_sections():
+    from repro.cli import run
+
+    text = run("all", DEFAULT_CONFIG.quick(100))
+    for label in ("Execution-mode study", "Per-event timing accuracy",
+                  "Scalability study", "volume sweep"):
+        assert label in text

@@ -1,0 +1,118 @@
+"""Tests for the repro-trace command-line tool."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL
+from repro.livermore import doacross_program
+from repro.trace.io import write_trace
+from repro.tracetool import main
+
+from tests.conftest import build_toy_doacross
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "toy.trace"
+    result = Executor(seed=3).run(build_toy_doacross(trips=40), PLAN_FULL)
+    write_trace(result.trace, path)
+    return str(path)
+
+
+def test_info(trace_file, capsys):
+    assert main(["info", trace_file]) == 0
+    out = capsys.readouterr().out
+    assert "events on 8 thread" in out
+    assert "advance" in out
+
+
+def test_dump_limited(trace_file, capsys):
+    assert main(["dump", trace_file, "-n", "5"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 6  # 5 events + "... more" line
+    assert "more" in out[-1]
+
+
+def test_dump_filters(trace_file, capsys):
+    assert main(["dump", trace_file, "-n", "0", "--kind", "advance"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 40
+    assert all("advance" in line for line in out)
+
+    assert main(["dump", trace_file, "-n", "0", "--thread", "3"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert all("ce=3" in line for line in out)
+
+
+def test_validate_ok(trace_file, capsys):
+    assert main(["validate", trace_file]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_validate_detects_corruption(tmp_path, capsys):
+    # Strip the advances: awaitE events lose their producers.
+    from repro.trace.io import read_trace
+    from repro.trace.events import EventKind
+    from repro.trace.trace import Trace
+
+    result = Executor(seed=3).run(build_toy_doacross(trips=10), PLAN_FULL)
+    broken = Trace(
+        [e for e in result.trace if e.kind is not EventKind.ADVANCE],
+        result.trace.meta,
+    )
+    path = tmp_path / "broken.trace"
+    write_trace(broken, path)
+    assert main(["validate", str(path)]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+
+def test_analyze_event_based(trace_file, capsys):
+    assert main(["analyze", trace_file]) == 0
+    out = capsys.readouterr().out
+    assert "approximated actual" in out
+    assert "event-based" in out
+
+
+def test_analyze_time_based_with_stats(trace_file, capsys):
+    assert main(["analyze", trace_file, "--method", "time", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "time-based" in out
+    assert "waiting" in out
+
+
+def test_diff_identical(trace_file, capsys):
+    assert main(["diff", trace_file, trace_file]) == 0
+    out = capsys.readouterr().out
+    assert "duration ratio B/A: 1.000" in out
+    assert "mean time shift +0.0" in out
+
+
+def test_diff_different_plans(tmp_path, capsys):
+    prog = build_toy_doacross(trips=20)
+    from repro.instrument.plan import PLAN_NONE
+
+    a = Executor(seed=3).run(prog, PLAN_NONE)
+    b = Executor(seed=3).run(prog, PLAN_FULL)
+    pa, pb = tmp_path / "a.trace", tmp_path / "b.trace"
+    write_trace(a.trace, pa)
+    write_trace(b.trace, pb)
+    assert main(["diff", str(pa), str(pb)]) == 0
+    out = capsys.readouterr().out
+    assert "differs" in out  # logical trace has STMT events FULL lacks
+    assert "duration ratio" in out
+
+
+def test_missing_file_errors(capsys):
+    assert main(["info", "/nonexistent/x.trace"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_analyze_cost_scale_flag(trace_file, capsys):
+    assert main(["analyze", trace_file, "--cost-scale", "0.5"]) == 0
+    out_half = capsys.readouterr().out
+    assert main(["analyze", trace_file, "--cost-scale", "1.0"]) == 0
+    out_full = capsys.readouterr().out
+    # Different assumed probe costs -> different approximations.
+    assert out_half != out_full

@@ -1,0 +1,102 @@
+"""Tests for trace event records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.events import SYNC_KINDS, EventKind, TraceEvent, is_sync_kind
+
+
+def make(kind=EventKind.STMT, **kw):
+    defaults = dict(time=10, thread=0, kind=kind, eid=1, seq=0)
+    defaults.update(kw)
+    return TraceEvent(**defaults)
+
+
+def test_event_is_frozen():
+    e = make()
+    with pytest.raises(AttributeError):
+        e.time = 99  # type: ignore[misc]
+
+
+def test_with_time_preserves_identity():
+    e = make(iteration=4, sync_var="A", sync_index=3, label="x", overhead=7)
+    e2 = e.with_time(123)
+    assert e2.time == 123
+    assert (e2.thread, e2.kind, e2.eid, e2.seq) == (e.thread, e.kind, e.eid, e.seq)
+    assert (e2.iteration, e2.sync_var, e2.sync_index) == (4, "A", 3)
+    assert e2.overhead == 7
+
+
+def test_sync_key():
+    e = make(kind=EventKind.ADVANCE, sync_var="A", sync_index=5)
+    assert e.sync_key == ("A", 5)
+
+
+def test_sync_key_missing_raises():
+    with pytest.raises(ValueError):
+        _ = make().sync_key
+
+
+def test_sync_kind_classification():
+    assert is_sync_kind(EventKind.ADVANCE)
+    assert is_sync_kind(EventKind.AWAIT_B)
+    assert is_sync_kind(EventKind.AWAIT_E)
+    assert is_sync_kind(EventKind.BARRIER_ARRIVE)
+    assert is_sync_kind(EventKind.BARRIER_EXIT)
+    assert not is_sync_kind(EventKind.STMT)
+    assert not is_sync_kind(EventKind.LOOP_BEGIN)
+    assert is_sync_kind(EventKind.LOCK_REQ)
+    assert is_sync_kind(EventKind.LOCK_ACQ)
+    assert is_sync_kind(EventKind.LOCK_REL)
+    assert SYNC_KINDS == frozenset(
+        {
+            EventKind.ADVANCE,
+            EventKind.AWAIT_B,
+            EventKind.AWAIT_E,
+            EventKind.BARRIER_ARRIVE,
+            EventKind.BARRIER_EXIT,
+            EventKind.LOCK_REQ,
+            EventKind.LOCK_ACQ,
+            EventKind.LOCK_REL,
+            EventKind.SEM_REQ,
+            EventKind.SEM_ACQ,
+            EventKind.SEM_SIG,
+        }
+    )
+
+
+def test_roundtrip_dict_minimal():
+    e = make()
+    assert TraceEvent.from_dict(e.to_dict()) == e
+
+
+def test_roundtrip_dict_full():
+    e = make(
+        kind=EventKind.AWAIT_E,
+        iteration=12,
+        sync_var="QSUM",
+        sync_index=11,
+        label="await QSUM",
+        overhead=64,
+    )
+    d = e.to_dict()
+    assert d["kind"] == "awaitE"
+    assert TraceEvent.from_dict(d) == e
+
+
+def test_from_dict_defaults():
+    e = TraceEvent.from_dict({"time": 5, "thread": 2, "kind": "stmt"})
+    assert e.eid == -1 and e.seq == -1 and e.overhead == 0
+    assert e.iteration is None and e.sync_var is None
+
+
+def test_str_rendering_mentions_fields():
+    e = make(kind=EventKind.ADVANCE, sync_var="A", sync_index=3, iteration=3)
+    s = str(e)
+    assert "advance" in s and "A[3]" in s and "it=3" in s
+
+
+def test_kind_str():
+    assert str(EventKind.AWAIT_B) == "awaitB"
+    assert EventKind("awaitB") is EventKind.AWAIT_B

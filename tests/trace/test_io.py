@@ -1,0 +1,109 @@
+"""Tests for trace file I/O."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.io import read_trace, write_trace
+from repro.trace.trace import Trace, TraceError
+
+
+def sample_trace():
+    return Trace(
+        [
+            TraceEvent(time=0, thread=0, kind=EventKind.STMT, eid=0, seq=0, label="a"),
+            TraceEvent(
+                time=5,
+                thread=1,
+                kind=EventKind.ADVANCE,
+                eid=1,
+                seq=1,
+                iteration=3,
+                sync_var="A",
+                sync_index=3,
+                overhead=64,
+            ),
+        ],
+        meta={"program": "p", "kind": "measured", "n_threads": 2},
+    )
+
+
+def test_roundtrip_via_path(tmp_path):
+    tr = sample_trace()
+    path = tmp_path / "t.trace"
+    write_trace(tr, path)
+    back = read_trace(path)
+    assert back.events == tr.events
+    assert back.meta == tr.meta
+
+
+def test_roundtrip_via_stream():
+    tr = sample_trace()
+    buf = io.StringIO()
+    write_trace(tr, buf)
+    buf.seek(0)
+    back = read_trace(buf)
+    assert back.events == tr.events
+
+
+def test_empty_file_rejected():
+    with pytest.raises(TraceError):
+        read_trace(io.StringIO(""))
+
+
+def test_bad_header_rejected():
+    with pytest.raises(TraceError):
+        read_trace(io.StringIO("not json\n"))
+
+
+def test_wrong_format_rejected():
+    with pytest.raises(TraceError):
+        read_trace(io.StringIO('{"format": "other", "version": 1}\n'))
+
+
+def test_wrong_version_rejected():
+    with pytest.raises(TraceError):
+        read_trace(io.StringIO('{"format": "repro-trace", "version": 99}\n'))
+
+
+def test_truncated_trace_detected():
+    tr = sample_trace()
+    buf = io.StringIO()
+    write_trace(tr, buf)
+    lines = buf.getvalue().splitlines()
+    truncated = "\n".join(lines[:-1]) + "\n"
+    with pytest.raises(TraceError, match="truncated"):
+        read_trace(io.StringIO(truncated))
+
+
+def test_corrupt_event_line_reports_lineno():
+    tr = sample_trace()
+    buf = io.StringIO()
+    write_trace(tr, buf)
+    lines = buf.getvalue().splitlines()
+    lines[1] = '{"bad": true}'
+    with pytest.raises(TraceError, match="line 2"):
+        read_trace(io.StringIO("\n".join(lines) + "\n"))
+
+
+def test_blank_lines_ignored_but_count_checked(tmp_path):
+    tr = sample_trace()
+    path = tmp_path / "t.trace"
+    write_trace(tr, path)
+    content = path.read_text().replace("\n", "\n\n", 1)
+    path.write_text(content)
+    back = read_trace(path)
+    assert len(back) == len(tr)
+
+
+def test_executor_trace_roundtrips(tmp_path, executor, toy_doacross, plans):
+    result = executor.run(toy_doacross, plans["full"])
+    path = tmp_path / "measured.trace"
+    write_trace(result.trace, path)
+    back = read_trace(path)
+    assert len(back) == len(result.trace)
+    assert back.meta["kind"] == "measured"
+    assert back.events == result.trace.events

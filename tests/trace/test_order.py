@@ -1,0 +1,160 @@
+"""Tests for happened-before / feasibility checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.order import (
+    CausalityViolation,
+    critical_path_length,
+    happened_before_pairs,
+    sync_partial_order,
+    verify_causality,
+    verify_feasible,
+)
+from repro.trace.trace import Trace
+
+
+def ev(time, thread=0, kind=EventKind.STMT, **kw):
+    return TraceEvent(time=time, thread=thread, kind=kind, **kw)
+
+
+def simple_sync_trace(adv_time=10, awb_time=5, awe_time=15):
+    return Trace(
+        [
+            ev(adv_time, thread=0, kind=EventKind.ADVANCE, sync_var="A", sync_index=0),
+            ev(awb_time, thread=1, kind=EventKind.AWAIT_B, sync_var="A", sync_index=0),
+            ev(awe_time, thread=1, kind=EventKind.AWAIT_E, sync_var="A", sync_index=0),
+        ]
+    )
+
+
+def test_sync_partial_order_advance_to_await_end():
+    tr = simple_sync_trace()
+    edges = sync_partial_order(tr)
+    assert len(edges) == 1
+    earlier, later = edges[0]
+    assert earlier.kind is EventKind.ADVANCE and later.kind is EventKind.AWAIT_E
+
+
+def test_missing_advance_raises():
+    tr = Trace(
+        [
+            ev(5, kind=EventKind.AWAIT_B, sync_var="A", sync_index=0),
+            ev(15, kind=EventKind.AWAIT_E, sync_var="A", sync_index=0),
+        ]
+    )
+    with pytest.raises(CausalityViolation):
+        sync_partial_order(tr)
+
+
+def test_negative_index_await_needs_no_advance():
+    tr = Trace(
+        [
+            ev(5, kind=EventKind.AWAIT_B, sync_var="A", sync_index=-1),
+            ev(9, kind=EventKind.AWAIT_E, sync_var="A", sync_index=-1),
+        ]
+    )
+    assert sync_partial_order(tr) == []
+    verify_causality(tr)  # should not raise
+
+
+def test_barrier_edges_all_arrivals_before_all_exits():
+    tr = Trace(
+        [
+            ev(5, thread=0, kind=EventKind.BARRIER_ARRIVE, sync_var="b", sync_index=0),
+            ev(8, thread=1, kind=EventKind.BARRIER_ARRIVE, sync_var="b", sync_index=0),
+            ev(10, thread=0, kind=EventKind.BARRIER_EXIT, sync_var="b", sync_index=0),
+            ev(10, thread=1, kind=EventKind.BARRIER_EXIT, sync_var="b", sync_index=0),
+        ]
+    )
+    edges = sync_partial_order(tr)
+    assert len(edges) == 4  # 2 arrivals x 2 exits
+
+
+def test_happened_before_includes_program_order():
+    tr = Trace([ev(1, thread=0), ev(5, thread=0), ev(3, thread=1)])
+    pairs = list(happened_before_pairs(tr))
+    assert len(pairs) == 1
+    assert pairs[0][0].time == 1 and pairs[0][1].time == 5
+
+
+def test_verify_causality_accepts_valid_trace():
+    verify_causality(simple_sync_trace())
+
+
+def test_verify_causality_rejects_sync_violation():
+    # awaitE before its advance.
+    tr = simple_sync_trace(adv_time=20, awb_time=1, awe_time=5)
+    with pytest.raises(CausalityViolation):
+        verify_causality(tr)
+
+
+def test_verify_causality_rejects_thread_order_violation():
+    # Same thread, later event with smaller time but later seq would be
+    # re-sorted by Trace; construct explicit seqs to force inversion.
+    a = TraceEvent(time=10, thread=0, kind=EventKind.STMT, seq=0)
+    b = TraceEvent(time=4, thread=0, kind=EventKind.STMT, seq=1)
+    tr = Trace.__new__(Trace)
+    tr.events = [a, b]
+    tr.meta = {}
+    tr._thread_cache = None
+    with pytest.raises(CausalityViolation):
+        verify_causality(tr)
+
+
+def test_verify_feasible_same_vocabulary():
+    measured = simple_sync_trace()
+    approx = Trace([e.with_time(e.time + 100) for e in measured])
+    verify_feasible(approx, measured)
+
+
+def test_verify_feasible_rejects_missing_advance():
+    measured = simple_sync_trace()
+    approx = Trace([e for e in measured if e.kind is not EventKind.ADVANCE])
+    with pytest.raises(CausalityViolation):
+        verify_feasible(approx, measured)
+
+
+def test_verify_feasible_rejects_missing_await():
+    measured = simple_sync_trace()
+    approx = Trace([e for e in measured if e.kind is EventKind.ADVANCE])
+    with pytest.raises(CausalityViolation):
+        verify_feasible(approx, measured)
+
+
+def test_verify_feasible_rejects_reordered_sync():
+    measured = simple_sync_trace()
+    bad = Trace(
+        [
+            e.with_time(100) if e.kind is EventKind.ADVANCE else e
+            for e in measured
+        ]
+    )
+    with pytest.raises(CausalityViolation):
+        verify_feasible(bad, measured)
+
+
+def test_critical_path_empty_trace():
+    assert critical_path_length(Trace([])) == 0
+
+
+def test_critical_path_single_thread():
+    tr = Trace([ev(0), ev(10), ev(25)])
+    assert critical_path_length(tr) == 25
+
+
+def test_critical_path_spans_sync_edge():
+    # Thread 0: 0 -> 10 (advance).  Thread 1: awaitB 2, awaitE 12, stmt 20.
+    tr = Trace(
+        [
+            ev(0, thread=0),
+            ev(10, thread=0, kind=EventKind.ADVANCE, sync_var="A", sync_index=0),
+            ev(2, thread=1, kind=EventKind.AWAIT_B, sync_var="A", sync_index=0),
+            ev(12, thread=1, kind=EventKind.AWAIT_E, sync_var="A", sync_index=0),
+            ev(20, thread=1),
+        ]
+    )
+    # Longest chain: 0 ->(10) advance ->(2) awaitE ->(8) stmt = 20.
+    assert critical_path_length(tr) == 20

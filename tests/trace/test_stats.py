@@ -1,0 +1,71 @@
+"""Tests for trace statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE
+from repro.trace.stats import TraceStats, render_stats, trace_stats
+from repro.trace.trace import Trace
+
+
+def test_stats_on_measured_trace(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_FULL)
+    stats = trace_stats(result.trace)
+    assert stats.n_events == len(result.trace)
+    assert stats.n_threads == 8
+    assert stats.duration == result.trace.duration
+    assert stats.by_kind["advance"] == 120
+    assert stats.by_kind["awaitB"] == 120
+    assert sum(stats.by_thread.values()) == stats.n_events
+    assert stats.total_overhead == result.total_overhead
+    assert stats.sync_vars == ("TQ",)
+    assert stats.loops == ("T",)
+    assert stats.locks == ()
+
+
+def test_stats_on_logical_trace_has_no_overhead(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_NONE)
+    stats = trace_stats(result.trace)
+    assert stats.total_overhead == 0
+    assert stats.overhead_fraction == 0.0
+
+
+def test_stats_with_locks(executor):
+    from tests.analysis.test_locks import lock_reduction
+
+    result = executor.run(lock_reduction(trips=10), PLAN_FULL)
+    stats = trace_stats(result.trace)
+    assert stats.locks == ("SUM",)
+    assert stats.by_kind["lockReq"] == 10
+
+
+def test_rates():
+    stats = TraceStats(
+        n_events=100, n_threads=2, duration=1000, by_kind={}, by_thread={},
+        total_overhead=400, sync_vars=(), locks=(), loops=(),
+    )
+    assert stats.events_per_kilocycle() == pytest.approx(100.0)
+    assert stats.overhead_fraction == pytest.approx(0.2)
+
+
+def test_rates_degenerate():
+    stats = TraceStats(
+        n_events=0, n_threads=0, duration=0, by_kind={}, by_thread={},
+        total_overhead=0, sync_vars=(), locks=(), loops=(),
+    )
+    assert stats.events_per_kilocycle() == 0.0
+    assert stats.overhead_fraction == 0.0
+
+
+def test_empty_trace():
+    stats = trace_stats(Trace([]))
+    assert stats.n_events == 0 and stats.by_kind == {}
+
+
+def test_render(executor, toy_doacross):
+    result = executor.run(toy_doacross, PLAN_FULL)
+    text = render_stats(trace_stats(result.trace), meta=result.trace.meta)
+    assert "events by kind" in text
+    assert "sync variables: TQ" in text
+    assert "toy-doacross" in text

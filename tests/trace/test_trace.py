@@ -1,0 +1,148 @@
+"""Tests for the Trace container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.trace import Trace, TraceError
+
+
+def ev(time, thread=0, kind=EventKind.STMT, seq=-1, **kw):
+    return TraceEvent(time=time, thread=thread, kind=kind, seq=seq, **kw)
+
+
+def test_events_sorted_by_time():
+    tr = Trace([ev(30), ev(10), ev(20)])
+    assert [e.time for e in tr] == [10, 20, 30]
+
+
+def test_seq_assigned_when_missing():
+    tr = Trace([ev(10), ev(10), ev(5)])
+    assert [e.seq for e in tr] == [0, 1, 2]
+    assert [e.time for e in tr] == [5, 10, 10]
+
+
+def test_existing_seq_preserved_and_orders_ties():
+    tr = Trace([ev(10, seq=5), ev(10, seq=2), ev(3, seq=9)])
+    assert [(e.time, e.seq) for e in tr] == [(3, 9), (10, 2), (10, 5)]
+
+
+def test_len_getitem_iter():
+    tr = Trace([ev(1), ev(2)])
+    assert len(tr) == 2
+    assert tr[0].time == 1
+    assert [e.time for e in tr] == [1, 2]
+
+
+def test_by_thread_projections():
+    tr = Trace([ev(1, thread=0), ev(2, thread=1), ev(3, thread=0)])
+    views = tr.by_thread()
+    assert set(views) == {0, 1}
+    assert [e.time for e in views[0]] == [1, 3]
+    assert views[1].start_time == 2 and views[1].end_time == 2
+    assert tr.threads == [0, 1]
+
+
+def test_thread_missing_raises():
+    tr = Trace([ev(1)])
+    with pytest.raises(TraceError):
+        tr.thread(7)
+
+
+def test_of_kind_filter():
+    tr = Trace(
+        [
+            ev(1, kind=EventKind.STMT),
+            ev(2, kind=EventKind.ADVANCE, sync_var="A", sync_index=0),
+            ev(3, kind=EventKind.STMT),
+        ]
+    )
+    assert len(tr.of_kind(EventKind.STMT)) == 2
+    assert len(tr.of_kind(EventKind.STMT, EventKind.ADVANCE)) == 3
+
+
+def test_duration_and_times():
+    tr = Trace([ev(5), ev(42)])
+    assert tr.start_time == 5 and tr.end_time == 42 and tr.duration == 37
+
+
+def test_duration_us_uses_meta_clock():
+    tr = Trace([ev(0), ev(59)], meta={"clock_mhz": 5.9})
+    assert tr.duration_us() == pytest.approx(10.0)
+    assert tr.duration_us(clock_mhz=59.0) == pytest.approx(1.0)
+
+
+def test_duration_us_without_clock_raises():
+    tr = Trace([ev(0), ev(10)])
+    with pytest.raises(TraceError):
+        tr.duration_us()
+
+
+def test_advances_map():
+    tr = Trace(
+        [
+            ev(1, kind=EventKind.ADVANCE, sync_var="A", sync_index=0),
+            ev(2, kind=EventKind.ADVANCE, sync_var="A", sync_index=1),
+        ]
+    )
+    adv = tr.advances()
+    assert set(adv) == {("A", 0), ("A", 1)}
+
+
+def test_duplicate_advance_raises():
+    tr = Trace(
+        [
+            ev(1, kind=EventKind.ADVANCE, sync_var="A", sync_index=0),
+            ev(2, kind=EventKind.ADVANCE, sync_var="A", sync_index=0),
+        ]
+    )
+    with pytest.raises(TraceError):
+        tr.advances()
+
+
+def test_await_pairs():
+    tr = Trace(
+        [
+            ev(1, kind=EventKind.AWAIT_B, sync_var="A", sync_index=0),
+            ev(5, kind=EventKind.AWAIT_E, sync_var="A", sync_index=0),
+        ]
+    )
+    pairs = tr.await_pairs()
+    b, e = pairs[("A", 0)]
+    assert b.time == 1 and e.time == 5
+
+
+def test_await_end_without_begin_raises():
+    tr = Trace([ev(5, kind=EventKind.AWAIT_E, sync_var="A", sync_index=0)])
+    with pytest.raises(TraceError):
+        tr.await_pairs()
+
+
+def test_await_begin_without_end_raises():
+    tr = Trace([ev(5, kind=EventKind.AWAIT_B, sync_var="A", sync_index=0)])
+    with pytest.raises(TraceError):
+        tr.await_pairs()
+
+
+def test_duplicate_await_begin_raises():
+    tr = Trace(
+        [
+            ev(1, kind=EventKind.AWAIT_B, sync_var="A", sync_index=0),
+            ev(2, kind=EventKind.AWAIT_B, sync_var="A", sync_index=0),
+        ]
+    )
+    with pytest.raises(TraceError):
+        tr.await_pairs()
+
+
+def test_relabelled_updates_meta_copy():
+    tr = Trace([ev(1)], meta={"kind": "measured", "x": 1})
+    tr2 = tr.relabelled(kind="approximated")
+    assert tr.meta["kind"] == "measured"
+    assert tr2.meta["kind"] == "approximated" and tr2.meta["x"] == 1
+
+
+def test_empty_trace_properties():
+    tr = Trace([])
+    assert len(tr) == 0 and tr.duration == 0 and tr.threads == []
