@@ -1,0 +1,135 @@
+"""Resilience-stack performance: validator and repair throughput.
+
+Not a paper reproduction — these track the cost of the robustness
+machinery on trace volumes the paper's instrumentation would produce
+(§2 reports event rates; a long DOACROSS run yields millions of events),
+so the streaming validator and the repair sweep stay usable on real
+trace files.  The synthetic trace is generated directly (no simulation)
+so the benchmark times only the code under test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.inject import DropEvents, inject
+from repro.resilience.repair import repair_trace
+from repro.resilience.validate import (
+    StreamingValidator,
+    error_count,
+    validate_trace,
+)
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.trace import Trace
+
+#: Synthetic trace size — around a million events, per-thread doacross
+#: shape (stmt work + an await/advance chain), the worst realistic mix
+#: for the validator's pairing state.
+N_EVENTS = 1_000_000
+N_THREADS = 8
+
+
+def _synthetic_trace(n_events: int = N_EVENTS) -> Trace:
+    iterations = n_events // (N_THREADS * 5)
+    events = []
+    seq = 0
+    for it in range(iterations):
+        thread = it % N_THREADS
+        base = it * 40
+        idx = it - 1
+        events.append(TraceEvent(time=base, thread=thread, kind=EventKind.STMT,
+                                 eid=1, seq=seq, iteration=it, label="work",
+                                 overhead=128))
+        seq += 1
+        events.append(TraceEvent(time=base + 8, thread=thread,
+                                 kind=EventKind.AWAIT_B, eid=2, seq=seq,
+                                 iteration=it, sync_var="TQ", sync_index=idx,
+                                 overhead=64))
+        seq += 1
+        events.append(TraceEvent(time=base + 16, thread=thread,
+                                 kind=EventKind.AWAIT_E, eid=2, seq=seq,
+                                 iteration=it, sync_var="TQ", sync_index=idx,
+                                 overhead=64))
+        seq += 1
+        events.append(TraceEvent(time=base + 20, thread=thread,
+                                 kind=EventKind.STMT, eid=3, seq=seq,
+                                 iteration=it, label="cs", overhead=128))
+        seq += 1
+        events.append(TraceEvent(time=base + 24, thread=thread,
+                                 kind=EventKind.ADVANCE, eid=4, seq=seq,
+                                 iteration=it, sync_var="TQ", sync_index=it,
+                                 overhead=64))
+        seq += 1
+    return Trace(events, {"program": "synthetic", "n_threads": N_THREADS})
+
+
+@pytest.fixture(scope="module")
+def big_trace():
+    return _synthetic_trace()
+
+
+@pytest.fixture(scope="module")
+def big_damaged(big_trace):
+    return inject(
+        big_trace,
+        [DropEvents(kinds=frozenset({EventKind.ADVANCE}), fraction=0.01)],
+        seed=5,
+    )
+
+
+def _one_round(benchmark, fn, *args):
+    return benchmark.pedantic(fn, args=args, rounds=3, iterations=1,
+                              warmup_rounds=0)
+
+
+def test_validator_throughput_clean(benchmark, big_trace):
+    diagnostics = _one_round(benchmark, validate_trace, big_trace)
+    benchmark.extra_info["events"] = len(big_trace)
+    benchmark.extra_info["events_per_sec"] = round(
+        len(big_trace) / benchmark.stats.stats.mean
+    )
+    assert error_count(diagnostics) == 0
+
+
+def test_validator_throughput_damaged(benchmark, big_damaged):
+    diagnostics = _one_round(benchmark, validate_trace, big_damaged)
+    benchmark.extra_info["events"] = len(big_damaged)
+    benchmark.extra_info["events_per_sec"] = round(
+        len(big_damaged) / benchmark.stats.stats.mean
+    )
+    assert diagnostics
+
+
+def test_validator_feed_only_throughput(benchmark, big_trace):
+    """The per-event cost in isolation (what a reader pays inline)."""
+
+    def feed_all():
+        v = StreamingValidator()
+        for e in big_trace:
+            v.feed(e)
+        return v.finish()
+
+    _one_round(benchmark, feed_all)
+    benchmark.extra_info["events"] = len(big_trace)
+    benchmark.extra_info["events_per_sec"] = round(
+        len(big_trace) / benchmark.stats.stats.mean
+    )
+
+
+def test_repair_throughput_clean(benchmark, big_trace):
+    """Repair on an intact trace: the no-damage fast path."""
+    result = _one_round(benchmark, repair_trace, big_trace)
+    benchmark.extra_info["events"] = len(big_trace)
+    benchmark.extra_info["events_per_sec"] = round(
+        len(big_trace) / benchmark.stats.stats.mean
+    )
+    assert not result.report
+
+
+def test_repair_throughput_damaged(benchmark, big_damaged):
+    result = _one_round(benchmark, repair_trace, big_damaged)
+    benchmark.extra_info["events"] = len(big_damaged)
+    benchmark.extra_info["events_per_sec"] = round(
+        len(big_damaged) / benchmark.stats.stats.mean
+    )
+    assert result.report

@@ -17,9 +17,14 @@ uninstrumented ground truth is used solely for scoring
 (:mod:`repro.analysis.errors`).
 """
 
-from repro.analysis.approximation import Approximation, AnalysisError
+from repro.analysis.approximation import (
+    Approximation,
+    AnalysisError,
+    POLICIES,
+    check_policy,
+)
 from repro.analysis.timebased import time_based_approximation
-from repro.analysis.eventbased import event_based_approximation
+from repro.analysis.eventbased import ResolutionError, event_based_approximation
 from repro.analysis.errors import (
     ExecutionRatios,
     compare_ratios,
@@ -34,6 +39,9 @@ __all__ = [
     "AutoResult",
     "Approximation",
     "AnalysisError",
+    "ResolutionError",
+    "POLICIES",
+    "check_policy",
     "time_based_approximation",
     "event_based_approximation",
     "liberal_approximation",

@@ -3,14 +3,30 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.trace.events import TraceEvent
 from repro.trace.trace import Trace
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.repair import RepairReport
+    from repro.resilience.validate import Diagnostic
+
 
 class AnalysisError(RuntimeError):
     """The analysis could not be applied to the given trace."""
+
+
+#: Degradation policies accepted by the analysis entry points.
+POLICIES = ("strict", "repair", "skip")
+
+
+def check_policy(policy: str) -> None:
+    """Reject unknown degradation policies early and loudly."""
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown degradation policy {policy!r}; expected one of {POLICIES}"
+        )
 
 
 @dataclass
@@ -33,6 +49,12 @@ class Approximation:
         Map from measured-event ``seq`` to ``t_a``.
     source_meta:
         Metadata of the measured trace the approximation came from.
+    diagnostics:
+        Validator findings on the input trace when a non-strict
+        degradation policy was used (empty under ``policy="strict"``).
+    repair_report:
+        What the repair pass changed when ``policy`` was ``"repair"`` or
+        ``"skip"``; None under ``policy="strict"``.
     """
 
     trace: Trace
@@ -40,6 +62,8 @@ class Approximation:
     total_time: int
     times: dict[int, int]
     source_meta: dict = field(default_factory=dict)
+    diagnostics: list["Diagnostic"] = field(default_factory=list)
+    repair_report: Optional["RepairReport"] = None
 
     def t_a(self, event: TraceEvent) -> int:
         """Approximated time of a measured event."""

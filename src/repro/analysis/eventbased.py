@@ -40,10 +40,29 @@ from repro.analysis.approximation import (
     AnalysisError,
     Approximation,
     build_approx_trace,
+    check_policy,
 )
 from repro.instrument.costs import AnalysisConstants
+from repro.resilience.repair import (
+    RepairReport,
+    quarantine_threads,
+    repair_trace,
+)
+from repro.resilience.validate import Diagnostic, validate_trace
 from repro.trace.events import EventKind, TraceEvent
 from repro.trace.trace import Trace
+
+
+class ResolutionError(AnalysisError):
+    """Resolution failed on specific events (carried for quarantining).
+
+    ``events`` are the trace events implicated in the failure; the
+    non-strict degradation policies quarantine their threads and retry.
+    """
+
+    def __init__(self, message: str, events: tuple[TraceEvent, ...] = ()):
+        super().__init__(message)
+        self.events = tuple(events)
 
 
 class _Resolver:
@@ -72,7 +91,7 @@ class _Resolver:
             if e.kind is EventKind.ADVANCE:
                 key = e.sync_key
                 if key in self.advances:
-                    raise AnalysisError(f"duplicate advance for {key}")
+                    raise ResolutionError(f"duplicate advance for {key}", (e,))
                 self.advances[key] = e
             elif e.kind is EventKind.AWAIT_B:
                 self.await_begin[e.sync_key] = e
@@ -192,14 +211,16 @@ class _Resolver:
         key = e.sync_key
         begin = self.await_begin.get(key)
         if begin is None:
-            raise AnalysisError(f"awaitE without awaitB for {key}")
+            raise ResolutionError(f"awaitE without awaitB for {key}", (e,))
         if begin.seq not in self.times:
             return None
         t_begin = self.times[begin.seq]
         advance = self.advances.get(key)
         if advance is None:
             if key[1] >= 0:
-                raise AnalysisError(f"awaitE {key} has no matching advance")
+                raise ResolutionError(
+                    f"awaitE {key} has no matching advance", (e,)
+                )
             # DOACROSS prologue await: satisfied immediately by convention.
             return t_begin + self.constants.s_nowait
         if advance.seq not in self.times:
@@ -250,7 +271,7 @@ class _Resolver:
         key = (e.sync_var or "barrier", e.sync_index or 0)
         arrivals = self.barrier_arrivals.get(key)
         if not arrivals:
-            raise AnalysisError(f"barrier exit {key} without arrivals")
+            raise ResolutionError(f"barrier exit {key} without arrivals", (e,))
         if any(a.seq not in self.times for a in arrivals):
             return None
         return max(self.times[a.seq] for a in arrivals) + self.constants.barrier_release
@@ -267,20 +288,22 @@ class _Resolver:
                 self.pos[thread] = i
             if progress == 0:
                 stuck = [
-                    str(events[self.pos[t]])
+                    events[self.pos[t]]
                     for t, events in self.views.items()
                     if self.pos[t] < len(events)
                 ]
-                raise AnalysisError(
+                raise ResolutionError(
                     "event resolution deadlocked (malformed trace?); "
-                    "unresolvable events:\n  " + "\n  ".join(stuck[:8])
+                    "unresolvable events:\n  "
+                    + "\n  ".join(str(e) for e in stuck[:8]),
+                    tuple(stuck),
                 )
             remaining -= progress
         return self.times
 
 
 def event_based_approximation(
-    measured: Trace, constants: AnalysisConstants
+    measured: Trace, constants: AnalysisConstants, policy: str = "strict"
 ) -> Approximation:
     """Apply event-based perturbation analysis to a measured trace.
 
@@ -289,14 +312,58 @@ def event_based_approximation(
     markers.  Statement-only traces degrade to time-based behaviour for the
     unsynchronized portions, which defeats the purpose — use
     :func:`repro.analysis.timebased.time_based_approximation` for those.
+
+    ``policy`` controls how imperfect traces are handled:
+
+    * ``"strict"`` (default) — any structural damage raises;
+    * ``"repair"`` — the trace is validated and mended best-effort first
+      (:func:`repro.resilience.repair.repair_trace`); threads the resolver
+      still cannot make progress on are quarantined and the analysis
+      retried, so one corrupt thread costs that thread's results, not the
+      whole analysis;
+    * ``"skip"`` — like ``"repair"`` but damage is dropped rather than
+      mended (no synthesized events, whole-thread quarantine on local
+      corruption).
+
+    Under a non-strict policy the returned approximation carries the
+    validator's ``diagnostics`` and the ``repair_report`` of every change.
     """
+    check_policy(policy)
+    diagnostics: list[Diagnostic] = []
+    report: Optional[RepairReport] = None
+    if policy != "strict":
+        diagnostics = validate_trace(measured)
+        result = repair_trace(measured, mode=policy)
+        measured, report = result.trace, result.report
     if not measured.events:
         raise AnalysisError("cannot analyze an empty trace")
     if not measured.meta.get("instrumented", True):
         raise AnalysisError(
             "trace is not a measured (instrumented) trace; nothing to remove"
         )
-    times = _Resolver(measured, constants).run()
+    if policy == "strict":
+        times = _Resolver(measured, constants).run()
+    else:
+        # Bounded retry: each failed resolution names the events it could
+        # not resolve; quarantining their threads removes at least one
+        # thread per round, so this terminates.
+        for _ in range(len(measured.threads) + 1):
+            try:
+                times = _Resolver(measured, constants).run()
+                break
+            except ResolutionError as exc:
+                bad_threads = {e.thread for e in exc.events}
+                if not bad_threads:
+                    raise
+                result = quarantine_threads(measured, bad_threads, report)
+                measured = result.trace
+                if not measured.events:
+                    raise AnalysisError(
+                        "no analyzable events remain after quarantining "
+                        f"thread(s) {sorted(bad_threads)}"
+                    ) from exc
+        else:  # pragma: no cover - defensive; loop always breaks or raises
+            raise AnalysisError("event resolution failed to converge")
     total = max(times.values())
     return Approximation(
         trace=build_approx_trace(measured, times, "event-based"),
@@ -304,4 +371,6 @@ def event_based_approximation(
         total_time=total,
         times=times,
         source_meta=dict(measured.meta),
+        diagnostics=diagnostics,
+        repair_report=report,
     )

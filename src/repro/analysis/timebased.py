@@ -24,13 +24,16 @@ from repro.analysis.approximation import (
     AnalysisError,
     Approximation,
     build_approx_trace,
+    check_policy,
 )
 from repro.instrument.costs import AnalysisConstants
+from repro.resilience.repair import RepairReport, repair_trace
+from repro.resilience.validate import Diagnostic, validate_trace
 from repro.trace.trace import Trace
 
 
 def time_based_approximation(
-    measured: Trace, constants: AnalysisConstants
+    measured: Trace, constants: AnalysisConstants, policy: str = "strict"
 ) -> Approximation:
     """Apply the time-based model to a measured trace.
 
@@ -43,7 +46,21 @@ def time_based_approximation(
     thread's instrumented execution (e.g. an inflated sequential prologue
     delaying loop start) is retained — one of the systematic errors
     event-based analysis corrects.
+
+    ``policy``: ``"strict"`` analyzes the trace as-is (the model itself
+    never interprets sync structure, so it only rejects empty or
+    uninstrumented traces); ``"repair"`` / ``"skip"`` first validate and
+    mend/drop damage (missing timestamps, clock regressions, broken sync
+    structure) via :mod:`repro.resilience`, attaching diagnostics and the
+    repair report to the result.
     """
+    check_policy(policy)
+    diagnostics: list[Diagnostic] = []
+    report: Optional[RepairReport] = None
+    if policy != "strict":
+        diagnostics = validate_trace(measured)
+        result = repair_trace(measured, mode=policy)
+        measured, report = result.trace, result.report
     if not measured.events:
         raise AnalysisError("cannot analyze an empty trace")
     if not measured.meta.get("instrumented", True):
@@ -76,4 +93,6 @@ def time_based_approximation(
         total_time=total,
         times=times,
         source_meta=dict(measured.meta),
+        diagnostics=diagnostics,
+        repair_report=report,
     )

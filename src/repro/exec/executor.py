@@ -120,17 +120,40 @@ class Executor:
         self.seed = seed
 
     # ------------------------------------------------------------------ API
-    def run(self, program: Program, plan: InstrumentationPlan) -> ExecutionResult:
-        """Execute ``program`` under ``plan`` and return the result."""
+    def run(
+        self,
+        program: Program,
+        plan: InstrumentationPlan,
+        *,
+        max_cycles: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> ExecutionResult:
+        """Execute ``program`` under ``plan`` and return the result.
+
+        ``max_cycles`` / ``max_events`` are watchdog budgets forwarded to
+        :meth:`repro.sim.Engine.run`; a program that livelocks past either
+        budget raises :class:`repro.sim.SimulationTimeout` naming the
+        blocked CEs instead of hanging the host.
+        """
         validate_program(program)
-        run = _Run(self, program, plan)
+        run = _Run(self, program, plan, max_cycles=max_cycles, max_events=max_events)
         return run.execute()
 
 
 class _Run:
     """State for one execution (one machine power-on)."""
 
-    def __init__(self, executor: Executor, program: Program, plan: InstrumentationPlan):
+    def __init__(
+        self,
+        executor: Executor,
+        program: Program,
+        plan: InstrumentationPlan,
+        *,
+        max_cycles: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ):
+        self.max_cycles = max_cycles
+        self.max_events = max_events
         self.cfg = executor.machine_config
         self.inst = executor.inst_costs
         self.perturb = executor.perturb
@@ -586,7 +609,9 @@ class _Run:
     def execute(self) -> ExecutionResult:
         self.machine.mark_used()
         self.engine.process(self._main(), name=f"{self.program.name}.main")
-        total_time = self.engine.run()
+        total_time = self.engine.run(
+            max_cycles=self.max_cycles, max_events=self.max_events
+        )
         meta = {
             "program": self.program.name,
             "kind": "logical" if self.logical else "measured",

@@ -1,0 +1,226 @@
+"""Composable, seed-deterministic fault injection over traces.
+
+Each :class:`Fault` models one corruption mode real tracing systems exhibit
+(buffer overruns drop events, retransmission duplicates them, per-CPU
+buffers flush out of order, unsynchronized clocks skew, crashes truncate).
+:func:`inject` applies a sequence of faults with decorrelated RNG streams
+forked from one seed, so every corrupted trace is exactly reproducible.
+
+These injectors are the supported way to build adversarial inputs for the
+validator/repair stack and for failure-injection tests; they replace the
+ad-hoc corruption helpers the integration tests used to carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.sim.rng import SplitMix64
+from repro.trace.events import EventKind, TraceEvent, is_sync_kind
+from repro.trace.trace import Trace
+
+#: Sentinel timestamp for "the tracer lost this clock sample".
+MISSING_TIME = -1
+
+
+def _select(
+    events: Sequence[TraceEvent],
+    rng: SplitMix64,
+    *,
+    fraction: float,
+    kinds: Optional[frozenset[EventKind]],
+    thread: Optional[int],
+    predicate: Optional[Callable[[TraceEvent], bool]],
+) -> set[int]:
+    """Seqs of the events a fault elects to touch."""
+    chosen: set[int] = set()
+    for e in events:
+        if kinds is not None and e.kind not in kinds:
+            continue
+        if thread is not None and e.thread != thread:
+            continue
+        if predicate is not None and not predicate(e):
+            continue
+        if fraction >= 1.0 or rng.uniform() < fraction:
+            chosen.add(e.seq)
+    return chosen
+
+
+class Fault:
+    """One corruption mode.  Subclasses implement :meth:`apply`."""
+
+    def apply(self, trace: Trace, rng: SplitMix64) -> Trace:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DropEvents(Fault):
+    """Drop matching events (tracing buffer overrun).
+
+    ``fraction`` is the per-event drop probability among the matching
+    events; 1.0 drops them all.
+    """
+
+    fraction: float = 1.0
+    kinds: Optional[frozenset[EventKind]] = None
+    thread: Optional[int] = None
+    predicate: Optional[Callable[[TraceEvent], bool]] = None
+
+    def apply(self, trace: Trace, rng: SplitMix64) -> Trace:
+        doomed = _select(
+            trace.events, rng, fraction=self.fraction, kinds=self.kinds,
+            thread=self.thread, predicate=self.predicate,
+        )
+        return Trace([e for e in trace if e.seq not in doomed], dict(trace.meta))
+
+
+@dataclass(frozen=True)
+class DuplicateEvents(Fault):
+    """Emit matching events twice (retransmission / double flush).
+
+    Duplicates keep the original payload, get fresh seq numbers, and land
+    ``time_offset`` cycles after the original.
+    """
+
+    fraction: float = 0.1
+    kinds: Optional[frozenset[EventKind]] = None
+    thread: Optional[int] = None
+    time_offset: int = 1
+
+    def apply(self, trace: Trace, rng: SplitMix64) -> Trace:
+        chosen = _select(
+            trace.events, rng, fraction=self.fraction, kinds=self.kinds,
+            thread=self.thread, predicate=None,
+        )
+        out = list(trace.events)
+        next_seq = max((e.seq for e in out), default=-1) + 1
+        for e in trace:
+            if e.seq in chosen:
+                out.append(replace(e, seq=next_seq, time=e.time + self.time_offset))
+                next_seq += 1
+        return Trace(out, dict(trace.meta))
+
+
+@dataclass(frozen=True)
+class ReorderEvents(Fault):
+    """Swap timestamps of adjacent same-thread events (late buffer flush).
+
+    Each selected event trades times with its thread successor, so the
+    recording order (seq) and the clock disagree afterwards.
+    """
+
+    fraction: float = 0.05
+    thread: Optional[int] = None
+
+    def apply(self, trace: Trace, rng: SplitMix64) -> Trace:
+        new_time: dict[int, int] = {}
+        for view in trace.by_thread().values():
+            if self.thread is not None and view.thread != self.thread:
+                continue
+            evs = view.events
+            i = 0
+            while i < len(evs) - 1:
+                if rng.uniform() < self.fraction:
+                    a, b = evs[i], evs[i + 1]
+                    new_time[a.seq] = b.time
+                    new_time[b.seq] = a.time
+                    i += 2  # never re-swap the partner
+                else:
+                    i += 1
+        if not new_time:
+            return trace
+        return Trace(
+            [replace(e, time=new_time.get(e.seq, e.time)) for e in trace],
+            dict(trace.meta),
+        )
+
+
+@dataclass(frozen=True)
+class ClockSkew(Fault):
+    """Shift (and optionally stretch) one thread's clock.
+
+    ``offset`` cycles are added to every timestamp on ``thread``; ``drift``
+    adds a proportional component (``t += int(t * drift)``), modelling an
+    unsynchronized per-CPU clock.
+    """
+
+    thread: int = 0
+    offset: int = 0
+    drift: float = 0.0
+
+    def apply(self, trace: Trace, rng: SplitMix64) -> Trace:
+        def skew(e: TraceEvent) -> TraceEvent:
+            if e.thread != self.thread:
+                return e
+            return replace(e, time=max(0, e.time + self.offset + int(e.time * self.drift)))
+
+        return Trace([skew(e) for e in trace], dict(trace.meta))
+
+
+@dataclass(frozen=True)
+class CorruptFields(Fault):
+    """Scribble over event fields (partial buffer writes).
+
+    For each selected event one field is corrupted: sync events may lose or
+    mangle their pairing identity (``sync_var`` / ``sync_index``); any event
+    may lose its timestamp (set to :data:`MISSING_TIME`).
+    """
+
+    fraction: float = 0.02
+    kinds: Optional[frozenset[EventKind]] = None
+    thread: Optional[int] = None
+
+    def apply(self, trace: Trace, rng: SplitMix64) -> Trace:
+        chosen = _select(
+            trace.events, rng, fraction=self.fraction, kinds=self.kinds,
+            thread=self.thread, predicate=None,
+        )
+        out = []
+        for e in trace:
+            if e.seq not in chosen:
+                out.append(e)
+                continue
+            if is_sync_kind(e.kind) and e.sync_var is not None:
+                roll = rng.randint(0, 2)
+                if roll == 0:
+                    e = replace(e, sync_var=f"{e.sync_var}?corrupt")
+                elif roll == 1 and e.sync_index is not None:
+                    e = replace(e, sync_index=e.sync_index + 1_000_003)
+                else:
+                    e = replace(e, time=MISSING_TIME)
+            else:
+                e = replace(e, time=MISSING_TIME)
+            out.append(e)
+        return Trace(out, dict(trace.meta))
+
+
+@dataclass(frozen=True)
+class Truncate(Fault):
+    """Keep only a prefix of the trace (tool crash / disk full).
+
+    ``keep_fraction`` of the total-ordered events survive; alternatively an
+    absolute ``keep_events`` count takes precedence when set.
+    """
+
+    keep_fraction: float = 0.9
+    keep_events: Optional[int] = None
+
+    def apply(self, trace: Trace, rng: SplitMix64) -> Trace:
+        n = len(trace)
+        keep = self.keep_events if self.keep_events is not None else int(n * self.keep_fraction)
+        keep = max(0, min(n, keep))
+        return Trace(trace.events[:keep], dict(trace.meta))
+
+
+def inject(trace: Trace, faults: Iterable[Fault], seed: int = 0) -> Trace:
+    """Apply ``faults`` in order, each with a decorrelated RNG stream.
+
+    The same (trace, faults, seed) triple always produces the same
+    corrupted trace.
+    """
+    root = SplitMix64(seed)
+    out = trace
+    for i, fault in enumerate(faults):
+        out = fault.apply(out, root.fork(i))
+    return out

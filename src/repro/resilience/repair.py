@@ -1,0 +1,461 @@
+"""Best-effort trace repair.
+
+Where :mod:`repro.resilience.validate` reports damage,
+:func:`repair_trace` mends what it can and amputates what it cannot:
+
+* missing timestamps are interpolated from same-thread neighbours
+  (recording order), and per-thread clock regressions are clamped so
+  recording order and the clock agree again;
+* duplicated sync events are deduplicated (earliest survives);
+* ``awaitB``/``awaitE`` pairs are re-established — orphan begins are
+  dropped, orphan ends get a synthesized begin — and pairs whose enabling
+  ``advance`` is gone are *demoted*: both events are removed so the
+  measured waiting is treated as plain computation rather than crashing
+  the analysis;
+* incomplete lock/semaphore triples and orphaned barrier exits are
+  removed;
+* threads whose events are unrecoverable are quarantined wholesale
+  (:func:`quarantine_threads` — also used by the analysis layer's
+  ``skip`` policy and its deadlock-retry loop).
+
+Every change is recorded as a :class:`RepairAction` in the returned
+:class:`RepairReport`; a repair that touched nothing yields a falsy
+report.  Repair is deliberately conservative about *timing*: it never
+invents intervals, so approximation error on untouched threads is
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional, Sequence
+
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.trace import Trace
+
+_LOCK_ROLES = {
+    EventKind.LOCK_REQ: "req",
+    EventKind.LOCK_ACQ: "acq",
+    EventKind.LOCK_REL: "rel",
+}
+_SEM_ROLES = {
+    EventKind.SEM_REQ: "req",
+    EventKind.SEM_ACQ: "acq",
+    EventKind.SEM_SIG: "sig",
+}
+
+#: Label suffix marking events the repair pass invented.  Synthesized
+#: events carry fresh (end-of-trace) seq numbers, so the recording-order
+#: assumption the timestamp pass relies on does not hold for them; the
+#: marker lets a later repair leave them alone instead of "clamping" them
+#: to the end of their thread.
+SYNTHESIZED_MARK = " [synthesized]"
+
+
+def _is_synthesized(e: TraceEvent) -> bool:
+    return bool(e.label) and e.label.endswith(SYNTHESIZED_MARK)
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """One change the repair pass made."""
+
+    code: str
+    message: str
+    thread: Optional[int] = None
+    n_events: int = 1
+
+    def __str__(self) -> str:
+        where = f" ce={self.thread}" if self.thread is not None else ""
+        return f"[{self.code}]{where}: {self.message}"
+
+
+@dataclass
+class RepairReport:
+    """Everything a repair pass changed, with aggregate counters."""
+
+    actions: list[RepairAction] = field(default_factory=list)
+    quarantined_threads: list[int] = field(default_factory=list)
+    dropped_events: int = 0
+    synthesized_events: int = 0
+    retimed_events: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.actions) or bool(self.quarantined_threads)
+
+    def record(self, action: RepairAction, *, dropped: int = 0,
+               synthesized: int = 0, retimed: int = 0) -> None:
+        self.actions.append(action)
+        self.dropped_events += dropped
+        self.synthesized_events += synthesized
+        self.retimed_events += retimed
+
+    def summary(self) -> str:
+        if not self:
+            return "repair: trace was clean, nothing changed"
+        parts = [
+            f"{len(self.actions)} repair action(s)",
+            f"{self.dropped_events} event(s) dropped",
+            f"{self.synthesized_events} synthesized",
+            f"{self.retimed_events} retimed",
+        ]
+        if self.quarantined_threads:
+            parts.append(
+                f"thread(s) quarantined: {sorted(set(self.quarantined_threads))}"
+            )
+        return "repair: " + ", ".join(parts)
+
+
+@dataclass
+class RepairResult:
+    """The repaired trace plus the report of what changed."""
+
+    trace: Trace
+    report: RepairReport
+
+
+def repair_trace(trace: Trace, mode: str = "repair") -> RepairResult:
+    """Repair ``trace`` best-effort; never raises on malformed input.
+
+    ``mode="repair"`` mends fine-grained (interpolation, synthesis,
+    demotion); ``mode="skip"`` never synthesizes — offending events are
+    dropped and threads with unrecoverable local damage are quarantined.
+    """
+    if mode not in ("repair", "skip"):
+        raise ValueError(f"unknown repair mode {mode!r}")
+    report = RepairReport()
+    events = _repair_timestamps(list(trace.events), mode, report)
+    events = _structural_sweep(
+        events, mode, report, sem_capacities=trace.meta.get("semaphores")
+    )
+    meta = dict(trace.meta)
+    if report:
+        meta["repaired"] = mode
+    return RepairResult(Trace(events, meta), report)
+
+
+def quarantine_threads(
+    trace: Trace, threads: Iterable[int], report: Optional[RepairReport] = None
+) -> RepairResult:
+    """Remove whole threads and every structure left dangling by that.
+
+    Await pairs whose enabling advance lived on a quarantined thread are
+    demoted, incomplete lock/semaphore uses are dropped, and barrier exits
+    with no surviving arrivals are removed, so the remaining threads stay
+    analyzable.
+    """
+    report = report if report is not None else RepairReport()
+    doomed = set(threads)
+    kept, removed = [], 0
+    for e in trace.events:
+        if e.thread in doomed:
+            removed += 1
+        else:
+            kept.append(e)
+    for t in sorted(doomed):
+        report.quarantined_threads.append(t)
+    if removed:
+        report.record(
+            RepairAction(
+                "quarantined-thread",
+                f"removed {removed} event(s) on thread(s) {sorted(doomed)}",
+                n_events=removed,
+            ),
+            dropped=removed,
+        )
+    events = _structural_sweep(
+        kept, "skip", report, sem_capacities=trace.meta.get("semaphores")
+    )
+    meta = dict(trace.meta)
+    meta["repaired"] = meta.get("repaired", "skip")
+    return RepairResult(Trace(events, meta), report)
+
+
+# ---------------------------------------------------------------- timestamps
+def _repair_timestamps(
+    events: list[TraceEvent], mode: str, report: RepairReport
+) -> list[TraceEvent]:
+    """Interpolate missing times and clamp per-thread clock regressions.
+
+    Works in recording (seq) order per thread — the order the tracer
+    emitted events — which survives any timestamp damage.
+    """
+    by_thread: dict[int, list[TraceEvent]] = {}
+    for e in events:
+        by_thread.setdefault(e.thread, []).append(e)
+    out: list[TraceEvent] = []
+    quarantined: set[int] = set()
+    for thread, all_evs in sorted(by_thread.items()):
+        # Synthesized events have out-of-band seqs; their times are
+        # already sound, so they bypass interpolation and clamping.
+        evs = [e for e in all_evs if not _is_synthesized(e)]
+        synthetic = [e for e in all_evs if _is_synthesized(e)]
+        evs.sort(key=lambda e: e.seq)
+        missing = [i for i, e in enumerate(evs) if e.time < 0]
+        if missing:
+            valid = [i for i, e in enumerate(evs) if e.time >= 0]
+            if not valid or mode == "skip":
+                quarantined.add(thread)
+                report.quarantined_threads.append(thread)
+                report.record(
+                    RepairAction(
+                        "quarantined-thread",
+                        f"thread {thread}: {len(missing)} unrecoverable "
+                        f"timestamp(s), removed {len(all_evs)} event(s)",
+                        thread=thread, n_events=len(all_evs),
+                    ),
+                    dropped=len(all_evs),
+                )
+                continue
+            evs = _interpolate(evs, missing, valid)
+            report.record(
+                RepairAction(
+                    "interpolated-timestamp",
+                    f"thread {thread}: interpolated {len(missing)} "
+                    "missing timestamp(s)",
+                    thread=thread, n_events=len(missing),
+                ),
+                retimed=len(missing),
+            )
+        clamped = 0
+        fixed: list[TraceEvent] = []
+        prev_time: Optional[int] = None
+        for e in evs:
+            if prev_time is not None and e.time < prev_time:
+                e = replace(e, time=prev_time)
+                clamped += 1
+            fixed.append(e)
+            prev_time = e.time
+        if clamped:
+            report.record(
+                RepairAction(
+                    "clamped-clock",
+                    f"thread {thread}: clamped {clamped} timestamp(s) to "
+                    "restore recording order",
+                    thread=thread, n_events=clamped,
+                ),
+                retimed=clamped,
+            )
+        out.extend(fixed)
+        out.extend(synthetic)
+    return out
+
+
+def _interpolate(
+    evs: list[TraceEvent], missing: Sequence[int], valid: Sequence[int]
+) -> list[TraceEvent]:
+    """Linear interpolation of missing times between valid neighbours."""
+    import bisect
+
+    evs = list(evs)
+    for i in missing:
+        j = bisect.bisect_left(valid, i)
+        prev_i = valid[j - 1] if j > 0 else None
+        next_i = valid[j] if j < len(valid) else None
+        if prev_i is None:
+            t = evs[next_i].time
+        elif next_i is None:
+            t = evs[prev_i].time
+        else:
+            t0, t1 = evs[prev_i].time, evs[next_i].time
+            t = t0 + (t1 - t0) * (i - prev_i) // (next_i - prev_i)
+        evs[i] = replace(evs[i], time=t)
+    return evs
+
+
+# ----------------------------------------------------------------- structure
+def _structural_sweep(
+    events: list[TraceEvent], mode: str, report: RepairReport,
+    *, sem_capacities: Optional[dict] = None,
+) -> list[TraceEvent]:
+    """Re-pair / dedupe / demote synchronization structure."""
+    advances: dict[tuple[str, int], list[TraceEvent]] = {}
+    begins: dict[tuple[str, int], list[TraceEvent]] = {}
+    ends: dict[tuple[str, int], list[TraceEvent]] = {}
+    locks: dict[tuple[str, int], dict[str, list[TraceEvent]]] = {}
+    sems: dict[tuple[str, int], dict[str, list[TraceEvent]]] = {}
+    barriers: dict[tuple[str, int], dict[str, list[TraceEvent]]] = {}
+    drop: set[int] = set()
+    adds: list[TraceEvent] = []
+    max_seq = max((e.seq for e in events), default=-1)
+
+    def _record_drop(code: str, message: str, evs: Sequence[TraceEvent]) -> None:
+        for e in evs:
+            drop.add(e.seq)
+        report.record(
+            RepairAction(code, message, thread=evs[0].thread if evs else None,
+                         n_events=len(evs)),
+            dropped=len(evs),
+        )
+
+    for e in events:
+        kind = e.kind
+        if kind in (EventKind.ADVANCE, EventKind.AWAIT_B, EventKind.AWAIT_E):
+            if e.sync_var is None or e.sync_index is None:
+                _record_drop(
+                    "dropped-unidentifiable",
+                    f"{kind.value} event without sync identity (seq {e.seq})",
+                    [e],
+                )
+                continue
+            key = (e.sync_var, e.sync_index)
+            target = (advances if kind is EventKind.ADVANCE
+                      else begins if kind is EventKind.AWAIT_B else ends)
+            target.setdefault(key, []).append(e)
+        elif kind in _LOCK_ROLES or kind in _SEM_ROLES:
+            if e.sync_var is None or e.sync_index is None:
+                _record_drop(
+                    "dropped-unidentifiable",
+                    f"{kind.value} event without sync identity (seq {e.seq})",
+                    [e],
+                )
+                continue
+            key = (e.sync_var, e.sync_index)
+            roles = _LOCK_ROLES if kind in _LOCK_ROLES else _SEM_ROLES
+            table = locks if kind in _LOCK_ROLES else sems
+            table.setdefault(key, {}).setdefault(roles[kind], []).append(e)
+        elif kind in (EventKind.BARRIER_ARRIVE, EventKind.BARRIER_EXIT):
+            key = (e.sync_var or "barrier", e.sync_index or 0)
+            bucket = barriers.setdefault(key, {"arrive": [], "exit": []})
+            bucket["arrive" if kind is EventKind.BARRIER_ARRIVE else "exit"].append(e)
+
+    order = lambda e: (e.time, e.seq)  # noqa: E731 - tiny sort key
+
+    # Advances: earliest survives, duplicates go.
+    surviving_advance: set[tuple[str, int]] = set()
+    for key, evs in sorted(advances.items()):
+        evs.sort(key=order)
+        surviving_advance.add(key)
+        if len(evs) > 1:
+            _record_drop(
+                "deduplicated-advance",
+                f"kept earliest of {len(evs)} advances for {key}", evs[1:],
+            )
+
+    # Await pairs: re-pair, synthesize or drop orphans, demote advance-less.
+    for key in sorted(set(begins) | set(ends)):
+        bs = sorted(begins.get(key, []), key=order)
+        es = sorted(ends.get(key, []), key=order)
+        if len(bs) > 1:
+            _record_drop(
+                "deduplicated-awaitB",
+                f"kept earliest of {len(bs)} awaitB for {key}", bs[1:],
+            )
+        if len(es) > 1:
+            _record_drop(
+                "deduplicated-awaitE",
+                f"kept earliest of {len(es)} awaitE for {key}", es[1:],
+            )
+        b = bs[0] if bs else None
+        e = es[0] if es else None
+        demote = key[1] >= 0 and key not in surviving_advance
+        if b is not None and e is None:
+            _record_drop(
+                "dropped-orphan-awaitB",
+                f"awaitB {key} has no awaitE", [b],
+            )
+        elif e is not None and b is None:
+            if mode == "repair" and not demote:
+                # Replace the orphan end with a synthesized begin/end pair
+                # at its own time; the end gets a fresh seq so the pair
+                # orders correctly, which the report discloses.
+                drop.add(e.seq)
+                mark = (e.label or "await") + SYNTHESIZED_MARK
+                adds.append(replace(e, kind=EventKind.AWAIT_B,
+                                    seq=max_seq + 1, overhead=0, label=mark))
+                adds.append(replace(e, seq=max_seq + 2, label=mark))
+                max_seq += 2
+                report.record(
+                    RepairAction(
+                        "synthesized-awaitB",
+                        f"synthesized awaitB for orphan awaitE {key}",
+                        thread=e.thread,
+                    ),
+                    synthesized=1,
+                )
+            else:
+                _record_drop(
+                    "dropped-orphan-awaitE",
+                    f"awaitE {key} has no awaitB", [e],
+                )
+        elif b is not None and e is not None and demote:
+            _record_drop(
+                "demoted-await",
+                f"await {key} has no surviving advance; waiting becomes "
+                "plain computation", [b, e],
+            )
+        elif b is not None and e is not None and (e.time, e.seq) < (b.time, b.seq):
+            # Dedupe can leave a pair whose end sorts before its begin
+            # (a late duplicate begin survived the original).  Rebuild it
+            # as a zero-length marked pair at the later of the two times.
+            if mode == "repair":
+                drop.add(b.seq)
+                drop.add(e.seq)
+                t = max(b.time, e.time)
+                mark = (e.label or "await") + SYNTHESIZED_MARK
+                adds.append(replace(b, time=t, seq=max_seq + 1,
+                                    overhead=0, label=mark))
+                adds.append(replace(e, time=t, seq=max_seq + 2, label=mark))
+                max_seq += 2
+                report.record(
+                    RepairAction(
+                        "reordered-await-pair",
+                        f"await {key} ended before it began; rebuilt as a "
+                        f"zero-length pair at t={t}",
+                        thread=e.thread, n_events=2,
+                    ),
+                    dropped=2, synthesized=2,
+                )
+            else:
+                _record_drop(
+                    "dropped-disordered-await",
+                    f"await {key} ended before it began", [b, e],
+                )
+
+    # Lock / semaphore triples: dedupe roles, drop incomplete uses.
+    for code, table, wanted in (
+        ("lock", locks, {"req", "acq", "rel"}),
+        ("semaphore", sems, {"req", "acq", "sig"}),
+    ):
+        for key, roles in sorted(table.items()):
+            survivors: dict[str, TraceEvent] = {}
+            for role, evs in roles.items():
+                evs.sort(key=order)
+                survivors[role] = evs[0]
+                if len(evs) > 1:
+                    _record_drop(
+                        f"deduplicated-{code}-{role}",
+                        f"kept earliest of {len(evs)} {code} {role} for {key}",
+                        evs[1:],
+                    )
+            if set(survivors) != wanted:
+                _record_drop(
+                    f"dropped-incomplete-{code}-use",
+                    f"{code} use {key} has only {sorted(survivors)}",
+                    list(survivors.values()),
+                )
+    if sems and not sem_capacities:
+        remaining = [
+            e for roles in sems.values() for evs in roles.values()
+            for e in evs if e.seq not in drop
+        ]
+        if remaining:
+            _record_drop(
+                "dropped-uncapacitated-semaphores",
+                "semaphore events without declared capacities cannot be "
+                "analyzed", remaining,
+            )
+
+    # Barriers: exits with no surviving arrivals cannot be resolved.
+    for key, bucket in sorted(barriers.items()):
+        arrivals = [e for e in bucket["arrive"] if e.seq not in drop]
+        exits = [e for e in bucket["exit"] if e.seq not in drop]
+        if exits and not arrivals:
+            _record_drop(
+                "dropped-orphan-barrier-exit",
+                f"barrier {key} has exits but no arrivals", exits,
+            )
+
+    out = [e for e in events if e.seq not in drop]
+    out.extend(adds)
+    return out

@@ -21,6 +21,7 @@ from repro.sim.engine import (
     ProcessCrashed,
     SimulationDeadlock,
     SimulationError,
+    SimulationTimeout,
     Timeout,
     Signal,
     AllOf,
@@ -35,6 +36,7 @@ __all__ = [
     "ProcessCrashed",
     "SimulationDeadlock",
     "SimulationError",
+    "SimulationTimeout",
     "Timeout",
     "Signal",
     "AllOf",

@@ -27,7 +27,29 @@ class SimulationError(RuntimeError):
 
 class SimulationDeadlock(SimulationError):
     """Raised by :meth:`Engine.run` when live processes remain but no
-    occurrence is scheduled (every runnable process is blocked forever)."""
+    occurrence is scheduled (every runnable process is blocked forever).
+
+    The message dumps every blocked process and the effect it waits on;
+    the same information is available structurally as ``blocked``, a tuple
+    of ``(process, effect)`` pairs.
+    """
+
+    def __init__(self, message: str, blocked: tuple = ()):
+        super().__init__(message)
+        self.blocked = tuple(blocked)
+
+
+class SimulationTimeout(SimulationError):
+    """Raised by :meth:`Engine.run` when a ``max_cycles`` or ``max_events``
+    budget is exhausted before the simulation completes (livelock guard).
+
+    Attributes mirror :class:`SimulationDeadlock`: ``blocked`` holds
+    ``(process, effect)`` pairs for every process still live at timeout.
+    """
+
+    def __init__(self, message: str, blocked: tuple = ()):
+        super().__init__(message)
+        self.blocked = tuple(blocked)
 
 
 class ProcessCrashed(SimulationError):
@@ -167,7 +189,10 @@ class Process(_Effect):
     generator's return value.
     """
 
-    __slots__ = ("engine", "name", "_gen", "_done", "_result", "_waiters", "_crashed")
+    __slots__ = (
+        "engine", "name", "_gen", "_done", "_result", "_waiters", "_crashed",
+        "_waiting_on",
+    )
 
     def __init__(self, engine: "Engine", gen: Generator[_Effect, Any, Any], name: str):
         self.engine = engine
@@ -177,7 +202,9 @@ class Process(_Effect):
         self._crashed: Optional[BaseException] = None
         self._result: Any = None
         self._waiters: list[Callable[[Any], None]] = []
+        self._waiting_on: Optional[_Effect] = None
         engine._live_processes += 1
+        engine._processes.add(self)
         engine.schedule(0, self._step, None)
 
     # -- state ---------------------------------------------------------
@@ -197,6 +224,7 @@ class Process(_Effect):
     def _step(self, send_value: Any) -> None:
         if self._done:
             return
+        self._waiting_on = None
         try:
             if isinstance(send_value, BaseException):
                 effect = self._gen.throw(send_value)
@@ -220,13 +248,16 @@ class Process(_Effect):
                 ),
             )
             return
+        self._waiting_on = effect
         effect._subscribe(self.engine, self._step)
 
     def _finish(self, result: Any, crashed: Optional[BaseException]) -> None:
         self._done = True
         self._result = result
         self._crashed = crashed
+        self._waiting_on = None
         self.engine._live_processes -= 1
+        self.engine._processes.discard(self)
         if crashed is not None:
             self.engine._record_crash(ProcessCrashed(self, crashed))
         waiters, self._waiters = self._waiters, []
@@ -251,6 +282,22 @@ class Process(_Effect):
         return f"Process({self.name!r}, {state})"
 
 
+def _describe(effect: Optional[_Effect]) -> str:
+    """Human description of what a process is waiting on (for dumps)."""
+    if effect is None:
+        return "the scheduler (runnable)"
+    if isinstance(effect, Signal):
+        name = effect.name or "<anonymous>"
+        return f"signal {name!r}"
+    if isinstance(effect, Process):
+        return f"process {effect.name!r}"
+    if isinstance(effect, Timeout):
+        return f"Timeout({effect.delay})"
+    if isinstance(effect, AllOf):
+        return f"AllOf({len(effect.children)} children)"
+    return repr(effect)
+
+
 class Engine:
     """The deterministic discrete-event simulation core.
 
@@ -270,6 +317,7 @@ class Engine:
         self._queue: list[tuple[int, int, Callable[[Any], None], Any]] = []
         self._seq = 0
         self._live_processes = 0
+        self._processes: set[Process] = set()
         self._crashes: list[ProcessCrashed] = []
 
     # -- scheduling ------------------------------------------------------
@@ -304,23 +352,71 @@ class Engine:
         self.now = time
         callback(value)
 
-    def run(self, until: Optional[int] = None) -> int:
+    # -- observability -----------------------------------------------------
+    def blocked_processes(self) -> list[tuple["Process", Optional[_Effect]]]:
+        """Every live process with the effect it is currently waiting on.
+
+        Sorted by name for deterministic dumps.  The effect is None for a
+        process that is scheduled to run (not actually blocked).
+        """
+        return [
+            (p, p._waiting_on)
+            for p in sorted(self._processes, key=lambda p: (p.name, id(p)))
+        ]
+
+    def _format_blocked(self) -> str:
+        lines = []
+        for proc, effect in self.blocked_processes():
+            lines.append(f"  process {proc.name!r} waiting on {_describe(effect)}")
+        return "\n".join(lines) if lines else "  (no live processes)"
+
+    def run(
+        self,
+        until: Optional[int] = None,
+        *,
+        max_cycles: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
         """Run until the queue drains (or simulated time reaches ``until``).
 
         Returns the final simulation time.  Raises
         :class:`SimulationDeadlock` if live processes remain with nothing
         scheduled, and :class:`ProcessCrashed` if any process raised.
+
+        Watchdog budgets guard against runaway workloads: ``max_cycles``
+        bounds simulated time and ``max_events`` bounds the number of
+        executed occurrences.  Exhausting either raises
+        :class:`SimulationTimeout` whose message names every still-live
+        process and the effect it waits on — unlike ``until``, which
+        pauses cleanly, a budget overrun is an error (livelock guard).
         """
+        executed = 0
         while self._queue:
             if until is not None and self._queue[0][0] > until:
                 self.now = until
                 break
+            if max_cycles is not None and self._queue[0][0] > max_cycles:
+                raise SimulationTimeout(
+                    f"simulation exceeded max_cycles={max_cycles} (next "
+                    f"occurrence at t={self._queue[0][0]}); live processes:\n"
+                    + self._format_blocked(),
+                    tuple(self.blocked_processes()),
+                )
+            if max_events is not None and executed >= max_events:
+                raise SimulationTimeout(
+                    f"simulation exceeded max_events={max_events} at "
+                    f"t={self.now}; live processes:\n" + self._format_blocked(),
+                    tuple(self.blocked_processes()),
+                )
             self.step()
+            executed += 1
             if self._crashes:
                 raise self._crashes[0]
         if until is None and self._live_processes > 0:
             raise SimulationDeadlock(
-                f"{self._live_processes} process(es) blocked with an empty event queue"
+                f"{self._live_processes} process(es) blocked with an empty "
+                "event queue:\n" + self._format_blocked(),
+                tuple(self.blocked_processes()),
             )
         return self.now
 

@@ -4,11 +4,23 @@ Traces are stored as JSON Lines: a header object on the first line
 (``{"format": ..., "meta": {...}}``) followed by one event object per line.
 JSONL keeps files streamable and diff-friendly for multi-million event
 traces while remaining human-inspectable.
+
+Robustness guarantees:
+
+* :func:`write_trace` is **atomic** for path targets — it writes to a
+  ``.tmp`` sibling and :func:`os.replace`\\ s it into place, so a crash
+  mid-write can never leave a half-trace behind under the final name;
+* :func:`read_trace` distinguishes *truncated* traces (a partial final
+  line or fewer events than the header declares — what a crashed tracer
+  leaves behind) from mid-file corruption, reports exactly how much was
+  recovered, and with ``tolerate_truncation=True`` returns the parsed
+  prefix instead of raising.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import IO, Union
 
@@ -19,8 +31,33 @@ FORMAT_NAME = "repro-trace"
 FORMAT_VERSION = 1
 
 
+class TruncatedTraceError(TraceError):
+    """The trace file ends early (crash mid-write, disk full, ...).
+
+    Attributes
+    ----------
+    declared:
+        Event count the header promised (None if the header lacked one).
+    parsed:
+        Events successfully parsed before the file ended.
+    lineno:
+        Line number of the first unreadable/absent line.
+    """
+
+    def __init__(self, message: str, *, declared, parsed: int, lineno: int):
+        super().__init__(message)
+        self.declared = declared
+        self.parsed = parsed
+        self.lineno = lineno
+
+
 def write_trace(trace: Trace, path: Union[str, Path, IO[str]]) -> None:
-    """Write a trace to ``path`` (a path or an open text handle)."""
+    """Write a trace to ``path`` (a path or an open text handle).
+
+    Path targets are written atomically: the data goes to a ``.tmp``
+    sibling which is fsynced and renamed over the destination, so readers
+    never observe a partially written trace under the final name.
+    """
     header = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
@@ -29,9 +66,18 @@ def write_trace(trace: Trace, path: Union[str, Path, IO[str]]) -> None:
     }
     if hasattr(path, "write"):
         _write_stream(trace, header, path)  # type: ignore[arg-type]
-    else:
-        with open(path, "w", encoding="utf-8") as fh:
+        return
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
             _write_stream(trace, header, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def _write_stream(trace: Trace, header: dict, fh: IO[str]) -> None:
@@ -40,15 +86,26 @@ def _write_stream(trace: Trace, header: dict, fh: IO[str]) -> None:
         fh.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
 
 
-def read_trace(path: Union[str, Path, IO[str]]) -> Trace:
-    """Read a trace previously written by :func:`write_trace`."""
+def read_trace(
+    path: Union[str, Path, IO[str]], *, tolerate_truncation: bool = False
+) -> Trace:
+    """Read a trace previously written by :func:`write_trace`.
+
+    A file that ends early — a partial final line, or fewer events than
+    the header's ``n_events`` — raises :class:`TruncatedTraceError`
+    reporting the failing line, the declared count, and how many events
+    were recovered.  Pass ``tolerate_truncation=True`` to get the parsed
+    prefix back instead (its ``meta`` gains ``truncated: True``).
+    Corruption *before* the final line is never tolerated: that is damage,
+    not truncation, and always raises :class:`TraceError`.
+    """
     if hasattr(path, "read"):
-        return _read_stream(path)  # type: ignore[arg-type]
+        return _read_stream(path, tolerate_truncation)  # type: ignore[arg-type]
     with open(path, "r", encoding="utf-8") as fh:
-        return _read_stream(fh)
+        return _read_stream(fh, tolerate_truncation)
 
 
-def _read_stream(fh: IO[str]) -> Trace:
+def _read_stream(fh: IO[str], tolerate_truncation: bool = False) -> Trace:
     first = fh.readline()
     if not first:
         raise TraceError("empty trace file")
@@ -60,18 +117,48 @@ def _read_stream(fh: IO[str]) -> Trace:
         raise TraceError(f"not a {FORMAT_NAME} file (format={header.get('format')!r})")
     if header.get("version") != FORMAT_VERSION:
         raise TraceError(f"unsupported trace version {header.get('version')!r}")
-    events = []
+    declared = header.get("n_events")
+    meta = header.get("meta", {})
+    events: list[TraceEvent] = []
+    bad: tuple[int, Exception] | None = None  # first unparseable line
     for lineno, line in enumerate(fh, start=2):
         line = line.strip()
         if not line:
             continue
+        if bad is not None:
+            # A parseable-or-not line *after* the failure means the damage
+            # was mid-file — corruption, not truncation.
+            badline, exc = bad
+            raise TraceError(f"bad event on line {badline}: {exc}") from exc
         try:
             events.append(TraceEvent.from_dict(json.loads(line)))
-        except (json.JSONDecodeError, KeyError, ValueError) as exc:
-            raise TraceError(f"bad event on line {lineno}: {exc}") from exc
-    declared = header.get("n_events")
+        except (json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
+            bad = (lineno, exc)
+    if bad is not None:
+        # The damaged line was the last one: a classic torn final write.
+        lineno, exc = bad
+        if not tolerate_truncation:
+            raise TruncatedTraceError(
+                f"truncated trace: unparseable final line {lineno}; header "
+                f"declares {declared} events, {len(events)} parsed cleanly "
+                "(pass tolerate_truncation=True to accept the prefix)",
+                declared=declared, parsed=len(events), lineno=lineno,
+            ) from exc
+        return _truncated(events, meta)
     if declared is not None and declared != len(events):
-        raise TraceError(
-            f"truncated trace: header declares {declared} events, found {len(events)}"
+        if len(events) < declared and tolerate_truncation:
+            return _truncated(events, meta)
+        raise TruncatedTraceError(
+            f"truncated trace: header declares {declared} events, found "
+            f"{len(events)}"
+            + (" (pass tolerate_truncation=True to accept the prefix)"
+               if len(events) < declared else ""),
+            declared=declared, parsed=len(events), lineno=len(events) + 2,
         )
-    return Trace(events, meta=header.get("meta", {}))
+    return Trace(events, meta=meta)
+
+
+def _truncated(events: list[TraceEvent], meta: dict) -> Trace:
+    meta = dict(meta)
+    meta["truncated"] = True
+    return Trace(events, meta=meta)

@@ -4,14 +4,19 @@ Subcommands::
 
     repro-trace info FILE              # metadata + summary statistics
     repro-trace dump FILE [-n N] [--thread T] [--kind K]
-    repro-trace validate FILE          # causality / pairing checks
+    repro-trace validate FILE          # streaming diagnostics + causality
+    repro-trace repair FILE -o OUT     # best-effort repair, prints report
+    repro-trace inject FILE -o OUT     # seed-deterministic fault injection
     repro-trace diff FILE_A FILE_B     # compare two traces of one program
-    repro-trace analyze FILE [--method event|time] [--stats]
+    repro-trace analyze FILE [--method event|time] [--policy strict|repair|skip]
 
 ``analyze`` applies perturbation analysis to a measured trace file using
 the default FX/80 platform constants (override the probe-cost scale with
 ``--cost-scale``) and prints the approximated execution time plus,
-optionally, the recovered waiting/parallelism statistics.
+optionally, the recovered waiting/parallelism statistics.  ``--policy
+repair`` / ``skip`` analyzes damaged traces best-effort (see
+:mod:`repro.resilience`); ``inject`` deliberately corrupts a trace, which
+is how the resilience stack itself is exercised and benchmarked.
 """
 
 from __future__ import annotations
@@ -21,11 +26,24 @@ import sys
 from typing import Optional, Sequence
 
 from repro.analysis import event_based_approximation, time_based_approximation
+from repro.analysis.approximation import AnalysisError
 from repro.instrument import InstrumentationCosts, calibrate_analysis_constants
 from repro.machine.costs import FX80
 from repro.metrics import average_parallelism, waiting_percentages
+from repro.resilience.inject import (
+    ClockSkew,
+    CorruptFields,
+    DropEvents,
+    DuplicateEvents,
+    Fault,
+    ReorderEvents,
+    Truncate,
+    inject,
+)
+from repro.resilience.repair import repair_trace
+from repro.resilience.validate import Severity, validate_file
 from repro.trace.events import EventKind
-from repro.trace.io import read_trace
+from repro.trace.io import read_trace, write_trace
 from repro.trace.order import CausalityViolation, verify_causality
 from repro.trace.stats import render_stats, trace_stats
 from repro.trace.trace import TraceError
@@ -49,6 +67,48 @@ def make_parser() -> argparse.ArgumentParser:
     p_val = sub.add_parser("validate", help="causality and pairing checks")
     p_val.add_argument("file")
 
+    p_rep = sub.add_parser("repair", help="best-effort repair of a damaged trace")
+    p_rep.add_argument("file")
+    p_rep.add_argument("-o", "--output", required=True, help="repaired trace path")
+    p_rep.add_argument(
+        "--mode", choices=("repair", "skip"), default="repair",
+        help="mend damage (repair) or drop it wholesale (skip)",
+    )
+
+    p_inj = sub.add_parser("inject", help="corrupt a trace deterministically")
+    p_inj.add_argument("file")
+    p_inj.add_argument("-o", "--output", required=True, help="corrupted trace path")
+    p_inj.add_argument("--seed", type=int, default=0, help="injection RNG seed")
+    p_inj.add_argument(
+        "--drop-kinds", default=None,
+        help="comma-separated event kinds to drop (e.g. advance,awaitB)",
+    )
+    p_inj.add_argument(
+        "--drop-fraction", type=float, default=1.0,
+        help="drop probability among matching events (default 1.0)",
+    )
+    p_inj.add_argument("--drop-thread", type=int, default=None, help="limit drops to one CE")
+    p_inj.add_argument(
+        "--duplicate-fraction", type=float, default=0.0,
+        help="duplicate this fraction of events",
+    )
+    p_inj.add_argument(
+        "--reorder-fraction", type=float, default=0.0,
+        help="swap timestamps of this fraction of adjacent same-CE events",
+    )
+    p_inj.add_argument(
+        "--corrupt-fraction", type=float, default=0.0,
+        help="scribble over fields of this fraction of events",
+    )
+    p_inj.add_argument(
+        "--skew", nargs=2, type=int, metavar=("THREAD", "OFFSET"), default=None,
+        help="shift one CE's clock by OFFSET cycles",
+    )
+    p_inj.add_argument(
+        "--truncate-fraction", type=float, default=None,
+        help="keep only this fraction of the trace prefix",
+    )
+
     p_diff = sub.add_parser("diff", help="compare two traces of one program")
     p_diff.add_argument("file_a")
     p_diff.add_argument("file_b")
@@ -66,6 +126,10 @@ def make_parser() -> argparse.ArgumentParser:
     p_an.add_argument(
         "--stats", action="store_true",
         help="also print recovered waiting/parallelism statistics",
+    )
+    p_an.add_argument(
+        "--policy", choices=("strict", "repair", "skip"), default="strict",
+        help="degradation policy for damaged traces (default: strict)",
     )
     return parser
 
@@ -96,25 +160,92 @@ def cmd_dump(args: argparse.Namespace) -> int:
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    trace = read_trace(args.file)
-    problems = []
+    diagnostics = validate_file(args.file)
+    # The streaming validator covers pairing/structure; the causality check
+    # needs the materialised trace, so only attempt it on loadable files.
+    causality_failure = None
     try:
+        trace = read_trace(args.file, tolerate_truncation=True)
         verify_causality(trace)
+        n_events = len(trace)
     except (CausalityViolation, TraceError) as exc:
-        problems.append(f"causality: {exc}")
-    try:
-        trace.await_pairs()
-    except TraceError as exc:
-        problems.append(f"await pairing: {exc}")
-    try:
-        trace.lock_uses()
-    except TraceError as exc:
-        problems.append(f"lock pairing: {exc}")
-    if problems:
-        for p in problems:
-            print(f"FAIL {p}")
+        causality_failure = f"causality: {exc}"
+        n_events = None
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    warnings = [d for d in diagnostics if d.severity is Severity.WARNING]
+    infos = [d for d in diagnostics if d.severity is Severity.INFO]
+    for d in errors:
+        print(f"FAIL {d}")
+    if causality_failure and not errors:
+        print(f"FAIL {causality_failure}")
+    for d in warnings:
+        print(d)
+    for d in infos:
+        print(d)
+    if errors or causality_failure:
         return 1
-    print(f"OK {len(trace)} events, causality and pairing verified")
+    shown = f"{n_events} events, " if n_events is not None else ""
+    print(f"OK {shown}causality and pairing verified")
+    return 0
+
+
+def cmd_repair(args: argparse.Namespace) -> int:
+    trace = read_trace(args.file, tolerate_truncation=True)
+    if trace.meta.get("truncated"):
+        print("note: input was truncated; repairing the recovered prefix")
+    result = repair_trace(trace, mode=args.mode)
+    write_trace(result.trace, args.output)
+    print(result.report.summary())
+    for action in result.report.actions:
+        print(f"  {action}")
+    print(f"wrote {len(result.trace)} event(s) to {args.output}")
+    return 0
+
+
+def _build_faults(args: argparse.Namespace) -> list[Fault]:
+    faults: list[Fault] = []
+    if args.drop_kinds:
+        try:
+            kinds = frozenset(
+                EventKind(k.strip()) for k in args.drop_kinds.split(",")
+            )
+        except ValueError:
+            valid = ",".join(k.value for k in EventKind)
+            raise TraceError(
+                f"bad --drop-kinds {args.drop_kinds!r}; valid kinds: {valid}"
+            ) from None
+        faults.append(DropEvents(fraction=args.drop_fraction, kinds=kinds,
+                                 thread=args.drop_thread))
+    elif args.drop_thread is not None or args.drop_fraction < 1.0:
+        faults.append(DropEvents(fraction=args.drop_fraction,
+                                 thread=args.drop_thread))
+    if args.duplicate_fraction > 0:
+        faults.append(DuplicateEvents(fraction=args.duplicate_fraction))
+    if args.reorder_fraction > 0:
+        faults.append(ReorderEvents(fraction=args.reorder_fraction))
+    if args.corrupt_fraction > 0:
+        faults.append(CorruptFields(fraction=args.corrupt_fraction))
+    if args.skew is not None:
+        faults.append(ClockSkew(thread=args.skew[0], offset=args.skew[1]))
+    if args.truncate_fraction is not None:
+        faults.append(Truncate(keep_fraction=args.truncate_fraction))
+    return faults
+
+
+def cmd_inject(args: argparse.Namespace) -> int:
+    trace = read_trace(args.file)
+    faults = _build_faults(args)
+    if not faults:
+        print("error: no faults requested; see repro-trace inject --help",
+              file=sys.stderr)
+        return 2
+    corrupted = inject(trace, faults, seed=args.seed)
+    write_trace(corrupted, args.output)
+    print(
+        f"injected {len(faults)} fault(s) with seed {args.seed}: "
+        f"{len(trace)} -> {len(corrupted)} events"
+    )
+    print(f"wrote {args.output}")
     return 0
 
 
@@ -158,9 +289,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     costs = InstrumentationCosts().scaled(args.cost_scale)
     constants = calibrate_analysis_constants(FX80, costs)
     if args.method == "event":
-        approx = event_based_approximation(trace, constants)
+        approx = event_based_approximation(trace, constants, policy=args.policy)
     else:
-        approx = time_based_approximation(trace, constants)
+        approx = time_based_approximation(trace, constants, policy=args.policy)
+    if args.policy != "strict":
+        errors = [d for d in approx.diagnostics if d.severity is Severity.ERROR]
+        if errors:
+            print(f"degraded analysis ({args.policy}): "
+                  f"{len(errors)} validation error(s) in input")
+        if approx.repair_report:
+            print(f"  {approx.repair_report.summary()}")
     measured_total = trace.end_time
     print(f"measured total:      {measured_total} cycles")
     print(f"approximated actual: {approx.total_time} cycles "
@@ -186,12 +324,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "info": cmd_info,
         "dump": cmd_dump,
         "validate": cmd_validate,
+        "repair": cmd_repair,
+        "inject": cmd_inject,
         "analyze": cmd_analyze,
         "diff": cmd_diff,
     }
     try:
         return handlers[args.command](args)
-    except (TraceError, FileNotFoundError) as exc:
+    except (TraceError, AnalysisError, FileNotFoundError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BrokenPipeError:  # e.g. piped into `head`

@@ -1,0 +1,90 @@
+"""Acceptance: degraded analysis of a Loop 3 trace with one corrupt thread.
+
+The scenario from the issue: a real Livermore Loop 3 DOACROSS run whose
+tracing buffer lost one thread's synchronization events.  ``strict``
+analysis must refuse; ``repair`` must deliver an approximation for the
+remaining threads plus a non-empty repair report; ``skip`` must likewise
+survive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import event_based_approximation
+from repro.analysis.approximation import AnalysisError
+from repro.exec import Executor
+from repro.instrument import InstrumentationCosts, calibrate_analysis_constants
+from repro.instrument.plan import PLAN_FULL
+from repro.livermore.programs import doacross_program
+from repro.machine.costs import FX80
+from repro.resilience.inject import DropEvents, inject
+from repro.resilience.validate import Severity
+from repro.trace.events import EventKind
+
+CORRUPT_THREAD = 3
+
+
+@pytest.fixture(scope="module")
+def loop3_measured():
+    prog = doacross_program(3, trips=64)
+    return Executor(seed=7).run(prog, PLAN_FULL).trace
+
+
+@pytest.fixture(scope="module")
+def loop3_broken(loop3_measured):
+    """Loop 3 trace with one thread's sync events gone (buffer overrun)."""
+    sync_kinds = frozenset(
+        {EventKind.ADVANCE, EventKind.AWAIT_B, EventKind.AWAIT_E}
+    )
+    return inject(
+        loop3_measured,
+        [DropEvents(kinds=sync_kinds, thread=CORRUPT_THREAD)],
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def lf_constants():
+    return calibrate_analysis_constants(FX80, InstrumentationCosts())
+
+
+def test_strict_refuses_corrupt_loop3(loop3_broken, lf_constants):
+    with pytest.raises(AnalysisError):
+        event_based_approximation(loop3_broken, lf_constants, policy="strict")
+
+
+def test_repair_policy_analyzes_remaining_threads(
+    loop3_measured, loop3_broken, lf_constants
+):
+    approx = event_based_approximation(loop3_broken, lf_constants, policy="repair")
+    # A usable approximation came back...
+    assert approx.total_time > 0
+    # ... with results for every thread that still has events,
+    resolved_threads = {
+        e.thread for e in loop3_broken if e.seq in approx.times
+    }
+    healthy = set(loop3_measured.threads) - {CORRUPT_THREAD}
+    assert healthy <= resolved_threads
+    # ... a non-empty repair report,
+    assert approx.repair_report
+    assert approx.repair_report.dropped_events > 0
+    assert "repair action" in approx.repair_report.summary()
+    # ... and diagnostics naming the severed dependences.
+    errors = [d for d in approx.diagnostics if d.severity is Severity.ERROR]
+    assert errors
+
+
+def test_repair_result_is_bracketed(loop3_measured, loop3_broken, lf_constants):
+    """Severed awaits are demoted to computation, so the degraded result
+    is pessimistic — bounded below by the clean approximation and above
+    by the raw measured total."""
+    clean = event_based_approximation(loop3_measured, lf_constants)
+    degraded = event_based_approximation(loop3_broken, lf_constants, policy="repair")
+    assert clean.total_time <= degraded.total_time <= loop3_measured.end_time
+
+
+def test_skip_policy_also_survives(loop3_broken, lf_constants):
+    approx = event_based_approximation(loop3_broken, lf_constants, policy="skip")
+    assert approx.total_time > 0
+    assert approx.repair_report.synthesized_events == 0

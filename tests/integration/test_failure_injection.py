@@ -2,8 +2,10 @@
 
 A perturbation analysis that silently produces garbage on a damaged trace
 is worse than one that crashes; these tests corrupt real measured traces
-in targeted ways and assert the library reports structured errors
-instead of nonsense approximations.
+with the :mod:`repro.resilience.inject` fault injectors and assert the
+library reports structured errors instead of nonsense approximations.
+(Degraded-but-successful analysis of the same damage is covered by
+``test_degraded_analysis`` and ``tests/resilience``.)
 """
 
 from __future__ import annotations
@@ -12,8 +14,10 @@ import pytest
 
 from repro.analysis import event_based_approximation, time_based_approximation
 from repro.analysis.approximation import AnalysisError
+from repro.analysis.eventbased import ResolutionError
 from repro.exec import Executor
 from repro.instrument.plan import PLAN_FULL
+from repro.resilience.inject import DropEvents, DuplicateEvents, Truncate, inject
 from repro.trace.events import EventKind, TraceEvent
 from repro.trace.order import CausalityViolation, verify_causality
 from repro.trace.trace import Trace, TraceError
@@ -26,38 +30,47 @@ def measured():
     return Executor(seed=99).run(build_toy_doacross(trips=40), PLAN_FULL)
 
 
-def drop(trace: Trace, predicate) -> Trace:
-    return Trace([e for e in trace if not predicate(e)], dict(trace.meta))
-
-
 def test_dropped_advances_detected(measured, constants):
-    broken = drop(measured.trace, lambda e: e.kind is EventKind.ADVANCE)
+    broken = inject(
+        measured.trace, [DropEvents(kinds=frozenset({EventKind.ADVANCE}))]
+    )
     with pytest.raises(AnalysisError, match="no matching advance"):
         event_based_approximation(broken, constants)
 
 
 def test_dropped_await_begin_detected(measured, constants):
-    broken = drop(measured.trace, lambda e: e.kind is EventKind.AWAIT_B)
+    broken = inject(
+        measured.trace, [DropEvents(kinds=frozenset({EventKind.AWAIT_B}))]
+    )
     with pytest.raises(AnalysisError, match="awaitE without awaitB"):
         event_based_approximation(broken, constants)
 
 
 def test_dropped_barrier_arrivals_detected(measured, constants):
-    broken = drop(measured.trace, lambda e: e.kind is EventKind.BARRIER_ARRIVE)
+    broken = inject(
+        measured.trace, [DropEvents(kinds=frozenset({EventKind.BARRIER_ARRIVE}))]
+    )
     with pytest.raises(AnalysisError, match="without arrivals"):
         event_based_approximation(broken, constants)
 
 
 def test_duplicated_advance_detected(measured, constants):
-    adv = next(e for e in measured.trace if e.kind is EventKind.ADVANCE)
-    dup = TraceEvent(
-        time=adv.time + 1, thread=adv.thread, kind=adv.kind, eid=adv.eid,
-        seq=10_000, iteration=adv.iteration, sync_var=adv.sync_var,
-        sync_index=adv.sync_index, overhead=adv.overhead,
+    broken = inject(
+        measured.trace,
+        [DuplicateEvents(fraction=1.0, kinds=frozenset({EventKind.ADVANCE}))],
     )
-    broken = Trace(list(measured.trace.events) + [dup], dict(measured.trace.meta))
     with pytest.raises(AnalysisError, match="duplicate advance"):
         event_based_approximation(broken, constants)
+
+
+def test_resolution_error_carries_offending_events(measured, constants):
+    broken = inject(
+        measured.trace, [DropEvents(kinds=frozenset({EventKind.ADVANCE}))]
+    )
+    with pytest.raises(ResolutionError) as exc:
+        event_based_approximation(broken, constants)
+    assert exc.value.events, "the implicated events must be attached"
+    assert all(isinstance(e, TraceEvent) for e in exc.value.events)
 
 
 def test_cyclic_sync_dependency_deadlocks_cleanly(constants):
@@ -101,7 +114,9 @@ def test_time_based_survives_sync_corruption(measured, constants):
     """Time-based analysis doesn't interpret sync events, so it still
     produces a (wrong but well-formed) approximation from a trace whose
     sync pairing is destroyed — documenting the robustness difference."""
-    broken = drop(measured.trace, lambda e: e.kind is EventKind.ADVANCE)
+    broken = inject(
+        measured.trace, [DropEvents(kinds=frozenset({EventKind.ADVANCE}))]
+    )
     approx = time_based_approximation(broken, constants)
     assert approx.total_time > 0
 
@@ -110,7 +125,9 @@ def test_lock_triple_corruption_detected(constants):
     from tests.analysis.test_locks import lock_reduction
 
     measured = Executor(seed=99).run(lock_reduction(trips=10), PLAN_FULL)
-    broken = drop(measured.trace, lambda e: e.kind is EventKind.LOCK_REL)
+    broken = inject(
+        measured.trace, [DropEvents(kinds=frozenset({EventKind.LOCK_REL}))]
+    )
     with pytest.raises(TraceError, match="incomplete lock use"):
         event_based_approximation(broken, constants)
 
@@ -120,9 +137,8 @@ def test_truncated_trace_tail_still_analyzable(measured, constants):
     long as pairing survives: drop everything after the loop's barrier."""
     exits = measured.trace.of_kind(EventKind.BARRIER_EXIT)
     cutoff = max(e.time for e in exits)
-    prefix = Trace(
-        [e for e in measured.trace if e.time <= cutoff], dict(measured.trace.meta)
-    )
+    keep = sum(1 for e in measured.trace if e.time <= cutoff)
+    prefix = inject(measured.trace, [Truncate(keep_events=keep)])
     approx = event_based_approximation(prefix, constants)
     assert approx.total_time > 0
 

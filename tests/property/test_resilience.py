@@ -1,0 +1,132 @@
+"""Property-based tests for the resilience stack.
+
+The round-trip under test is inject -> validate -> repair -> analyze:
+
+* repair never crashes, whatever the injectors produced;
+* repair never increases the ERROR diagnostic count (and in repair mode
+  drives it to zero);
+* degraded analysis (``policy="repair"``) always returns a usable
+  approximation for damage the injectors can produce;
+* on independent-thread (DOALL) traces, corrupting one thread leaves the
+  approximated times of every other thread unchanged.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import event_based_approximation
+from repro.analysis.approximation import AnalysisError
+from repro.exec import Executor
+from repro.instrument import InstrumentationCosts, calibrate_analysis_constants
+from repro.instrument.plan import PLAN_FULL
+from repro.machine.costs import FX80
+from repro.resilience.inject import (
+    ClockSkew,
+    CorruptFields,
+    DropEvents,
+    DuplicateEvents,
+    ReorderEvents,
+    Truncate,
+    inject,
+)
+from repro.resilience.repair import repair_trace
+from repro.resilience.validate import error_count, validate_trace
+from repro.trace.events import EventKind
+
+from tests.conftest import build_toy_doacross, build_toy_doall
+
+CONSTANTS = calibrate_analysis_constants(FX80, InstrumentationCosts())
+MEASURED = Executor(seed=99).run(build_toy_doacross(trips=24), PLAN_FULL).trace
+MEASURED_DOALL = Executor(seed=99).run(build_toy_doall(trips=32), PLAN_FULL).trace
+
+SYNC_KINDS = frozenset(
+    {EventKind.ADVANCE, EventKind.AWAIT_B, EventKind.AWAIT_E}
+)
+
+fractions = st.floats(min_value=0.01, max_value=1.0)
+threads = st.integers(min_value=0, max_value=7)
+
+faults = st.lists(
+    st.one_of(
+        st.builds(DropEvents, fraction=fractions,
+                  kinds=st.none() | st.just(SYNC_KINDS),
+                  thread=st.none() | threads),
+        st.builds(DuplicateEvents, fraction=fractions),
+        st.builds(ReorderEvents, fraction=fractions),
+        st.builds(ClockSkew, thread=threads,
+                  offset=st.integers(min_value=-2000, max_value=2000),
+                  drift=st.floats(min_value=0.0, max_value=0.3)),
+        st.builds(CorruptFields, fraction=fractions),
+        st.builds(Truncate, keep_fraction=st.floats(min_value=0.1, max_value=1.0)),
+    ),
+    min_size=1,
+    max_size=3,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32)
+
+
+@settings(max_examples=40, deadline=None)
+@given(faults, seeds)
+def test_repair_never_crashes_and_clears_errors(fault_list, seed):
+    broken = inject(MEASURED, fault_list, seed=seed)
+    result = repair_trace(broken)  # must not raise
+    assert error_count(validate_trace(result.trace)) == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(faults, seeds)
+def test_repair_never_increases_error_count(fault_list, seed):
+    broken = inject(MEASURED, fault_list, seed=seed)
+    before = error_count(validate_trace(broken))
+    for mode in ("repair", "skip"):
+        result = repair_trace(broken, mode=mode)
+        after = error_count(validate_trace(result.trace))
+        assert after <= before
+        assert after == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(faults, seeds)
+def test_degraded_analysis_fails_only_structurally(fault_list, seed):
+    """``policy="repair"`` returns a usable approximation or — when the
+    damage is total (empty trace, every thread quarantined) — raises the
+    library's structured :class:`AnalysisError`.  It never escapes with
+    an unstructured exception."""
+    broken = inject(MEASURED, fault_list, seed=seed)
+    try:
+        approx = event_based_approximation(broken, CONSTANTS, policy="repair")
+    except AnalysisError:
+        return
+    assert approx.total_time >= 0
+    assert approx.trace is not None
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=7),
+       st.floats(min_value=0.1, max_value=1.0), seeds)
+def test_uncorrupted_threads_unchanged_on_doall(thread, fraction, seed):
+    """DOALL iterations are independent between fork and join: losing one
+    worker's statement events must not move any other worker's
+    approximated times before the join barrier.  (After the join — and on
+    the master thread, which everyone forks from — times may legitimately
+    shift, because the corrupted thread's unsubtractable probe overhead
+    can make it the barrier straggler.)"""
+    clean = event_based_approximation(MEASURED_DOALL, CONSTANTS)
+    broken = inject(
+        MEASURED_DOALL,
+        [DropEvents(kinds=frozenset({EventKind.STMT}), thread=thread,
+                    fraction=fraction)],
+        seed=seed,
+    )
+    degraded = event_based_approximation(broken, CONSTANTS, policy="repair")
+    for t, view in MEASURED_DOALL.by_thread().items():
+        if t == thread or t == 0:
+            continue
+        for e in view:
+            if e.kind is EventKind.BARRIER_EXIT:
+                break  # joined: downstream times may shift legitimately
+            assert degraded.times.get(e.seq) == clean.times.get(e.seq), (
+                f"pre-join event seq={e.seq} on uncorrupted thread {t} moved"
+            )

@@ -1,0 +1,16 @@
+"""Shared fixtures for the resilience test package."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL
+
+from tests.conftest import build_toy_doacross
+
+
+@pytest.fixture(scope="module")
+def measured():
+    """A clean fully-instrumented doacross trace to corrupt."""
+    return Executor(seed=99).run(build_toy_doacross(trips=40), PLAN_FULL).trace

@@ -1,0 +1,150 @@
+"""Tests for the composable fault injectors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.inject import (
+    MISSING_TIME,
+    ClockSkew,
+    CorruptFields,
+    DropEvents,
+    DuplicateEvents,
+    ReorderEvents,
+    Truncate,
+    inject,
+)
+from repro.trace.events import EventKind
+
+
+def test_inject_is_deterministic(measured):
+    faults = [
+        DropEvents(fraction=0.1),
+        DuplicateEvents(fraction=0.1),
+        ReorderEvents(fraction=0.2),
+        CorruptFields(fraction=0.1),
+    ]
+    a = inject(measured, faults, seed=7)
+    b = inject(measured, faults, seed=7)
+    assert a.events == b.events
+
+
+def test_different_seeds_differ(measured):
+    faults = [DropEvents(fraction=0.5)]
+    a = inject(measured, faults, seed=1)
+    b = inject(measured, faults, seed=2)
+    assert a.events != b.events
+
+
+def test_inject_does_not_mutate_input(measured):
+    before = list(measured.events)
+    inject(measured, [DropEvents(fraction=0.5), DuplicateEvents(fraction=0.5)], seed=3)
+    assert measured.events == before
+
+
+def test_drop_by_kind(measured):
+    out = inject(measured, [DropEvents(kinds=frozenset({EventKind.ADVANCE}))])
+    assert not out.of_kind(EventKind.ADVANCE)
+    assert len(out) == len(measured) - len(measured.of_kind(EventKind.ADVANCE))
+
+
+def test_drop_by_thread_and_kind(measured):
+    out = inject(
+        measured,
+        [DropEvents(kinds=frozenset({EventKind.ADVANCE}), thread=2)],
+    )
+    remaining = out.of_kind(EventKind.ADVANCE)
+    assert remaining and all(e.thread != 2 for e in remaining)
+
+
+def test_drop_by_predicate(measured):
+    out = inject(measured, [DropEvents(predicate=lambda e: e.seq % 2 == 0)])
+    assert all(e.seq % 2 == 1 for e in out)
+
+
+def test_drop_fraction_partial(measured):
+    out = inject(measured, [DropEvents(fraction=0.5)], seed=11)
+    assert 0 < len(out) < len(measured)
+
+
+def test_duplicate_gets_fresh_seqs(measured):
+    out = inject(measured, [DuplicateEvents(fraction=0.2)], seed=5)
+    assert len(out) > len(measured)
+    seqs = [e.seq for e in out]
+    assert len(seqs) == len(set(seqs)), "duplicates must get fresh seqs"
+
+
+def test_reorder_swaps_same_thread_timestamps(measured):
+    out = inject(measured, [ReorderEvents(fraction=0.3)], seed=9)
+    # Same population of events (identities preserved), only times moved.
+    assert {e.seq for e in out} == {e.seq for e in measured}
+    times = {e.seq: e.time for e in measured}
+    moved = [e for e in out if e.time != times[e.seq]]
+    assert moved, "with fraction=0.3 some events should have moved"
+    # Multiset of per-thread timestamps is preserved: pure swaps.
+    for thread, view in measured.by_thread().items():
+        orig = sorted(e.time for e in view)
+        new = sorted(e.time for e in out if e.thread == thread)
+        assert new == orig
+
+
+def test_clock_skew_shifts_only_target_thread(measured):
+    out = inject(measured, [ClockSkew(thread=1, offset=500)])
+    times = {e.seq: e.time for e in measured}
+    for e in out:
+        if e.thread == 1:
+            assert e.time == times[e.seq] + 500
+        else:
+            assert e.time == times[e.seq]
+
+
+def test_clock_skew_drift_stretches(measured):
+    out = inject(measured, [ClockSkew(thread=0, drift=0.5)])
+    times = {e.seq: e.time for e in measured}
+    for e in out:
+        if e.thread == 0:
+            assert e.time == times[e.seq] + int(times[e.seq] * 0.5)
+
+
+def test_corrupt_fields_damages_sync_identity_or_time(measured):
+    out = inject(measured, [CorruptFields(fraction=1.0)], seed=13)
+    orig = {e.seq: e for e in measured}
+    damaged = 0
+    for e in out:
+        o = orig[e.seq]
+        if (e.sync_var, e.sync_index, e.time) != (o.sync_var, o.sync_index, o.time):
+            damaged += 1
+            assert (
+                (e.sync_var or "").endswith("?corrupt")
+                or (e.sync_index is not None and o.sync_index is not None
+                    and e.sync_index != o.sync_index)
+                or e.time == MISSING_TIME
+            )
+    assert damaged == len(measured)
+
+
+def test_truncate_keeps_prefix(measured):
+    out = inject(measured, [Truncate(keep_fraction=0.5)])
+    n = int(len(measured) * 0.5)
+    assert len(out) == n
+    assert out.events == measured.events[:n]
+
+
+def test_truncate_keep_events_takes_precedence(measured):
+    out = inject(measured, [Truncate(keep_fraction=0.9, keep_events=10)])
+    assert len(out) == 10
+
+
+def test_faults_compose_in_order(measured):
+    # Truncate-then-drop differs from drop-then-truncate on the same seed.
+    a = inject(measured, [Truncate(keep_events=50), DropEvents(fraction=0.5)], seed=4)
+    b = inject(measured, [DropEvents(fraction=0.5), Truncate(keep_events=50)], seed=4)
+    assert len(a) != len(b) or a.events != b.events
+
+
+def test_base_fault_is_abstract(measured):
+    from repro.resilience.inject import Fault
+    from repro.sim.rng import SplitMix64
+
+    with pytest.raises(NotImplementedError):
+        Fault().apply(measured, SplitMix64(0))

@@ -1,0 +1,95 @@
+"""Degradation-policy tests for the analysis entry points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    POLICIES,
+    check_policy,
+    event_based_approximation,
+    time_based_approximation,
+)
+from repro.analysis.approximation import AnalysisError
+from repro.resilience.inject import ClockSkew, CorruptFields, DropEvents, inject
+from repro.trace.events import EventKind
+
+
+def test_policies_tuple():
+    assert POLICIES == ("strict", "repair", "skip")
+    for p in POLICIES:
+        check_policy(p)
+
+
+def test_unknown_policy_rejected(measured, constants):
+    with pytest.raises(ValueError, match="unknown degradation policy"):
+        event_based_approximation(measured, constants, policy="lenient")
+    with pytest.raises(ValueError, match="unknown degradation policy"):
+        time_based_approximation(measured, constants, policy="lenient")
+
+
+def test_strict_is_default_and_raises(measured, constants):
+    broken = inject(measured, [DropEvents(kinds=frozenset({EventKind.ADVANCE}))])
+    with pytest.raises(AnalysisError):
+        event_based_approximation(broken, constants)
+
+
+def test_clean_trace_same_result_under_all_policies(measured, constants):
+    strict = event_based_approximation(measured, constants)
+    for policy in ("repair", "skip"):
+        degraded = event_based_approximation(measured, constants, policy=policy)
+        assert degraded.total_time == strict.total_time
+        assert degraded.times == strict.times
+        assert not degraded.repair_report
+
+
+def test_repair_policy_attaches_diagnostics_and_report(measured, constants):
+    broken = inject(
+        measured,
+        [DropEvents(kinds=frozenset({EventKind.ADVANCE}), thread=2)],
+        seed=1,
+    )
+    approx = event_based_approximation(broken, constants, policy="repair")
+    assert approx.total_time > 0
+    assert approx.diagnostics, "validation findings must be surfaced"
+    assert approx.repair_report
+    assert approx.repair_report.dropped_events > 0
+
+
+def test_skip_policy_survives_damage(measured, constants):
+    broken = inject(
+        measured,
+        [DropEvents(kinds=frozenset({EventKind.ADVANCE}), thread=2)],
+        seed=1,
+    )
+    approx = event_based_approximation(broken, constants, policy="skip")
+    assert approx.total_time > 0
+    assert approx.repair_report.synthesized_events == 0
+
+
+def test_time_based_policy_repairs_missing_times(measured, constants):
+    broken = inject(measured, [CorruptFields(fraction=0.3)], seed=6)
+    with_policy = time_based_approximation(broken, constants, policy="repair")
+    assert with_policy.total_time > 0
+    assert with_policy.repair_report
+
+
+def test_repair_policy_result_is_bracketed(measured, constants):
+    """Demotion treats the severed waits as plain computation, so the
+    degraded approximation is pessimistic — but it must stay between the
+    clean approximation and the raw measured total rather than collapsing
+    to nonsense."""
+    clean = event_based_approximation(measured, constants)
+    broken = inject(
+        measured,
+        [DropEvents(kinds=frozenset({EventKind.ADVANCE}), thread=2)],
+        seed=1,
+    )
+    approx = event_based_approximation(broken, constants, policy="repair")
+    assert clean.total_time <= approx.total_time <= measured.end_time
+
+
+def test_policy_handles_skewed_clock(measured, constants):
+    broken = inject(measured, [ClockSkew(thread=1, offset=2000)])
+    approx = event_based_approximation(broken, constants, policy="repair")
+    assert approx.total_time > 0

@@ -1,0 +1,188 @@
+"""Tests for best-effort trace repair."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.inject import (
+    CorruptFields,
+    DropEvents,
+    DuplicateEvents,
+    ReorderEvents,
+    inject,
+)
+from repro.resilience.repair import RepairReport, quarantine_threads, repair_trace
+from repro.resilience.validate import error_count, validate_trace
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.order import verify_causality
+from repro.trace.trace import Trace
+
+
+def test_clean_trace_untouched(measured):
+    result = repair_trace(measured)
+    assert not result.report
+    assert result.trace.events == measured.events
+    assert "repaired" not in result.trace.meta
+    assert result.report.summary() == "repair: trace was clean, nothing changed"
+
+
+def test_unknown_mode_rejected(measured):
+    with pytest.raises(ValueError, match="unknown repair mode"):
+        repair_trace(measured, mode="strict")
+
+
+@pytest.mark.parametrize(
+    "faults, seed, causal",
+    [
+        ([DropEvents(kinds=frozenset({EventKind.ADVANCE}), thread=2)], 1, True),
+        ([DropEvents(kinds=frozenset({EventKind.AWAIT_B}))], 2, True),
+        ([DropEvents(kinds=frozenset({EventKind.AWAIT_E}))], 3, True),
+        ([DuplicateEvents(fraction=0.3)], 4, True),
+        # Timestamp faults: repair restores per-thread order and structure
+        # but deliberately never re-times cross-thread sync edges, so
+        # causality over the measured clock may stay violated — the
+        # event-based resolver re-derives those times anyway.
+        ([ReorderEvents(fraction=0.3)], 5, False),
+        ([CorruptFields(fraction=0.2)], 6, False),
+        ([DropEvents(fraction=0.1), DuplicateEvents(fraction=0.1),
+          CorruptFields(fraction=0.1)], 7, False),
+    ],
+    ids=["drop-advances", "drop-awaitB", "drop-awaitE", "duplicate",
+         "reorder", "corrupt", "combined"],
+)
+def test_repair_clears_all_errors(measured, faults, seed, causal):
+    broken = inject(measured, faults, seed=seed)
+    assert error_count(validate_trace(broken)) > 0 or broken.events != measured.events
+    result = repair_trace(broken)
+    assert error_count(validate_trace(result.trace)) == 0
+    if causal:
+        verify_causality(result.trace)
+    assert result.trace.meta["repaired"] == "repair"
+
+
+def test_repair_is_idempotent(measured):
+    broken = inject(measured, [DropEvents(fraction=0.15)], seed=8)
+    once = repair_trace(broken)
+    twice = repair_trace(once.trace)
+    assert twice.trace.events == once.trace.events
+    assert not twice.report.actions
+
+
+def test_report_counts_are_consistent(measured):
+    broken = inject(
+        measured,
+        [DropEvents(kinds=frozenset({EventKind.ADVANCE}), thread=2)],
+        seed=1,
+    )
+    result = repair_trace(broken)
+    report = result.report
+    assert report
+    assert report.dropped_events == len(broken) - len(result.trace) + report.synthesized_events
+    assert report.dropped_events == sum(
+        a.n_events for a in report.actions if a.code.startswith(("dropped", "demoted", "dedup"))
+    )
+
+
+def test_demoted_await_keeps_other_threads(measured):
+    broken = inject(
+        measured,
+        [DropEvents(kinds=frozenset({EventKind.ADVANCE}), thread=2)],
+        seed=1,
+    )
+    result = repair_trace(broken)
+    assert {a.code for a in result.report.actions} == {"demoted-await"}
+    # Demotion drops pairs, never whole threads.
+    assert set(result.trace.threads) == set(measured.threads)
+
+
+def test_missing_timestamps_interpolated(measured):
+    e = measured.events[len(measured) // 2]
+    holed = Trace(
+        [ev if ev.seq != e.seq else ev.with_time(-1) for ev in measured],
+        dict(measured.meta),
+    )
+    result = repair_trace(holed)
+    codes = {a.code for a in result.report.actions}
+    assert "interpolated-timestamp" in codes
+    fixed = next(ev for ev in result.trace if ev.seq == e.seq)
+    assert fixed.time >= 0
+    assert result.report.retimed_events >= 1
+
+
+def test_skip_mode_quarantines_instead_of_interpolating(measured):
+    e = measured.events[len(measured) // 2]
+    holed = Trace(
+        [ev if ev.seq != e.seq else ev.with_time(-1) for ev in measured],
+        dict(measured.meta),
+    )
+    result = repair_trace(holed, mode="skip")
+    assert e.thread in result.report.quarantined_threads
+    assert all(ev.thread != e.thread for ev in result.trace)
+
+
+def test_skip_mode_never_synthesizes(measured):
+    broken = inject(measured, [DropEvents(kinds=frozenset({EventKind.AWAIT_B}))])
+    result = repair_trace(broken, mode="skip")
+    assert result.report.synthesized_events == 0
+    assert error_count(validate_trace(result.trace)) == 0
+
+
+def test_repair_synthesizes_awaitB_for_orphan_awaitE(measured):
+    broken = inject(
+        measured, [DropEvents(kinds=frozenset({EventKind.AWAIT_B}), thread=3)]
+    )
+    result = repair_trace(broken)
+    codes = {a.code for a in result.report.actions}
+    assert "synthesized-awaitB" in codes
+    assert result.report.synthesized_events > 0
+    assert error_count(validate_trace(result.trace)) == 0
+
+
+def test_clock_regressions_clamped(measured):
+    broken = inject(measured, [ReorderEvents(fraction=0.4)], seed=5)
+    result = repair_trace(broken)
+    # Per-thread recording order and clock agree again.
+    for view in result.trace.by_thread().values():
+        evs = sorted(view.events, key=lambda e: e.seq)
+        assert all(a.time <= b.time for a, b in zip(evs, evs[1:]))
+
+
+def test_incomplete_lock_triples_dropped():
+    evs = [
+        TraceEvent(time=0, thread=0, kind=EventKind.LOCK_REQ, seq=0,
+                   sync_var="L", sync_index=0, overhead=10),
+        TraceEvent(time=5, thread=0, kind=EventKind.LOCK_ACQ, seq=1,
+                   sync_var="L", sync_index=0, overhead=10),
+        TraceEvent(time=9, thread=0, kind=EventKind.STMT, seq=2),
+    ]
+    result = repair_trace(Trace(evs, {}))
+    assert [e.kind for e in result.trace] == [EventKind.STMT]
+    assert any(a.code == "dropped-incomplete-lock-use"
+               for a in result.report.actions)
+
+
+def test_quarantine_threads_demotes_cross_thread_awaits(measured):
+    report = RepairReport()
+    result = quarantine_threads(measured, [2], report)
+    assert 2 in report.quarantined_threads
+    assert all(e.thread != 2 for e in result.trace)
+    # Awaits whose enabling advance lived on thread 2 are demoted away.
+    assert error_count(validate_trace(result.trace)) == 0
+    verify_causality(result.trace)
+
+
+def test_quarantine_empty_set_is_noop(measured):
+    result = quarantine_threads(measured, [])
+    assert result.trace.events == measured.events
+
+
+def test_repair_never_raises_on_garbage():
+    evs = [
+        TraceEvent(time=-1, thread=0, kind=EventKind.ADVANCE, seq=0),
+        TraceEvent(time=-1, thread=0, kind=EventKind.AWAIT_E, seq=1,
+                   sync_var="X", sync_index=4),
+        TraceEvent(time=3, thread=1, kind=EventKind.BARRIER_EXIT, seq=2,
+                   sync_var="bar", sync_index=0),
+    ]
+    result = repair_trace(Trace(evs, {}))
+    assert error_count(validate_trace(result.trace)) == 0

@@ -13,6 +13,7 @@ from repro.sim.engine import (
     Signal,
     SimulationDeadlock,
     SimulationError,
+    SimulationTimeout,
     Timeout,
 )
 
@@ -244,9 +245,101 @@ def test_deadlock_detected():
     def stuck():
         yield sig
 
-    eng.process(stuck())
-    with pytest.raises(SimulationDeadlock):
+    eng.process(stuck(), name="stuck-proc")
+    with pytest.raises(SimulationDeadlock) as exc:
         eng.run()
+    # The dump names every blocked process and the signal it waits on.
+    assert "stuck-proc" in str(exc.value)
+    assert "signal 'never'" in str(exc.value)
+    blocked = exc.value.blocked
+    assert len(blocked) == 1
+    proc, effect = blocked[0]
+    assert proc.name == "stuck-proc" and effect is sig
+
+
+def test_deadlock_dump_lists_all_blocked_processes():
+    eng = Engine()
+    a, b = Signal("sig-a"), Signal("sig-b")
+
+    def waiter(sig):
+        yield sig
+
+    eng.process(waiter(a), name="first")
+    eng.process(waiter(b), name="second")
+    with pytest.raises(SimulationDeadlock) as exc:
+        eng.run()
+    msg = str(exc.value)
+    assert "first" in msg and "sig-a" in msg
+    assert "second" in msg and "sig-b" in msg
+
+
+def test_deadlock_dump_names_awaited_process():
+    eng = Engine()
+    sig = Signal("never")
+
+    def child():
+        yield sig
+
+    def parent():
+        yield eng.process(child(), name="blocked-child")
+
+    eng.process(parent(), name="the-parent")
+    with pytest.raises(SimulationDeadlock) as exc:
+        eng.run()
+    assert "process 'blocked-child'" in str(exc.value)
+
+
+def test_max_cycles_timeout_on_livelock():
+    eng = Engine()
+
+    def spinner():
+        while True:
+            yield Timeout(10)
+
+    eng.process(spinner(), name="spinner")
+    with pytest.raises(SimulationTimeout) as exc:
+        eng.run(max_cycles=1000)
+    assert "max_cycles=1000" in str(exc.value)
+    assert "spinner" in str(exc.value)  # names at least one blocked process
+    assert eng.now <= 1000
+
+
+def test_max_events_timeout_on_zero_delay_livelock():
+    eng = Engine()
+
+    def zero_spinner():
+        while True:
+            yield Timeout(0)  # livelock that never advances the clock
+
+    eng.process(zero_spinner(), name="zero-spinner")
+    with pytest.raises(SimulationTimeout) as exc:
+        eng.run(max_events=500)
+    assert "max_events=500" in str(exc.value)
+    assert "zero-spinner" in str(exc.value)
+    assert eng.now == 0
+
+
+def test_budgets_do_not_fire_on_completing_workload():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(5)
+        return eng.now
+
+    p = eng.process(proc())
+    assert eng.run(max_cycles=100, max_events=100) == 5
+    assert p.result == 5
+
+
+def test_blocked_processes_empty_after_clean_run():
+    eng = Engine()
+
+    def proc():
+        yield Timeout(1)
+
+    eng.process(proc())
+    eng.run()
+    assert eng.blocked_processes() == []
 
 
 def test_run_until_stops_at_time():

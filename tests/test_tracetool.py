@@ -109,6 +109,83 @@ def test_missing_file_errors(capsys):
     assert "error" in capsys.readouterr().err
 
 
+def test_inject_then_validate_then_repair_roundtrip(trace_file, tmp_path, capsys):
+    corrupt = str(tmp_path / "corrupt.trace")
+    repaired = str(tmp_path / "repaired.trace")
+
+    assert main([
+        "inject", trace_file, "-o", corrupt,
+        "--drop-kinds", "advance", "--drop-thread", "2", "--seed", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "injected 1 fault(s) with seed 5" in out
+
+    assert main(["validate", corrupt]) == 1
+    assert "FAIL" in capsys.readouterr().out
+
+    assert main(["repair", corrupt, "-o", repaired]) == 0
+    out = capsys.readouterr().out
+    assert "repair action" in out
+    assert "demoted-await" in out
+
+    assert main(["validate", repaired]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_inject_is_deterministic_cli(trace_file, tmp_path, capsys):
+    a, b = str(tmp_path / "a.trace"), str(tmp_path / "b.trace")
+    args = ["--drop-fraction", "0.5", "--duplicate-fraction", "0.2", "--seed", "9"]
+    assert main(["inject", trace_file, "-o", a] + args) == 0
+    assert main(["inject", trace_file, "-o", b] + args) == 0
+    capsys.readouterr()
+    content_a = open(a).read().splitlines()[1:]
+    content_b = open(b).read().splitlines()[1:]
+    assert content_a == content_b
+
+
+def test_inject_without_faults_errors(trace_file, tmp_path, capsys):
+    out = str(tmp_path / "o.trace")
+    assert main(["inject", trace_file, "-o", out]) == 2
+    assert "no faults requested" in capsys.readouterr().err
+
+
+def test_inject_skew_and_truncate(trace_file, tmp_path, capsys):
+    out = str(tmp_path / "skewed.trace")
+    assert main([
+        "inject", trace_file, "-o", out,
+        "--skew", "1", "750", "--truncate-fraction", "0.8",
+    ]) == 0
+    assert "injected 2 fault(s)" in capsys.readouterr().out
+
+
+def test_repair_skip_mode(trace_file, tmp_path, capsys):
+    corrupt = str(tmp_path / "corrupt.trace")
+    repaired = str(tmp_path / "skipped.trace")
+    assert main([
+        "inject", trace_file, "-o", corrupt, "--drop-kinds", "awaitB",
+    ]) == 0
+    assert main(["repair", corrupt, "-o", repaired, "--mode", "skip"]) == 0
+    out = capsys.readouterr().out
+    assert "0 synthesized" in out
+
+
+def test_analyze_policy_repair_on_corrupt_trace(trace_file, tmp_path, capsys):
+    corrupt = str(tmp_path / "corrupt.trace")
+    assert main([
+        "inject", trace_file, "-o", corrupt,
+        "--drop-kinds", "advance", "--drop-thread", "2",
+    ]) == 0
+    capsys.readouterr()
+    # Strict analysis refuses...
+    assert main(["analyze", corrupt]) == 2
+    assert "error" in capsys.readouterr().err
+    # ... the repair policy analyzes and reports the degradation.
+    assert main(["analyze", corrupt, "--policy", "repair"]) == 0
+    out = capsys.readouterr().out
+    assert "degraded analysis (repair)" in out
+    assert "approximated actual" in out
+
+
 def test_analyze_cost_scale_flag(trace_file, capsys):
     assert main(["analyze", trace_file, "--cost-scale", "0.5"]) == 0
     out_half = capsys.readouterr().out

@@ -7,7 +7,7 @@ import io
 import pytest
 
 from repro.trace.events import EventKind, TraceEvent
-from repro.trace.io import read_trace, write_trace
+from repro.trace.io import TruncatedTraceError, read_trace, write_trace
 from repro.trace.trace import Trace, TraceError
 
 
@@ -97,6 +97,91 @@ def test_blank_lines_ignored_but_count_checked(tmp_path):
     path.write_text(content)
     back = read_trace(path)
     assert len(back) == len(tr)
+
+
+def test_truncated_final_line_reports_counts():
+    tr = sample_trace()
+    buf = io.StringIO()
+    write_trace(tr, buf)
+    torn = buf.getvalue()[:-20]  # tear the last event line mid-JSON
+    with pytest.raises(TruncatedTraceError) as exc:
+        read_trace(io.StringIO(torn))
+    err = exc.value
+    assert err.declared == 2
+    assert err.parsed == 1
+    assert err.lineno == 3
+    assert "declares 2 events" in str(err)
+    assert "1 parsed" in str(err)
+
+
+def test_tolerate_truncation_returns_prefix_on_torn_line():
+    tr = sample_trace()
+    buf = io.StringIO()
+    write_trace(tr, buf)
+    torn = buf.getvalue()[:-20]
+    back = read_trace(io.StringIO(torn), tolerate_truncation=True)
+    assert len(back) == 1
+    assert back.events[0] == tr.events[0]
+    assert back.meta["truncated"] is True
+
+
+def test_tolerate_truncation_returns_prefix_on_missing_lines():
+    tr = sample_trace()
+    buf = io.StringIO()
+    write_trace(tr, buf)
+    lines = buf.getvalue().splitlines()
+    cut = "\n".join(lines[:-1]) + "\n"  # whole final line gone
+    back = read_trace(io.StringIO(cut), tolerate_truncation=True)
+    assert len(back) == 1
+    assert back.meta["truncated"] is True
+
+
+def test_tolerate_truncation_does_not_mask_midfile_corruption():
+    tr = sample_trace()
+    buf = io.StringIO()
+    write_trace(tr, buf)
+    lines = buf.getvalue().splitlines()
+    lines[1] = '{"mangled'  # bad line with a good line after it
+    with pytest.raises(TraceError, match="bad event on line 2"):
+        read_trace(io.StringIO("\n".join(lines) + "\n"), tolerate_truncation=True)
+
+
+def test_tolerate_truncation_does_not_mask_excess_events():
+    tr = sample_trace()
+    buf = io.StringIO()
+    write_trace(tr, buf)
+    lines = buf.getvalue().splitlines()
+    duplicated = "\n".join(lines + [lines[-1]]) + "\n"
+    with pytest.raises(TraceError, match="declares 2 events, found 3"):
+        read_trace(io.StringIO(duplicated), tolerate_truncation=True)
+
+
+def test_atomic_write_leaves_no_tmp_sibling(tmp_path):
+    tr = sample_trace()
+    path = tmp_path / "t.trace"
+    write_trace(tr, path)
+    assert path.exists()
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_atomic_write_preserves_old_file_on_failure(tmp_path):
+    path = tmp_path / "t.trace"
+    write_trace(sample_trace(), path)
+    original = path.read_text()
+
+    class Bomb:
+        """Metadata that explodes during serialization, mid-write."""
+
+        def __iter__(self):  # pragma: no cover - never called
+            return iter(())
+
+    bad = Trace(sample_trace().events, meta={"bomb": Bomb()})
+    with pytest.raises(TypeError):
+        write_trace(bad, path)
+    # The destination still holds the previous complete trace and the
+    # aborted temp file is cleaned up.
+    assert path.read_text() == original
+    assert list(tmp_path.glob("*.tmp")) == []
 
 
 def test_executor_trace_roundtrips(tmp_path, executor, toy_doacross, plans):
