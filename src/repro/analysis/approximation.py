@@ -84,8 +84,29 @@ def build_approx_trace(
     """Re-time measured events with approximated times.
 
     Events keep their seq identity; overheads are zeroed (the approximated
-    execution is uninstrumented by definition).
+    execution is uninstrumented by definition).  When the measured trace
+    already has its columnar form realized, the re-timing is a column swap
+    (no event objects are created) and the result is columnar-backed.
     """
+    if measured.has_columns:
+        from repro.trace import columnar as _columnar
+
+        np = _columnar.np
+        cols = measured.columns
+        try:
+            new_times = [times[s] for s in cols.seq.tolist()]
+        except KeyError as exc:
+            raise AnalysisError(
+                f"no approximated time for event seq {exc.args[0]}"
+            ) from None
+        new_cols = cols.replace(
+            time=np.asarray(new_times, dtype=np.int64),
+            overhead=np.zeros(len(cols), dtype=np.int64),
+        )
+        meta = dict(measured.meta)
+        meta["kind"] = "approximated"
+        meta["method"] = method
+        return Trace.from_columns(new_cols, meta)
     re_timed = []
     for e in measured.events:
         if e.seq not in times:

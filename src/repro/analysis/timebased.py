@@ -26,14 +26,77 @@ from repro.analysis.approximation import (
     build_approx_trace,
     check_policy,
 )
-from repro.instrument.costs import AnalysisConstants
+from repro.instrument.costs import AnalysisConstants, InstrumentationCosts
 from repro.resilience.repair import RepairReport, repair_trace
 from repro.resilience.validate import Diagnostic, validate_trace
+from repro.trace import columnar as _columnar
 from repro.trace.trace import Trace
+
+#: Analysis backends accepted by :func:`time_based_approximation`.
+BACKENDS = ("auto", "columnar", "object")
+
+
+def _per_event_times(measured: Trace, costs: InstrumentationCosts) -> dict[int, int]:
+    """Reference implementation: per-event Python loop over thread views.
+
+    Kept as the numpy-free fallback and as the baseline the columnar
+    benchmark (``benchmarks/bench_columnar.py``) compares against; the
+    vectorized path must reproduce it value-for-value.
+    """
+    times: dict[int, int] = {}
+    for view in measured.by_thread().values():
+        prev_tm: Optional[int] = None
+        prev_ta: Optional[int] = None
+        for e in view:
+            overhead = costs.overhead_for(e.kind)
+            if prev_tm is None:
+                ta = e.time - overhead
+            else:
+                ta = prev_ta + (e.time - prev_tm) - overhead
+            # Overhead mis-calibration (an ablation input) could drive an
+            # interval negative; clamp to preserve thread order.
+            if prev_ta is not None and ta < prev_ta:
+                ta = prev_ta
+            if ta < 0:
+                ta = 0
+            times[e.seq] = ta
+            prev_tm, prev_ta = e.time, ta
+    return times
+
+
+def _vectorized_times(measured: Trace, costs: InstrumentationCosts) -> dict[int, int]:
+    """Columnar implementation: per-thread cumulative sums, no event loop.
+
+    Along one thread the recurrence ``t_a(e_k) = t_a(e_{k-1}) +
+    max(0, Δt_m - overhead_k)`` (with ``t_a(e_1) = max(0, t_m(e_1) -
+    overhead_1)``) is exactly the loop in :func:`_per_event_times` — the
+    clamp-to-previous rule is the same as clipping each interval at zero —
+    so the whole thread reduces to one ``cumsum`` over clipped deltas.
+    """
+    np = _columnar.np
+    cols = measured.columns
+    per_kind = _columnar.overhead_table(costs)
+    overhead = per_kind[cols.kind]
+    ta_all = np.empty(len(cols), dtype=np.int64)
+    for _tid, idx in zip(*cols.thread_order()):
+        tm = cols.time[idx]
+        ov = overhead[idx]
+        deltas = np.empty(len(idx), dtype=np.int64)
+        deltas[0] = max(0, int(tm[0]) - int(ov[0]))
+        if len(idx) > 1:
+            np.subtract(tm[1:], tm[:-1], out=deltas[1:])
+            deltas[1:] -= ov[1:]
+            np.maximum(deltas[1:], 0, out=deltas[1:])
+        ta_all[idx] = np.cumsum(deltas)
+    return dict(zip(cols.seq.tolist(), ta_all.tolist()))
 
 
 def time_based_approximation(
-    measured: Trace, constants: AnalysisConstants, policy: str = "strict"
+    measured: Trace,
+    constants: AnalysisConstants,
+    policy: str = "strict",
+    *,
+    backend: str = "auto",
 ) -> Approximation:
     """Apply the time-based model to a measured trace.
 
@@ -53,39 +116,36 @@ def time_based_approximation(
     mend/drop damage (missing timestamps, clock regressions, broken sync
     structure) via :mod:`repro.resilience`, attaching diagnostics and the
     repair report to the result.
+
+    ``backend``: ``"columnar"`` runs the vectorized per-thread cumsum over
+    ``measured.columns``; ``"object"`` runs the per-event reference loop;
+    ``"auto"`` (default) picks columnar whenever numpy is available.  The
+    two produce identical results (property-tested); the knob exists for
+    the regression benchmark and numpy-free environments.
     """
     check_policy(policy)
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown analysis backend {backend!r}; expected one of {BACKENDS}"
+        )
     diagnostics: list[Diagnostic] = []
     report: Optional[RepairReport] = None
     if policy != "strict":
         diagnostics = validate_trace(measured)
         result = repair_trace(measured, mode=policy)
         measured, report = result.trace, result.report
-    if not measured.events:
+    if not len(measured):
         raise AnalysisError("cannot analyze an empty trace")
     if not measured.meta.get("instrumented", True):
         raise AnalysisError(
             "trace is not a measured (instrumented) trace; nothing to remove"
         )
-    costs = constants.costs
-    times: dict[int, int] = {}
-    for view in measured.by_thread().values():
-        prev_tm: Optional[int] = None
-        prev_ta: Optional[int] = None
-        for e in view:
-            overhead = costs.overhead_for(e.kind)
-            if prev_tm is None:
-                ta = e.time - overhead
-            else:
-                ta = prev_ta + (e.time - prev_tm) - overhead
-            # Overhead mis-calibration (an ablation input) could drive an
-            # interval negative; clamp to preserve thread order.
-            if prev_ta is not None and ta < prev_ta:
-                ta = prev_ta
-            if ta < 0:
-                ta = 0
-            times[e.seq] = ta
-            prev_tm, prev_ta = e.time, ta
+    if backend == "auto":
+        backend = "columnar" if _columnar.HAVE_NUMPY else "object"
+    if backend == "columnar":
+        times = _vectorized_times(measured, constants.costs)
+    else:
+        times = _per_event_times(measured, constants.costs)
     total = max(times.values())
     return Approximation(
         trace=build_approx_trace(measured, times, "time-based"),

@@ -269,8 +269,144 @@ def validate_events(events: Iterable[TraceEvent], *,
     return v.finish()
 
 
+def _columns_provably_clean(trace: Trace) -> bool:
+    """Vectorized all-clear screen over the columnar backend.
+
+    Returns True only when column-level checks *prove* the streaming
+    validator would emit zero diagnostics (of any severity): timestamps
+    present, clocks monotonic per thread, every sync event carrying its
+    identity, advance/await/lock/semaphore pairing exactly complete and
+    duplicate-free, every advance awaited, barrier generations balanced,
+    and semaphore capacities declared when semaphores appear.  Any doubt
+    returns False and the caller falls back to the streaming walk for
+    exact per-event diagnostics.
+    """
+    from repro.trace import columnar as _c
+
+    np = _c.np
+    cols = trace.columns
+    n = len(cols)
+    if n == 0:
+        return True
+    if bool(np.any(cols.time < 0)):
+        return False
+    # validate_trace feeds events in total (time, seq) order, so global
+    # monotonicity implies per-thread monotonicity; normalized traces are
+    # sorted, making this a cheap certain check.
+    if bool(np.any(np.diff(cols.time) < 0)):
+        return False
+
+    def keys_of(mask):
+        """(sync_var idx, sync_index) rows as a lexsorted 2-column array."""
+        v, i = cols.sync_var[mask], cols.sync_index[mask]
+        order = np.lexsort((i, v))
+        return np.stack([v[order], i[order]], axis=1), np.flatnonzero(mask)[order]
+
+    def has_duplicates(sorted_keys):
+        if len(sorted_keys) < 2:
+            return False
+        return bool(np.any(np.all(sorted_keys[1:] == sorted_keys[:-1], axis=1)))
+
+    sync_mask = _c.kind_code_mask(
+        cols.kind, EventKind.ADVANCE, EventKind.AWAIT_B, EventKind.AWAIT_E,
+        *_LOCK_ROLES, *_SEM_ROLES,
+    )
+    if bool(np.any(sync_mask)):
+        if bool(np.any(cols.sync_var[sync_mask] < 0)):
+            return False
+        if bool(np.any(cols.sync_index[sync_mask] == _c.NONE_SENTINEL)):
+            return False
+
+    adv_keys, _ = keys_of(cols.kind == _c.KIND_CODE[EventKind.ADVANCE])
+    awb_keys, awb_pos = keys_of(cols.kind == _c.KIND_CODE[EventKind.AWAIT_B])
+    awe_keys, awe_pos = keys_of(cols.kind == _c.KIND_CODE[EventKind.AWAIT_E])
+    if has_duplicates(adv_keys) or has_duplicates(awb_keys) or has_duplicates(awe_keys):
+        return False
+    # Every awaitE pairs with an awaitB of the same key, opened earlier.
+    if len(awb_keys) != len(awe_keys) or not np.array_equal(awb_keys, awe_keys):
+        return False
+    if bool(np.any(awe_pos < awb_pos)):
+        return False
+    if len(awe_keys) and bool(
+        np.any(cols.time[awe_pos] < cols.time[awb_pos])
+    ):
+        return False  # await-ends-before-begin
+    # Advances and awaits must cover each other exactly: an unawaited
+    # advance is an INFO diagnostic, an unadvanced await (non-negative
+    # index) an ERROR.  Negative-index awaits (DOACROSS prologue) need no
+    # producer but would still flag any matching advance as unawaited
+    # unless present, so exact set logic mirrors the validator's.
+    nonneg = awb_keys[:, 1] >= 0 if len(awb_keys) else awb_keys[:, :0]
+    wanted = awb_keys[nonneg] if len(awb_keys) else awb_keys
+    if len(adv_keys) != len(wanted) or not np.array_equal(adv_keys, wanted):
+        return False
+
+    for roles in (_LOCK_ROLES, _SEM_ROLES):
+        role_keys = []
+        for kind in roles:
+            keys, _pos = keys_of(cols.kind == _c.KIND_CODE[kind])
+            if has_duplicates(keys):
+                return False
+            role_keys.append(keys)
+        first = role_keys[0]
+        for other in role_keys[1:]:
+            if len(other) != len(first) or not np.array_equal(other, first):
+                return False
+    sem_mask = _c.kind_code_mask(cols.kind, *_SEM_ROLES)
+    if bool(np.any(sem_mask)) and not trace.meta.get("semaphores"):
+        return False
+
+    arrive = cols.kind == _c.KIND_CODE[EventKind.BARRIER_ARRIVE]
+    exit_ = cols.kind == _c.KIND_CODE[EventKind.BARRIER_EXIT]
+    if bool(np.any(arrive)) or bool(np.any(exit_)):
+        # Barrier keys apply `or`-style defaulting: missing/empty var ->
+        # "barrier", missing sync_index -> generation 0.
+        def barrier_keys(mask):
+            v = cols.sync_var[mask].copy()
+            i = cols.sync_index[mask].copy()
+            empty = np.array(
+                [idx for idx, s in enumerate(cols.sync_var_table) if not s],
+                dtype=np.int64,
+            )
+            if len(empty):
+                v[np.isin(v, empty)] = -1
+            i[i == _c.NONE_SENTINEL] = 0
+            order = np.lexsort((i, v))
+            return np.stack([v[order], i[order]], axis=1)
+
+        def group_counts(sorted_keys):
+            if len(sorted_keys) == 0:
+                return sorted_keys, np.array([], dtype=np.int64)
+            new = np.ones(len(sorted_keys), dtype=bool)
+            new[1:] = np.any(sorted_keys[1:] != sorted_keys[:-1], axis=1)
+            starts = np.flatnonzero(new)
+            counts = np.diff(np.append(starts, len(sorted_keys)))
+            return sorted_keys[starts], counts
+
+        a_uniq, a_counts = group_counts(barrier_keys(arrive))
+        e_uniq, e_counts = group_counts(barrier_keys(exit_))
+        # Clean: every generation has arrivals AND exits, exits <= arrivals.
+        if len(a_uniq) != len(e_uniq) or not np.array_equal(a_uniq, e_uniq):
+            return False
+        if bool(np.any(e_counts > a_counts)):
+            return False
+    return True
+
+
 def validate_trace(trace: Trace) -> list[Diagnostic]:
-    """Validate an in-memory trace (events fed in total order)."""
+    """Validate an in-memory trace (events fed in total order).
+
+    Fast path: when the trace's columnar form is already realized (e.g.
+    it was loaded from a packed ``.rpt`` file), a vectorized screen over
+    the columns proves the common all-clean case without materializing a
+    single event object; only traces the screen cannot certify fall
+    through to the exact streaming walk.
+    """
+    from repro.trace import columnar as _c
+
+    if _c.HAVE_NUMPY and trace.has_columns:
+        if _columns_provably_clean(trace):
+            return []
     return validate_events(
         trace.events, sem_capacities=trace.meta.get("semaphores"),
     )

@@ -7,8 +7,17 @@ reflects the perturbed execution.  Perturbation analysis
 (:mod:`repro.analysis`) maps τ_m to an *approximated* trace τ_a.
 """
 
-from repro.trace.events import EventKind, TraceEvent, SYNC_KINDS, is_sync_kind
+from repro.trace.events import (
+    EventKind,
+    TraceEvent,
+    SYNC_KINDS,
+    KIND_LIST,
+    KIND_CODE,
+    is_sync_kind,
+    kind_from_value,
+)
 from repro.trace.trace import Trace, ThreadView, TraceError
+from repro.trace.columnar import HAVE_NUMPY, NONE_SENTINEL, StringTable, TraceColumns
 from repro.trace.order import (
     happened_before_pairs,
     sync_partial_order,
@@ -22,7 +31,14 @@ __all__ = [
     "EventKind",
     "TraceEvent",
     "SYNC_KINDS",
+    "KIND_LIST",
+    "KIND_CODE",
     "is_sync_kind",
+    "kind_from_value",
+    "HAVE_NUMPY",
+    "NONE_SENTINEL",
+    "StringTable",
+    "TraceColumns",
     "Trace",
     "ThreadView",
     "TraceError",

@@ -1,0 +1,159 @@
+"""Packed binary trace files (``.rpt``, trace format v2).
+
+Layout::
+
+    bytes 0..7    magic  b"RPTRACE2"
+    bytes 8..15   little-endian uint64: JSON header length H
+    bytes 16..16+H  UTF-8 JSON header:
+                    {"format": "repro-trace", "version": 2,
+                     "meta": {...}, "n_events": N,
+                     "columns": [...], "sync_var_table": [...],
+                     "label_table": [...]}
+    then, per column named in "columns", N little-endian int64 values.
+
+The column buffers are the :class:`~repro.trace.columnar.TraceColumns`
+arrays written verbatim, so loading is ``np.frombuffer`` per column — no
+per-event parsing at all.  That is what buys the ~10x+ load speedup over
+JSONL on million-event traces; JSONL remains the diffable, stream-editable
+interchange format (see :mod:`repro.trace.io`, which auto-detects both).
+
+Writes are atomic exactly like JSONL writes: data goes to a ``.tmp``
+sibling that is fsynced and renamed over the destination.  A short file
+(external damage; our own writes can't produce one) raises
+:class:`~repro.trace.io.TruncatedTraceError`; ``tolerate_truncation=True``
+recovers the longest prefix of complete rows present in every column.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+from pathlib import Path
+from typing import IO, Union
+
+from repro.trace import columnar as _columnar
+from repro.trace.columnar import COLUMN_NAMES, TraceColumns
+from repro.trace.trace import Trace, TraceError
+
+MAGIC = b"RPTRACE2"
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 2
+
+_ITEMSIZE = 8  # int64
+
+
+def write_trace_binary(trace: Trace, path: Union[str, Path, IO[bytes]]) -> None:
+    """Write ``trace`` as a packed ``.rpt`` file (path or binary handle)."""
+    _columnar._require_numpy()
+    if hasattr(path, "write"):
+        _write_stream(trace, path)  # type: ignore[arg-type]
+        return
+    target = Path(path)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with open(tmp, "wb") as fh:
+            _write_stream(trace, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+
+
+def _write_stream(trace: Trace, fh: IO[bytes]) -> None:
+    cols = trace.columns
+    header = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "meta": trace.meta,
+        "n_events": len(cols),
+        "columns": list(COLUMN_NAMES),
+        "sync_var_table": list(cols.sync_var_table),
+        "label_table": list(cols.label_table),
+    }
+    blob = json.dumps(header, sort_keys=True).encode("utf-8")
+    fh.write(MAGIC)
+    fh.write(struct.pack("<Q", len(blob)))
+    fh.write(blob)
+    for name in COLUMN_NAMES:
+        col = getattr(cols, name)
+        if col.dtype.byteorder not in ("<", "=", "|"):  # pragma: no cover
+            col = col.astype("<i8")
+        fh.write(col.tobytes())
+
+
+def read_trace_binary(
+    path: Union[str, Path, IO[bytes]], *, tolerate_truncation: bool = False
+) -> Trace:
+    """Read a packed ``.rpt`` trace (path or binary handle)."""
+    _columnar._require_numpy()
+    if hasattr(path, "read"):
+        return _read_stream(path, tolerate_truncation)  # type: ignore[arg-type]
+    with open(path, "rb") as fh:
+        return _read_stream(fh, tolerate_truncation)
+
+
+def _read_stream(fh: IO[bytes], tolerate_truncation: bool) -> Trace:
+    from repro.trace.io import TruncatedTraceError  # local: io imports us too
+
+    np = _columnar.np
+    magic = fh.read(len(MAGIC))
+    if magic != MAGIC:
+        raise TraceError(
+            f"not a packed {FORMAT_NAME} file (magic={magic!r})"
+        )
+    raw_len = fh.read(8)
+    if len(raw_len) != 8:
+        raise TraceError("truncated .rpt header length")
+    (header_len,) = struct.unpack("<Q", raw_len)
+    blob = fh.read(header_len)
+    if len(blob) != header_len:
+        raise TraceError("truncated .rpt header")
+    try:
+        header = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceError(f"bad .rpt header: {exc}") from exc
+    if header.get("format") != FORMAT_NAME:
+        raise TraceError(
+            f"not a {FORMAT_NAME} file (format={header.get('format')!r})"
+        )
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported packed trace version {header.get('version')!r}"
+        )
+    names = header.get("columns", list(COLUMN_NAMES))
+    if set(names) != set(COLUMN_NAMES):
+        raise TraceError(f"unexpected .rpt column set: {names}")
+    n = int(header.get("n_events", 0))
+    meta = header.get("meta", {})
+
+    payload = memoryview(fh.read(len(names) * n * _ITEMSIZE))
+    arrays = {}
+    complete = n  # rows recoverable from every column
+    for i, name in enumerate(names):
+        start = i * n * _ITEMSIZE
+        chunk = payload[start: start + n * _ITEMSIZE]
+        rows = len(chunk) // _ITEMSIZE
+        complete = min(complete, rows)
+        arrays[name] = np.frombuffer(
+            chunk[: rows * _ITEMSIZE], dtype="<i8"
+        ).astype(np.int64, copy=False)
+    if complete < n:
+        if not tolerate_truncation:
+            raise TruncatedTraceError(
+                f"truncated packed trace: header declares {n} events, "
+                f"only {complete} complete rows present "
+                "(pass tolerate_truncation=True to accept the prefix)",
+                declared=n, parsed=complete, lineno=0,
+            )
+        arrays = {name: a[:complete] for name, a in arrays.items()}
+        meta = dict(meta)
+        meta["truncated"] = True
+    columns = TraceColumns(
+        sync_var_table=header.get("sync_var_table", []),
+        label_table=header.get("label_table", []),
+        **arrays,
+    )
+    return Trace.from_columns(columns, meta=meta)

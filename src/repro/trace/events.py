@@ -38,6 +38,26 @@ class EventKind(enum.Enum):
         return self.value
 
 
+#: Declaration-ordered kinds; index = the stable integer code used by the
+#: columnar backend and the packed binary trace format.
+KIND_LIST: tuple[EventKind, ...] = tuple(EventKind)
+
+#: EventKind -> integer code (position in :data:`KIND_LIST`).
+KIND_CODE: dict[EventKind, int] = {k: i for i, k in enumerate(KIND_LIST)}
+
+#: value-string -> member map; dict lookup is ~5x faster than the
+#: ``EventKind(value)`` constructor and this is the JSONL-read hot path.
+_KIND_BY_VALUE: dict[str, EventKind] = {k.value: k for k in EventKind}
+
+
+def kind_from_value(value: str) -> EventKind:
+    """Fast ``EventKind(value)``: precomputed value->member lookup."""
+    try:
+        return _KIND_BY_VALUE[value]
+    except KeyError:
+        raise ValueError(f"{value!r} is not a valid EventKind") from None
+
+
 #: Kinds that participate in inter-thread synchronization semantics.
 SYNC_KINDS = frozenset(
     {
@@ -149,7 +169,7 @@ class TraceEvent:
         return cls(
             time=int(d["time"]),
             thread=int(d["thread"]),
-            kind=EventKind(d["kind"]),
+            kind=kind_from_value(d["kind"]),
             eid=int(d.get("eid", -1)),
             seq=int(d.get("seq", -1)),
             iteration=d.get("iteration"),

@@ -45,8 +45,67 @@ class TraceStats:
         return 1000.0 * self.n_events / self.duration
 
 
+def _columnar_stats(trace: Trace) -> TraceStats:
+    """Column-at-a-time statistics: bincounts and masked uniques.
+
+    Streams straight from the numpy columns — no :class:`TraceEvent`
+    objects are materialized, so ``repro-trace stats`` on a million-event
+    ``.rpt`` file runs in constant Python-object memory.
+    """
+    from repro.trace import columnar as _c
+
+    np = _c.np
+    cols = trace.columns
+    kind_counts = np.bincount(cols.kind, minlength=len(_c.KIND_LIST))
+    by_kind = {
+        _c.KIND_LIST[code].value: int(count)
+        for code, count in enumerate(kind_counts.tolist())
+        if count
+    }
+    threads, thread_counts = np.unique(cols.thread, return_counts=True)
+    by_thread = {
+        int(t): int(c) for t, c in zip(threads.tolist(), thread_counts.tolist())
+    }
+
+    def named(mask) -> set[str]:
+        idx = np.unique(cols.sync_var[mask])
+        return {
+            trace.columns.sync_var_table[i]
+            for i in idx.tolist()
+            if i >= 0 and trace.columns.sync_var_table[i]
+        }
+
+    sync_vars = named(_c.kind_code_mask(
+        cols.kind, EventKind.ADVANCE, EventKind.AWAIT_B, EventKind.AWAIT_E))
+    locks = named(_c.kind_code_mask(
+        cols.kind, EventKind.LOCK_REQ, EventKind.LOCK_ACQ, EventKind.LOCK_REL))
+    loop_labels = np.unique(
+        cols.label[cols.kind == _c.KIND_CODE[EventKind.LOOP_BEGIN]]
+    )
+    loops = {
+        "" if i < 0 else cols.label_table[i] for i in loop_labels.tolist()
+    }
+    return TraceStats(
+        n_events=len(cols),
+        n_threads=len(by_thread),
+        duration=trace.duration,
+        by_kind=dict(sorted(by_kind.items())),
+        by_thread=by_thread,
+        total_overhead=int(cols.overhead.sum()),
+        sync_vars=tuple(sorted(sync_vars)),
+        locks=tuple(sorted(locks)),
+        loops=tuple(sorted(loops)),
+    )
+
+
 def trace_stats(trace: Trace) -> TraceStats:
-    """Compute summary statistics for a trace."""
+    """Compute summary statistics for a trace.
+
+    Columnar-backed traces (e.g. loaded from ``.rpt``) are summarized
+    with vectorized column passes; object-backed traces walk the events.
+    """
+    if trace.has_columns:
+        return _columnar_stats(trace)
     by_kind: dict[str, int] = {}
     by_thread: dict[int, int] = {}
     sync_vars: set[str] = set()

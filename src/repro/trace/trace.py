@@ -3,43 +3,118 @@
 A :class:`Trace` holds the totally-ordered event sequence of one execution
 plus execution metadata.  Per-thread projections (:class:`ThreadView`) give
 the thread-local event order that both analysis phases walk.
+
+Storage backends
+----------------
+A trace is backed by *either* a Python list of :class:`TraceEvent` objects
+(the historical representation) *or* a struct-of-arrays
+:class:`~repro.trace.columnar.TraceColumns` block (numpy int64 columns +
+interned string tables).  Both sides are materialized lazily and cached:
+
+* ``trace.events`` on a columnar-backed trace builds the object list on
+  first access, so every existing object-walking call site keeps working;
+* ``trace.columns`` on an object-backed trace packs the columns on first
+  access, so vectorized hot paths (time-based analysis, validation,
+  stats) can run on any trace.
+
+Vectorized consumers should prefer ``trace.columns``; convenience and
+correctness-first consumers keep using ``trace.events``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
+from repro.trace import columnar as _columnar
 from repro.trace.events import EventKind, TraceEvent
+from repro.trace.columnar import TraceColumns
 
 
 class TraceError(ValueError):
     """Raised for structurally invalid traces."""
 
 
-@dataclass
 class ThreadView:
-    """The events of a single thread, in thread-local (program) order."""
+    """The events of a single thread, in thread-local (program) order.
 
-    thread: int
-    events: list[TraceEvent]
+    May be backed by an explicit event list or lazily by a parent trace's
+    columns plus a row-index array; ``start_time``/``end_time`` read the
+    backing store directly, so probing a columnar view's time span never
+    materializes event objects.
+    """
+
+    __slots__ = ("thread", "_events", "_columns", "_indices")
+
+    def __init__(
+        self,
+        thread: int,
+        events: Optional[list[TraceEvent]] = None,
+        *,
+        columns: Optional[TraceColumns] = None,
+        indices=None,
+    ):
+        if events is None and columns is None:
+            raise ValueError("ThreadView needs events or columns+indices")
+        self.thread = thread
+        self._events = events
+        self._columns = columns
+        self._indices = indices
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        if self._events is None:
+            self._events = self._columns.take(self._indices).to_events()
+        return self._events
 
     def __len__(self) -> int:
-        return len(self.events)
+        if self._events is None:
+            return len(self._indices)
+        return len(self._events)
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
 
     def __getitem__(self, i: int) -> TraceEvent:
-        return self.events[i]
+        if self._events is None:
+            return self._columns.event(int(self._indices[i]))
+        return self._events[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ThreadView):
+            return NotImplemented
+        return self.thread == other.thread and self.events == other.events
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ThreadView(thread={self.thread}, {len(self)} events)"
 
     @property
     def start_time(self) -> int:
-        return self.events[0].time if self.events else 0
+        if self._events is None:
+            if len(self._indices) == 0:
+                return 0
+            return int(self._columns.time[self._indices[0]])
+        return self._events[0].time if self._events else 0
 
     @property
     def end_time(self) -> int:
-        return self.events[-1].time if self.events else 0
+        if self._events is None:
+            if len(self._indices) == 0:
+                return 0
+            return int(self._columns.time[self._indices[-1]])
+        return self._events[-1].time if self._events else 0
+
+
+def _is_time_sorted(events: Sequence[TraceEvent]) -> bool:
+    """O(n) sortedness probe by time (guards the normalization sort)."""
+    return all(a.time <= b.time for a, b in zip(events, events[1:]))
+
+
+def _is_time_seq_sorted(events: Sequence[TraceEvent]) -> bool:
+    """O(n) sortedness probe by (time, seq)."""
+    return all(
+        (a.time, a.seq) <= (b.time, b.seq)
+        for a, b in zip(events, events[1:])
+    )
 
 
 class Trace:
@@ -64,7 +139,11 @@ class Trace:
         needs_seq = any(e.seq < 0 for e in evs)
         if needs_seq:
             # Preserve given order for equal timestamps, then stamp seq.
-            evs.sort(key=lambda e: e.time)
+            # Executors and readers already emit time-ordered events, so
+            # probe sortedness first instead of paying an unconditional
+            # O(n log n) sort.
+            if not _is_time_sorted(evs):
+                evs.sort(key=lambda e: e.time)
             evs = [
                 TraceEvent(
                     time=e.time,
@@ -80,15 +159,68 @@ class Trace:
                 )
                 for i, e in enumerate(evs)
             ]
-        else:
+        elif not _is_time_seq_sorted(evs):
             evs.sort(key=lambda e: (e.time, e.seq))
-        self.events: list[TraceEvent] = evs
+        self._events: Optional[list[TraceEvent]] = evs
+        self._columns: Optional[TraceColumns] = None
         self.meta: dict[str, Any] = dict(meta or {})
         self._thread_cache: Optional[dict[int, ThreadView]] = None
 
+    @classmethod
+    def from_columns(
+        cls, columns: TraceColumns, meta: Optional[dict[str, Any]] = None
+    ) -> "Trace":
+        """Build a columnar-backed trace (no event objects materialized).
+
+        Applies the same normalization as the event constructor — sort by
+        ``(time, seq)``, or stable-sort by time and stamp fresh ``seq``
+        numbers when any are missing — but with argsort/lexsort on the
+        columns instead of a Python-object sort.
+        """
+        np = _columnar.np
+        if len(columns) and bool(np.any(columns.seq < 0)):
+            columns = columns.stamped_seq()
+        else:
+            columns = columns.sorted_by_time_seq()
+        trace = cls.__new__(cls)
+        trace._events = None
+        trace._columns = columns
+        trace.meta = dict(meta or {})
+        trace._thread_cache = None
+        return trace
+
+    # -- backends ----------------------------------------------------------
+    @property
+    def events(self) -> list[TraceEvent]:
+        """The events as objects (lazily materialized from columns)."""
+        if self._events is None:
+            self._events = self._columns.to_events()
+        return self._events
+
+    @events.setter
+    def events(self, events: list[TraceEvent]) -> None:
+        """Replace the event list wholesale (drops cached columns/views)."""
+        self._events = events
+        self._columns = None
+        self._thread_cache = None
+
+    @property
+    def columns(self) -> TraceColumns:
+        """Struct-of-arrays view of the trace (lazily packed, cached)."""
+        if self._columns is None:
+            self._columns = TraceColumns.from_events(self._events)
+        return self._columns
+
+    @property
+    def has_columns(self) -> bool:
+        """True if the columnar form is already realized (no packing cost)."""
+        return self._columns is not None
+
     # -- container protocol ------------------------------------------------
     def __len__(self) -> int:
-        return len(self.events)
+        if self._events is None:
+            return len(self._columns)
+        return len(self._events)
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
@@ -103,14 +235,26 @@ class Trace:
         return sorted(self.by_thread().keys())
 
     def by_thread(self) -> dict[int, ThreadView]:
-        """Per-thread projections, each in thread-local order."""
+        """Per-thread projections, each in thread-local order.
+
+        On a columnar-backed trace the grouping is a stable argsort on the
+        thread column plus boundary slicing; the per-thread views
+        materialize event objects only when their ``events`` are touched.
+        """
         if self._thread_cache is None:
-            buckets: dict[int, list[TraceEvent]] = {}
-            for e in self.events:
-                buckets.setdefault(e.thread, []).append(e)
-            self._thread_cache = {
-                t: ThreadView(t, evs) for t, evs in buckets.items()
-            }
+            if self._events is None:
+                ids, groups = self._columns.thread_order()
+                self._thread_cache = {
+                    t: ThreadView(t, columns=self._columns, indices=idx)
+                    for t, idx in zip(ids, groups)
+                }
+            else:
+                buckets: dict[int, list[TraceEvent]] = {}
+                for e in self._events:
+                    buckets.setdefault(e.thread, []).append(e)
+                self._thread_cache = {
+                    t: ThreadView(t, evs) for t, evs in buckets.items()
+                }
         return self._thread_cache
 
     def thread(self, thread_id: int) -> ThreadView:
@@ -127,11 +271,17 @@ class Trace:
     # -- timing -----------------------------------------------------------
     @property
     def start_time(self) -> int:
-        return self.events[0].time if self.events else 0
+        if self._events is None:
+            cols = self._columns
+            return int(cols.time[0]) if len(cols) else 0
+        return self._events[0].time if self._events else 0
 
     @property
     def end_time(self) -> int:
-        return self.events[-1].time if self.events else 0
+        if self._events is None:
+            cols = self._columns
+            return int(cols.time[-1]) if len(cols) else 0
+        return self._events[-1].time if self._events else 0
 
     @property
     def duration(self) -> int:
@@ -261,10 +411,12 @@ class Trace:
         """Copy of this trace with updated metadata."""
         new_meta = dict(self.meta)
         new_meta.update(meta)
-        return Trace(self.events, new_meta)
+        if self._events is None:
+            return Trace.from_columns(self._columns, new_meta)
+        return Trace(self._events, new_meta)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
-            f"Trace({len(self.events)} events, {len(self.threads)} threads, "
+            f"Trace({len(self)} events, {len(self.threads)} threads, "
             f"duration={self.duration}, kind={self.meta.get('kind', '?')})"
         )

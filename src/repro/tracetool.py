@@ -3,6 +3,8 @@
 Subcommands::
 
     repro-trace info FILE              # metadata + summary statistics
+    repro-trace stats FILE             # alias of info (columnar streaming)
+    repro-trace convert FILE -o OUT    # translate JSONL <-> packed .rpt
     repro-trace dump FILE [-n N] [--thread T] [--kind K]
     repro-trace validate FILE          # streaming diagnostics + causality
     repro-trace repair FILE -o OUT     # best-effort repair, prints report
@@ -17,6 +19,11 @@ optionally, the recovered waiting/parallelism statistics.  ``--policy
 repair`` / ``skip`` analyzes damaged traces best-effort (see
 :mod:`repro.resilience`); ``inject`` deliberately corrupts a trace, which
 is how the resilience stack itself is exercised and benchmarked.
+
+Both trace formats are accepted everywhere (``read_trace`` auto-detects
+JSONL vs packed ``.rpt``); ``convert`` translates between them, picking
+the output format from the ``-o`` suffix unless ``--format`` forces one.
+JSONL is the diffable interchange format; ``.rpt`` is the fast one.
 """
 
 from __future__ import annotations
@@ -57,6 +64,22 @@ def make_parser() -> argparse.ArgumentParser:
 
     p_info = sub.add_parser("info", help="metadata and summary statistics")
     p_info.add_argument("file")
+
+    p_stats = sub.add_parser(
+        "stats", help="summary statistics (alias of info; streams from "
+        "columns on packed traces)",
+    )
+    p_stats.add_argument("file")
+
+    p_conv = sub.add_parser(
+        "convert", help="translate between JSONL and packed .rpt traces"
+    )
+    p_conv.add_argument("file")
+    p_conv.add_argument("-o", "--output", required=True, help="converted trace path")
+    p_conv.add_argument(
+        "--format", choices=("jsonl", "rpt"), default=None,
+        help="output format (default: inferred from the -o suffix)",
+    )
 
     p_dump = sub.add_parser("dump", help="print events")
     p_dump.add_argument("file")
@@ -140,6 +163,14 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_convert(args: argparse.Namespace) -> int:
+    trace = read_trace(args.file)
+    write_trace(trace, args.output, format=args.format)
+    fmt = args.format or ("rpt" if str(args.output).endswith(".rpt") else "jsonl")
+    print(f"wrote {len(trace)} event(s) to {args.output} ({fmt})")
+    return 0
+
+
 def cmd_dump(args: argparse.Namespace) -> int:
     trace = read_trace(args.file)
     kind = EventKind(args.kind) if args.kind else None
@@ -160,7 +191,18 @@ def cmd_dump(args: argparse.Namespace) -> int:
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    diagnostics = validate_file(args.file)
+    from repro.trace.binio import MAGIC
+
+    with open(args.file, "rb") as probe:
+        packed = probe.read(len(MAGIC)) == MAGIC
+    if packed:
+        # Packed traces have no per-line structure to lint; validate the
+        # loaded columns (vectorized fast path when the trace is clean).
+        from repro.resilience.validate import validate_trace
+
+        diagnostics = validate_trace(read_trace(args.file))
+    else:
+        diagnostics = validate_file(args.file)
     # The streaming validator covers pairing/structure; the causality check
     # needs the materialised trace, so only attempt it on loadable files.
     causality_failure = None
@@ -322,6 +364,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = make_parser().parse_args(argv)
     handlers = {
         "info": cmd_info,
+        "stats": cmd_info,
+        "convert": cmd_convert,
         "dump": cmd_dump,
         "validate": cmd_validate,
         "repair": cmd_repair,

@@ -186,6 +186,39 @@ def test_analyze_policy_repair_on_corrupt_trace(trace_file, tmp_path, capsys):
     assert "approximated actual" in out
 
 
+def test_stats_alias(trace_file, capsys):
+    assert main(["stats", trace_file]) == 0
+    out_stats = capsys.readouterr().out
+    assert main(["info", trace_file]) == 0
+    assert out_stats == capsys.readouterr().out
+
+
+def test_convert_roundtrip(trace_file, tmp_path, capsys):
+    pytest.importorskip("numpy")
+    from repro.trace.io import read_trace
+
+    packed = str(tmp_path / "toy.rpt")
+    back = str(tmp_path / "back.trace")
+    assert main(["convert", trace_file, "-o", packed]) == 0
+    assert "(rpt)" in capsys.readouterr().out
+    assert main(["convert", packed, "-o", back, "--format", "jsonl"]) == 0
+    assert "(jsonl)" in capsys.readouterr().out
+    original, restored = read_trace(trace_file), read_trace(back)
+    assert restored.events == original.events
+    assert restored.meta == original.meta
+
+
+def test_info_and_validate_on_packed_trace(trace_file, tmp_path, capsys):
+    pytest.importorskip("numpy")
+    packed = str(tmp_path / "toy.rpt")
+    assert main(["convert", trace_file, "-o", packed]) == 0
+    capsys.readouterr()
+    assert main(["info", packed]) == 0
+    assert "events on 8 thread" in capsys.readouterr().out
+    assert main(["validate", packed]) == 0
+    assert "OK" in capsys.readouterr().out
+
+
 def test_analyze_cost_scale_flag(trace_file, capsys):
     assert main(["analyze", trace_file, "--cost-scale", "0.5"]) == 0
     out_half = capsys.readouterr().out

@@ -1,0 +1,160 @@
+"""Tests for the packed binary trace format (.rpt) and format auto-detection."""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL
+from repro.trace.binio import MAGIC, read_trace_binary, write_trace_binary
+from repro.trace.events import EventKind, TraceEvent
+from repro.trace.io import TruncatedTraceError, read_trace, write_trace
+from repro.trace.trace import Trace, TraceError
+
+from tests.conftest import build_toy_doacross
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return Executor(seed=11).run(build_toy_doacross(trips=25), PLAN_FULL).trace
+
+
+def test_rpt_roundtrip_preserves_everything(measured, tmp_path):
+    path = tmp_path / "m.rpt"
+    write_trace(measured, path)
+    back = read_trace(path)
+    assert back.has_columns  # loads straight into the columnar backend
+    assert back.events == measured.events
+    assert back.meta == measured.meta
+
+
+def test_rpt_suffix_selects_packed_format(measured, tmp_path):
+    path = tmp_path / "m.rpt"
+    write_trace(measured, path)
+    assert path.read_bytes()[: len(MAGIC)] == MAGIC
+
+
+def test_format_override_beats_suffix(measured, tmp_path):
+    path = tmp_path / "m.trace"
+    write_trace(measured, path, format="rpt")
+    assert path.read_bytes()[: len(MAGIC)] == MAGIC
+    assert read_trace(path).events == measured.events
+
+
+def test_jsonl_remains_default(measured, tmp_path):
+    path = tmp_path / "m.trace"
+    write_trace(measured, path)
+    first = path.read_text().splitlines()[0]
+    assert json.loads(first)["format"] == "repro-trace"
+
+
+def test_autodetect_reads_both(measured, tmp_path):
+    jsonl = tmp_path / "m.jsonl"
+    rpt = tmp_path / "m.rpt"
+    write_trace(measured, jsonl)
+    write_trace(measured, rpt)
+    assert read_trace(jsonl).events == read_trace(rpt).events
+
+
+def test_binary_stream_roundtrip(measured):
+    buf = io.BytesIO()
+    write_trace(measured, buf)
+    buf.seek(0)
+    assert read_trace(buf).events == measured.events
+
+
+def test_binary_stream_holding_jsonl_detected(measured):
+    text = io.StringIO()
+    write_trace(measured, text)
+    raw = io.BytesIO(text.getvalue().encode("utf-8"))
+    assert read_trace(raw).events == measured.events
+
+
+def test_jsonl_to_rpt_and_back_identical(measured, tmp_path):
+    jsonl = tmp_path / "a.jsonl"
+    rpt = tmp_path / "b.rpt"
+    jsonl2 = tmp_path / "c.jsonl"
+    write_trace(measured, jsonl)
+    write_trace(read_trace(jsonl), rpt)
+    write_trace(read_trace(rpt), jsonl2)
+    assert read_trace(jsonl2).events == measured.events
+    assert read_trace(jsonl2).meta == measured.meta
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "bad.rpt"
+    path.write_bytes(b"NOTATRACEFILE")
+    with pytest.raises(TraceError):
+        read_trace_binary(path)
+
+
+def test_bad_version_rejected(measured, tmp_path):
+    path = tmp_path / "m.rpt"
+    write_trace(measured, path)
+    raw = bytearray(path.read_bytes())
+    (hlen,) = struct.unpack("<Q", raw[8:16])
+    header = json.loads(raw[16: 16 + hlen].decode())
+    header["version"] = 99
+    blob = json.dumps(header, sort_keys=True).encode()
+    rebuilt = raw[:8] + struct.pack("<Q", len(blob)) + blob + raw[16 + hlen:]
+    path.write_bytes(bytes(rebuilt))
+    with pytest.raises(TraceError, match="version"):
+        read_trace(path)
+
+
+def test_truncated_rpt_raises_with_counts(measured, tmp_path):
+    path = tmp_path / "m.rpt"
+    write_trace(measured, path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) - len(raw) // 3])
+    with pytest.raises(TruncatedTraceError) as exc:
+        read_trace(path)
+    assert exc.value.declared == len(measured)
+    assert 0 <= exc.value.parsed < len(measured)
+
+
+def test_truncated_rpt_prefix_recovery(measured, tmp_path):
+    path = tmp_path / "m.rpt"
+    write_trace(measured, path)
+    raw = path.read_bytes()
+    # Tear off the tail of the last column: every column still has rows,
+    # so a non-empty row-exact prefix is recoverable.
+    path.write_bytes(raw[:-20])
+    back = read_trace(path, tolerate_truncation=True)
+    assert back.meta["truncated"] is True
+    k = len(back)
+    assert 0 < k < len(measured)
+    assert back.events == measured.events[:k]
+
+
+def test_atomic_write_leaves_no_tmp(measured, tmp_path):
+    path = tmp_path / "m.rpt"
+    write_trace_binary(measured, path)
+    assert not (tmp_path / "m.rpt.tmp").exists()
+
+
+def test_empty_trace_roundtrip(tmp_path):
+    path = tmp_path / "empty.rpt"
+    write_trace(Trace([], {"program": "void"}), path)
+    back = read_trace(path)
+    assert len(back) == 0
+    assert back.meta == {"program": "void"}
+
+
+def test_string_tables_roundtrip(tmp_path):
+    events = [
+        TraceEvent(time=1, thread=0, kind=EventKind.ADVANCE, seq=0,
+                   sync_var="outer/Q", sync_index=0, label="λ-label"),
+        TraceEvent(time=2, thread=0, kind=EventKind.LOOP_BEGIN, seq=1,
+                   label=""),
+    ]
+    path = tmp_path / "s.rpt"
+    write_trace(Trace(events), path)
+    back = read_trace(path)
+    assert back.events == events

@@ -192,3 +192,11 @@ def test_executor_trace_roundtrips(tmp_path, executor, toy_doacross, plans):
     assert len(back) == len(result.trace)
     assert back.meta["kind"] == "measured"
     assert back.events == result.trace.events
+
+
+def test_read_trace_rejects_binary_garbage(tmp_path):
+    """Undecodable bytes are a structured TraceError, not a decode crash."""
+    junk = tmp_path / "junk.rpt"
+    junk.write_bytes(bytes([0xBC, 0xFF, 0x00, 0x9E]) * 25)
+    with pytest.raises(TraceError, match="not a trace file"):
+        read_trace(junk)
