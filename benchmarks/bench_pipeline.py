@@ -1,0 +1,249 @@
+#!/usr/bin/env python
+"""Experiment-pipeline benchmark: sweep fan-out, artifact cache, resolver.
+
+Not a paper reproduction — this is the perf baseline for the parallel
+experiment pipeline.  Three measurements:
+
+* **sweep**: the full report's simulation specs (``repro.cli.all_specs``)
+  executed cold/serial, cold/parallel (one worker per CPU), and warm
+  (everything served from the content-addressed artifact cache);
+* **event-based analysis**: the object worklist (``backend="object"``)
+  vs the columnar segment-offset resolver (``backend="columnar"``) on a
+  large Livermore loop 3 measured trace (~1M events; ``--quick``: ~100k);
+* correctness gates before any timing is reported: parallel results must
+  be value-identical to serial, warm identical to cold, and both analysis
+  backends must agree on every approximated timestamp.
+
+Results go to stdout and, machine-readable, to ``BENCH_pipeline.json``
+(override with ``--out``), including the honest ``n_cpus`` the run had.
+Exit status enforces the tripwires: warm must beat cold everywhere, and
+parallel must beat serial wherever more than one CPU exists.  The full
+run additionally enforces the PR targets — >=4x cold-parallel and >=20x
+warm sweep (on >=8 cores), and >=3x columnar event-based analysis — and
+is what produces the committed ``BENCH_pipeline.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py [--quick] [--jobs N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from repro.analysis import event_based_approximation
+from repro.cli import all_specs
+from repro.exec import Executor, PerturbationConfig
+from repro.experiments.common import DEFAULT_CONFIG, calibrated_constants
+from repro.instrument import InstrumentationCosts
+from repro.instrument.plan import PLAN_FULL
+from repro.livermore import livermore_program
+from repro.machine.costs import FX80
+from repro.runtime import (
+    ArtifactCache,
+    RuntimeContext,
+    clear_memory_cache,
+    simulate_many,
+)
+from repro.trace.io import read_trace, write_trace
+
+#: Loop 3 DOACROSS emits ~5 events per trip under PLAN_FULL.
+EVENTS_PER_TRIP = 5
+FULL_EVENTS = 1_000_000
+QUICK_EVENTS = 100_000
+
+#: PR acceptance targets (full run, >=8 cores for the sweep targets).
+TARGET_PARALLEL_SPEEDUP = 4.0
+TARGET_WARM_SPEEDUP = 20.0
+TARGET_RESOLVER_SPEEDUP = 3.0
+TARGET_CORES = 8
+
+
+def timed(fn):
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def fingerprint(results) -> list[int]:
+    """Value identity proxy for a sweep: every total, in order."""
+    return [r.total_time for r in results]
+
+
+def bench_sweep(config, jobs: int) -> dict:
+    specs = all_specs(config)
+    print(f"sweep: {len(specs)} specs ({len(set(specs))} unique), "
+          f"{jobs} worker(s) available", flush=True)
+    out: dict = {"n_specs": len(specs), "n_unique": len(set(specs))}
+
+    with TemporaryDirectory(prefix="bench_pipeline_") as tmp:
+        cache = ArtifactCache(Path(tmp) / "cache")
+        serial_ctx = RuntimeContext(jobs=1, cache=cache)
+
+        clear_memory_cache()
+        cold_secs, cold = timed(lambda: simulate_many(specs, context=serial_ctx))
+        print(f"  cold serial:   {cold_secs:.2f}s")
+
+        clear_memory_cache()
+        warm_secs, warm = timed(lambda: simulate_many(specs, context=serial_ctx))
+        print(f"  warm (cache):  {warm_secs:.2f}s")
+        if fingerprint(warm) != fingerprint(cold):
+            raise SystemExit("FATAL: warm sweep differs from cold sweep")
+
+        parallel_ctx = RuntimeContext(
+            jobs=jobs, cache=ArtifactCache(Path(tmp) / "cache2")
+        )
+        clear_memory_cache()
+        par_secs, par = timed(lambda: simulate_many(specs, context=parallel_ctx))
+        print(f"  cold parallel: {par_secs:.2f}s ({jobs} jobs)")
+        if fingerprint(par) != fingerprint(cold):
+            raise SystemExit("FATAL: parallel sweep differs from serial sweep")
+        clear_memory_cache()
+
+    out.update(
+        cold_serial_secs=cold_secs,
+        warm_secs=warm_secs,
+        cold_parallel_secs=par_secs,
+        jobs=jobs,
+        warm_speedup=cold_secs / warm_secs,
+        parallel_speedup=cold_secs / par_secs,
+    )
+    print(f"  warm {out['warm_speedup']:.1f}x, "
+          f"parallel {out['parallel_speedup']:.2f}x")
+    return out
+
+
+def build_loop3_trace(n_events: int):
+    trips = max(1, n_events // EVENTS_PER_TRIP)
+    program = livermore_program(3, mode="doacross", trips=trips)
+    executor = Executor(
+        machine_config=FX80,
+        inst_costs=InstrumentationCosts(),
+        perturb=PerturbationConfig(dilation=0.04, jitter=0.05),
+        seed=1991,
+    )
+    return executor.run(
+        program, plan=PLAN_FULL,
+        max_events=4 * n_events, max_cycles=100 * n_events,
+    ).trace
+
+
+def bench_resolver(n_events: int) -> dict:
+    constants = calibrated_constants(FX80, InstrumentationCosts())
+    print(f"resolver: generating ~{n_events} event loop 3 trace ...",
+          flush=True)
+    gen_secs, trace = timed(lambda: build_loop3_trace(n_events))
+    print(f"  {len(trace)} events in {gen_secs:.1f}s")
+
+    with TemporaryDirectory(prefix="bench_pipeline_rpt_") as tmp:
+        rpt = Path(tmp) / "loop3.rpt"
+        write_trace(trace, rpt, format="rpt")
+        # Benchmarked as loaded from disk: columnar-backed, like any
+        # cached artifact.  Fresh instance per run so neither backend
+        # benefits from the other's materialization.
+        obj_secs, a_obj = timed(
+            lambda: event_based_approximation(
+                read_trace(rpt), constants, backend="object"
+            )
+        )
+        col_secs, a_col = timed(
+            lambda: event_based_approximation(
+                read_trace(rpt), constants, backend="columnar"
+            )
+        )
+    if a_obj.times != a_col.times or a_obj.total_time != a_col.total_time:
+        raise SystemExit("FATAL: object and columnar resolvers disagree")
+    speedup = obj_secs / col_secs
+    print(f"  object {obj_secs:.2f}s  columnar {col_secs:.2f}s  "
+          f"({speedup:.1f}x)")
+    return {
+        "n_events": len(trace),
+        "object_secs": obj_secs,
+        "columnar_secs": col_secs,
+        "speedup": speedup,
+        "total_time_cycles": a_col.total_time,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sweep and ~100k-event resolver trace; tripwires only "
+        "(the CI smoke mode)",
+    )
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="sweep worker count (default: one per CPU)")
+    parser.add_argument("--events", type=int, default=None,
+                        help="override the resolver trace event count")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_pipeline.json"),
+                        help="machine-readable results path")
+    args = parser.parse_args(argv)
+
+    n_cpus = os.cpu_count() or 1
+    jobs = args.jobs or n_cpus
+    config = DEFAULT_CONFIG.quick() if args.quick else DEFAULT_CONFIG
+    n_events = args.events or (QUICK_EVENTS if args.quick else FULL_EVENTS)
+
+    results = {
+        "benchmark": "pipeline",
+        "quick": args.quick,
+        "n_cpus": n_cpus,
+        "sweep": bench_sweep(config, jobs),
+        "event_based_analysis": bench_resolver(n_events),
+    }
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    warm = results["sweep"]["warm_speedup"]
+    par = results["sweep"]["parallel_speedup"]
+    res = results["event_based_analysis"]["speedup"]
+    failed = False
+    if warm < 1.0:
+        print(f"FAIL: warm sweep {warm:.2f}x is slower than cold "
+              "(regression tripwire)", file=sys.stderr)
+        failed = True
+    if n_cpus >= 2 and par < 1.0:
+        print(f"FAIL: parallel sweep {par:.2f}x is slower than serial on "
+              f"{n_cpus} CPUs (regression tripwire)", file=sys.stderr)
+        failed = True
+    if args.quick:
+        if res < 1.0:
+            print(f"FAIL: columnar resolver {res:.2f}x is slower than the "
+                  "object path (regression tripwire)", file=sys.stderr)
+            failed = True
+        if not failed:
+            print(f"OK: warm {warm:.1f}x, parallel {par:.2f}x "
+                  f"({n_cpus} CPUs), resolver {res:.1f}x")
+        return 1 if failed else 0
+
+    if res < TARGET_RESOLVER_SPEEDUP:
+        print(f"FAIL: columnar resolver {res:.1f}x < "
+              f"{TARGET_RESOLVER_SPEEDUP}x target", file=sys.stderr)
+        failed = True
+    if n_cpus >= TARGET_CORES:
+        if par < TARGET_PARALLEL_SPEEDUP:
+            print(f"FAIL: parallel sweep {par:.1f}x < "
+                  f"{TARGET_PARALLEL_SPEEDUP}x target", file=sys.stderr)
+            failed = True
+        if warm < TARGET_WARM_SPEEDUP:
+            print(f"FAIL: warm sweep {warm:.1f}x < "
+                  f"{TARGET_WARM_SPEEDUP}x target", file=sys.stderr)
+            failed = True
+    else:
+        print(f"note: {n_cpus} CPU(s) < {TARGET_CORES}; sweep scale targets "
+              "recorded but not enforced")
+    if not failed:
+        print(f"OK: warm {warm:.1f}x, parallel {par:.2f}x ({n_cpus} CPUs), "
+              f"resolver {res:.1f}x (target {TARGET_RESOLVER_SPEEDUP}x)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,8 +49,12 @@ from repro.resilience.repair import (
     repair_trace,
 )
 from repro.resilience.validate import Diagnostic, validate_trace
+from repro.trace import columnar as _columnar
 from repro.trace.events import EventKind, TraceEvent
 from repro.trace.trace import Trace
+
+#: Analysis backends accepted by :func:`event_based_approximation`.
+BACKENDS = ("auto", "columnar", "object")
 
 
 class ResolutionError(AnalysisError):
@@ -303,7 +307,11 @@ class _Resolver:
 
 
 def event_based_approximation(
-    measured: Trace, constants: AnalysisConstants, policy: str = "strict"
+    measured: Trace,
+    constants: AnalysisConstants,
+    policy: str = "strict",
+    *,
+    backend: str = "auto",
 ) -> Approximation:
     """Apply event-based perturbation analysis to a measured trace.
 
@@ -327,29 +335,54 @@ def event_based_approximation(
 
     Under a non-strict policy the returned approximation carries the
     validator's ``diagnostics`` and the ``repair_report`` of every change.
+
+    ``backend``: ``"columnar"`` resolves over ``measured.columns`` —
+    vectorized per-thread prefix sums with a scalar worklist visiting only
+    synchronization events (:mod:`repro.analysis.eventbased_columnar`);
+    ``"object"`` runs the per-event reference worklist; ``"auto"``
+    (default) picks columnar whenever numpy is available.  The two produce
+    identical results — and identical failures, so the degradation
+    policies quarantine the same threads (property-tested).
     """
     check_policy(policy)
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown analysis backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend == "auto":
+        backend = "columnar" if _columnar.HAVE_NUMPY else "object"
+    if backend == "columnar":
+        from repro.analysis.eventbased_columnar import resolve_columnar
+
+        def _solve(trace: Trace) -> dict[int, int]:
+            return resolve_columnar(trace, constants)
+
+    else:
+
+        def _solve(trace: Trace) -> dict[int, int]:
+            return _Resolver(trace, constants).run()
+
     diagnostics: list[Diagnostic] = []
     report: Optional[RepairReport] = None
     if policy != "strict":
         diagnostics = validate_trace(measured)
         result = repair_trace(measured, mode=policy)
         measured, report = result.trace, result.report
-    if not measured.events:
+    if not len(measured):
         raise AnalysisError("cannot analyze an empty trace")
     if not measured.meta.get("instrumented", True):
         raise AnalysisError(
             "trace is not a measured (instrumented) trace; nothing to remove"
         )
     if policy == "strict":
-        times = _Resolver(measured, constants).run()
+        times = _solve(measured)
     else:
         # Bounded retry: each failed resolution names the events it could
         # not resolve; quarantining their threads removes at least one
         # thread per round, so this terminates.
         for _ in range(len(measured.threads) + 1):
             try:
-                times = _Resolver(measured, constants).run()
+                times = _solve(measured)
                 break
             except ResolutionError as exc:
                 bad_threads = {e.thread for e in exc.events}
@@ -357,7 +390,7 @@ def event_based_approximation(
                     raise
                 result = quarantine_threads(measured, bad_threads, report)
                 measured = result.trace
-                if not measured.events:
+                if not len(measured):
                     raise AnalysisError(
                         "no analyzable events remain after quarantining "
                         f"thread(s) {sorted(bad_threads)}"

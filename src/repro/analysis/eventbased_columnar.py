@@ -1,0 +1,475 @@
+"""Columnar fast path for event-based resolution.
+
+The object resolver (:class:`repro.analysis.eventbased._Resolver`) walks
+every event through a Python worklist.  But along one thread, every event
+*between* synchronization points obeys the plain chain rule
+
+    t_a(e_k) = t_a(e_{k-1}) + max(0, Δt_m - overhead_k)
+
+(the ``_chain`` formula plus its monotonic clamp), so a whole run of
+non-sync events collapses to a cumulative sum of clipped measured deltas.
+Only five kinds have non-chain rules or cross-thread dependencies —
+``awaitE``, ``lockAcq``, ``semAcq``, ``barrier_exit`` and ``loop_begin``
+(the "special" events, a small fraction of any real trace).
+
+This resolver therefore:
+
+1. precomputes, per thread, the prefix sums ``P`` of clipped deltas
+   (vectorized) and the positions of the special events (argsort-grouped
+   sync indices);
+2. runs the worklist over the specials only.  When the special at
+   position ``s`` resolves to ``t_a``, every following plain event up to
+   the next special is implicitly resolved as ``t_a + (P[j] - P[s])`` —
+   recorded as one per-segment offset ``O = t_a - P[s]``;
+3. assembles every event's time as ``P + repeat(O, segment lengths)``.
+
+An event is *resolved* exactly when the object worklist would have
+resolved it: its thread's scan cursor (``reached``) has swept past it.
+The cursor starts at zero and advances only while its thread is being
+visited, so a plain run on a not-yet-visited thread is still unresolved
+— the same transient state the object resolver's per-thread position
+cursor goes through, which is what makes eager structural errors on
+damaged traces surface in the identical visit order.  Readiness checks,
+resolution order, clamps, and every error message replicate the object
+path — the two backends are property-tested to be byte-identical,
+including on damaged traces where the *failure* must match too.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Optional
+
+from repro.analysis.approximation import AnalysisError
+from repro.instrument.costs import AnalysisConstants
+from repro.trace import columnar as _columnar
+from repro.trace.columnar import NONE_SENTINEL, kind_code_mask, overhead_table
+from repro.trace.events import KIND_CODE, EventKind
+from repro.trace.trace import Trace
+
+#: Kinds whose resolution rule is not the plain thread chain.
+SPECIAL_KINDS = (
+    EventKind.AWAIT_E,
+    EventKind.LOCK_ACQ,
+    EventKind.SEM_ACQ,
+    EventKind.BARRIER_EXIT,
+    EventKind.LOOP_BEGIN,
+)
+
+_CODE_AWAIT_E = KIND_CODE[EventKind.AWAIT_E]
+_CODE_LOCK_ACQ = KIND_CODE[EventKind.LOCK_ACQ]
+_CODE_SEM_ACQ = KIND_CODE[EventKind.SEM_ACQ]
+_CODE_BARRIER_EXIT = KIND_CODE[EventKind.BARRIER_EXIT]
+_CODE_LOOP_BEGIN = KIND_CODE[EventKind.LOOP_BEGIN]
+_CODE_ADVANCE = KIND_CODE[EventKind.ADVANCE]
+_CODE_AWAIT_B = KIND_CODE[EventKind.AWAIT_B]
+_CODE_BARRIER_ARRIVE = KIND_CODE[EventKind.BARRIER_ARRIVE]
+
+
+def _resolution_error(message: str, events=()):
+    from repro.analysis.eventbased import ResolutionError
+
+    return ResolutionError(message, tuple(events))
+
+
+class _ColumnarResolver:
+    """Segment-offset resolution over :class:`TraceColumns`."""
+
+    def __init__(self, measured: Trace, constants: AnalysisConstants):
+        np = _columnar.np
+        self.measured = measured
+        self.constants = constants
+        cols = measured.columns
+        self.cols = cols
+        n = len(cols)
+        per_kind = overhead_table(constants.costs)
+        overhead = per_kind[cols.kind]
+
+        # Thread grouping: rows per thread in storage (program) order,
+        # threads visited in the same order the object worklist uses.
+        ids, groups = cols.thread_order()
+        by_id = dict(zip(ids, groups))
+        order = list(measured.by_thread().keys())
+        special = kind_code_mask(cols.kind, *SPECIAL_KINDS)
+
+        pos = np.empty(n, dtype=np.int64)
+        tidx = np.empty(n, dtype=np.int64)
+        self.thread_rows: list = []  # per thread: row indices (np)
+        self.P: list = []  # per thread: prefix sums (np)
+        self.P_l: list[list[int]] = []  # ... and as python ints
+        self.spec_pos: list[list[int]] = []  # per thread: special positions
+        self.spec_rows: list[list[int]] = []  # ... and their storage rows
+        self.m: list[int] = []  # per thread: event count
+        for ti, tid in enumerate(order):
+            idx = by_id[tid]
+            k = len(idx)
+            pos[idx] = np.arange(k)
+            tidx[idx] = ti
+            tm = cols.time[idx]
+            ov = overhead[idx]
+            d = np.empty(k, dtype=np.int64)
+            d[0] = max(0, int(tm[0]) - int(ov[0]))
+            if k > 1:
+                np.subtract(tm[1:], tm[:-1], out=d[1:])
+                d[1:] -= ov[1:]
+                np.maximum(d[1:], 0, out=d[1:])
+            prefix = np.cumsum(d)
+            sp = np.flatnonzero(special[idx])
+            self.thread_rows.append(idx)
+            self.P.append(prefix)
+            self.P_l.append(prefix.tolist())
+            self.spec_pos.append(sp.tolist())
+            self.spec_rows.append(idx[sp].tolist())
+            self.m.append(k)
+        self.pos_l = pos.tolist()
+        self.tidx_l = tidx.tolist()
+        self.time_l = cols.time.tolist()
+
+        # Worklist state: per thread, resolved-special count, the scan
+        # position (how far the worklist has actually swept — plain
+        # events count as resolved only once swept past, exactly like
+        # the object resolver's per-thread cursor, so eager structural
+        # errors surface in the same visit order), and the accumulated
+        # segment offsets (O[c] applies to positions p with c specials
+        # at-or-before them).
+        nthreads = len(order)
+        self.ptr = [0] * nthreads
+        self.reached = [0] * nthreads
+        self.O: list[list[int]] = [[0] for _ in range(nthreads)]
+
+        # Per-special payload: (kind code, sync_var idx, sync_index,
+        # label idx, overhead), keyed by storage row.
+        self.payload: dict[int, tuple[int, int, int, int, int]] = {}
+        for t in range(nthreads):
+            rows = self.spec_rows[t]
+            if not rows:
+                continue
+            ra = np.array(rows, dtype=np.int64)
+            for row, k, sv, si, lb, ov in zip(
+                rows,
+                cols.kind[ra].tolist(),
+                cols.sync_var[ra].tolist(),
+                cols.sync_index[ra].tolist(),
+                cols.label[ra].tolist(),
+                overhead[ra].tolist(),
+            ):
+                self.payload[row] = (k, sv, si, lb, ov)
+
+        self._index_sync()
+
+    # -------------------------------------------------------------- indexes
+    def _sync_key(self, row: int, sv: int, si: int) -> tuple[str, int]:
+        """The event's pairing key; same ValueError as the object path."""
+        if sv < 0 or si == NONE_SENTINEL:
+            self.cols.event(row).sync_key  # raises "no sync identity"
+        return (self.cols.sync_var_table[sv], si)
+
+    def _index_sync(self) -> None:
+        np = _columnar.np
+        cols = self.cols
+        self.advances: dict[tuple[str, int], int] = {}
+        self.await_begin: dict[tuple[str, int], int] = {}
+        self.barrier_arrivals: dict[tuple[str, int], list[int]] = {}
+        self.loop_anchor: dict[str, Optional[int]] = {}
+        sv_table = cols.sync_var_table
+        lb_table = cols.label_table
+
+        mask = kind_code_mask(
+            cols.kind,
+            EventKind.ADVANCE,
+            EventKind.AWAIT_B,
+            EventKind.BARRIER_ARRIVE,
+            EventKind.LOOP_BEGIN,
+        )
+        rows = np.flatnonzero(mask)
+        for row, k, sv, si, lb in zip(
+            rows.tolist(),
+            cols.kind[rows].tolist(),
+            cols.sync_var[rows].tolist(),
+            cols.sync_index[rows].tolist(),
+            cols.label[rows].tolist(),
+        ):
+            if k == _CODE_ADVANCE:
+                key = self._sync_key(row, sv, si)
+                if key in self.advances:
+                    raise _resolution_error(
+                        f"duplicate advance for {key}", (cols.event(row),)
+                    )
+                self.advances[key] = row
+            elif k == _CODE_AWAIT_B:
+                self.await_begin[self._sync_key(row, sv, si)] = row
+            elif k == _CODE_BARRIER_ARRIVE:
+                sv_val = None if sv < 0 else sv_table[sv]
+                si_val = None if si == NONE_SENTINEL else si
+                key = (sv_val or "barrier", si_val or 0)
+                self.barrier_arrivals.setdefault(key, []).append(row)
+            else:  # LOOP_BEGIN: latest-(time, seq) predecessor anchors it
+                label = "" if lb < 0 else lb_table[lb]
+                p = self.pos_l[row]
+                t = self.tidx_l[row]
+                prev = int(self.thread_rows[t][p - 1]) if p > 0 else None
+                if label not in self.loop_anchor:
+                    self.loop_anchor[label] = prev
+                elif prev is not None:
+                    current = self.loop_anchor[label]
+                    if current is None or (
+                        self.time_l[prev],
+                        int(cols.seq[prev]),
+                    ) > (self.time_l[current], int(cols.seq[current])):
+                        self.loop_anchor[label] = prev
+
+        # Lock/semaphore structure is rare; only pay for it when present.
+        # The Trace accessors raise the same TraceErrors the object path
+        # surfaces for incomplete use triples.
+        self.lock_uses: dict = {}
+        self.lock_prev_rel: dict[int, Optional[int]] = {}
+        self.sem_uses: dict = {}
+        self.sem_enabler: dict[int, Optional[int]] = {}
+        self.sem_prev_acq: dict[int, Optional[int]] = {}
+        have_locks = bool(
+            kind_code_mask(
+                cols.kind,
+                EventKind.LOCK_REQ,
+                EventKind.LOCK_ACQ,
+                EventKind.LOCK_REL,
+            ).any()
+        )
+        have_sems = bool(
+            kind_code_mask(
+                cols.kind,
+                EventKind.SEM_REQ,
+                EventKind.SEM_ACQ,
+                EventKind.SEM_SIG,
+            ).any()
+        )
+        if not (have_locks or have_sems):
+            return
+        seq_to_row = {s: i for i, s in enumerate(cols.seq.tolist())}
+        if have_locks:
+            for key, use in self.measured.lock_uses().items():
+                self.lock_uses[key] = {
+                    name: seq_to_row[ev.seq] for name, ev in use.items()
+                }
+            for _lock, keys in self.measured.lock_acquisition_order().items():
+                prev_rel: Optional[int] = None
+                for key in keys:
+                    use = self.lock_uses[key]
+                    self.lock_prev_rel[use["acq"]] = prev_rel
+                    prev_rel = use["rel"]
+        if have_sems:
+            for key, use in self.measured.sem_uses().items():
+                self.sem_uses[key] = {
+                    name: seq_to_row[ev.seq] for name, ev in use.items()
+                }
+        if self.sem_uses:
+            capacities = self.measured.meta.get("semaphores")
+            if not capacities:
+                raise AnalysisError(
+                    "trace has semaphore events but no declared capacities "
+                    "in its metadata"
+                )
+            signal_order = self.measured.sem_signal_order()
+            for sem, grants in self.measured.sem_grant_order().items():
+                cap = int(capacities[sem])
+                signals = signal_order[sem]
+                prev_acq: Optional[int] = None
+                for k, key in enumerate(grants):
+                    acq = self.sem_uses[key]["acq"]
+                    if k >= cap:
+                        self.sem_enabler[acq] = seq_to_row[
+                            self.measured.sem_uses()[signals[k - cap]]["sig"].seq
+                        ]
+                    else:
+                        self.sem_enabler[acq] = None
+                    self.sem_prev_acq[acq] = prev_acq
+                    prev_acq = acq
+
+    # ---------------------------------------------------------- resolution
+    def _resolved(self, row: int) -> bool:
+        return self.pos_l[row] < self.reached[self.tidx_l[row]]
+
+    def _value(self, row: int) -> int:
+        """t_a of a resolved row: its segment offset plus its prefix."""
+        t = self.tidx_l[row]
+        p = self.pos_l[row]
+        return self.O[t][bisect_right(self.spec_pos[t], p)] + self.P_l[t][p]
+
+    def _try_special(self, row: int, t: int, p: int) -> Optional[int]:
+        """Resolve the special at thread t, position p; None if not ready."""
+        kind, sv, si, lb, ov = self.payload[row]
+        if kind == _CODE_AWAIT_E:
+            ta = self._resolve_await_end(row, sv, si)
+        elif kind == _CODE_LOCK_ACQ:
+            ta = self._resolve_lock_acquire(row, sv, si)
+        elif kind == _CODE_SEM_ACQ:
+            ta = self._resolve_sem_acquire(row, sv, si)
+        elif kind == _CODE_BARRIER_EXIT:
+            ta = self._resolve_barrier_exit(row, sv, si)
+        else:  # LOOP_BEGIN: chain from the initiator's pre-fork event
+            label = "" if lb < 0 else self.cols.label_table[lb]
+            anchor = self.loop_anchor.get(label)
+            if anchor is None:
+                ta = max(0, self.time_l[row] - ov)
+            else:
+                if not self._resolved(anchor):
+                    return None
+                ta = (
+                    self._value(anchor)
+                    + (self.time_l[row] - self.time_l[anchor])
+                    - ov
+                )
+        if ta is None:
+            return None
+        if p > 0:
+            ta_pred = self.O[t][-1] + self.P_l[t][p - 1]
+            if ta_pred > ta:
+                ta = ta_pred  # thread order is causal
+        return ta if ta > 0 else 0
+
+    def _resolve_await_end(self, row: int, sv: int, si: int) -> Optional[int]:
+        key = self._sync_key(row, sv, si)
+        begin = self.await_begin.get(key)
+        if begin is None:
+            raise _resolution_error(
+                f"awaitE without awaitB for {key}", (self.cols.event(row),)
+            )
+        if not self._resolved(begin):
+            return None
+        t_begin = self._value(begin)
+        advance = self.advances.get(key)
+        if advance is None:
+            if key[1] >= 0:
+                raise _resolution_error(
+                    f"awaitE {key} has no matching advance",
+                    (self.cols.event(row),),
+                )
+            # DOACROSS prologue await: satisfied immediately by convention.
+            return t_begin + self.constants.s_nowait
+        if not self._resolved(advance):
+            return None
+        t_advance = self._value(advance)
+        if t_advance <= t_begin:
+            return t_begin + self.constants.s_nowait
+        return t_advance + self.constants.s_wait
+
+    def _resolve_lock_acquire(self, row: int, sv: int, si: int) -> Optional[int]:
+        use = self.lock_uses.get(self._sync_key(row, sv, si))
+        if use is None:  # pragma: no cover - lock_uses covers all triples
+            raise AnalysisError(
+                f"lock acquire without use record: {self.cols.event(row)}"
+            )
+        req = use["req"]
+        if not self._resolved(req):
+            return None
+        prev_rel = self.lock_prev_rel.get(row)
+        uncontended = self._value(req) + self.constants.lock_nowait
+        if prev_rel is None:
+            return uncontended
+        if not self._resolved(prev_rel):
+            return None
+        handoff = self._value(prev_rel) + self.constants.lock_handoff
+        return max(uncontended, handoff)
+
+    def _resolve_sem_acquire(self, row: int, sv: int, si: int) -> Optional[int]:
+        use = self.sem_uses.get(self._sync_key(row, sv, si))
+        if use is None:  # pragma: no cover - sem_uses covers all triples
+            raise AnalysisError(
+                f"semaphore grant without use record: {self.cols.event(row)}"
+            )
+        req = use["req"]
+        if not self._resolved(req):
+            return None
+        candidates = [self._value(req) + self.constants.lock_nowait]
+        enabler = self.sem_enabler.get(row)
+        if enabler is not None:
+            if not self._resolved(enabler):
+                return None
+            candidates.append(self._value(enabler) + self.constants.lock_handoff)
+        prev_acq = self.sem_prev_acq.get(row)
+        if prev_acq is not None:
+            if not self._resolved(prev_acq):
+                return None
+            # Preserve the measured grant order (conservative total order).
+            candidates.append(self._value(prev_acq))
+        return max(candidates)
+
+    def _resolve_barrier_exit(self, row: int, sv: int, si: int) -> Optional[int]:
+        sv_val = None if sv < 0 else self.cols.sync_var_table[sv]
+        si_val = None if si == NONE_SENTINEL else si
+        key = (sv_val or "barrier", si_val or 0)
+        arrivals = self.barrier_arrivals.get(key)
+        if not arrivals:
+            raise _resolution_error(
+                f"barrier exit {key} without arrivals", (self.cols.event(row),)
+            )
+        for a in arrivals:
+            if not self._resolved(a):
+                return None
+        return (
+            max(self._value(a) for a in arrivals)
+            + self.constants.barrier_release
+        )
+
+    def run(self) -> dict[int, int]:
+        nthreads = len(self.thread_rows)
+        remaining = sum(self.m)  # every event, like the object worklist
+        while remaining > 0:
+            progress = 0
+            for t in range(nthreads):
+                sp = self.spec_pos[t]
+                rows = self.spec_rows[t]
+                while True:
+                    # Sweep the plain run up to the next special (those
+                    # rows become resolved *now*, not implicitly before
+                    # the worklist reaches them).
+                    nxt = sp[self.ptr[t]] if self.ptr[t] < len(sp) else self.m[t]
+                    if self.reached[t] < nxt:
+                        progress += nxt - self.reached[t]
+                        self.reached[t] = nxt
+                    if self.ptr[t] >= len(sp):
+                        break
+                    p = nxt
+                    ta = self._try_special(rows[self.ptr[t]], t, p)
+                    if ta is None:
+                        break
+                    self.O[t].append(ta - self.P_l[t][p])
+                    self.ptr[t] += 1
+                    self.reached[t] = p + 1
+                    progress += 1
+            if progress == 0:
+                stuck = [
+                    self.cols.event(self.spec_rows[t][self.ptr[t]])
+                    for t in range(nthreads)
+                    if self.ptr[t] < len(self.spec_pos[t])
+                ]
+                raise _resolution_error(
+                    "event resolution deadlocked (malformed trace?); "
+                    "unresolvable events:\n  "
+                    + "\n  ".join(str(e) for e in stuck[:8]),
+                    tuple(stuck),
+                )
+            remaining -= progress
+        return self._assemble()
+
+    def _assemble(self) -> dict[int, int]:
+        """Every event's time: per-thread prefix plus repeated offsets."""
+        np = _columnar.np
+        out = np.empty(len(self.cols), dtype=np.int64)
+        for t, idx in enumerate(self.thread_rows):
+            bounds = np.empty(len(self.spec_pos[t]) + 2, dtype=np.int64)
+            bounds[0] = 0
+            bounds[1:-1] = self.spec_pos[t]
+            bounds[-1] = self.m[t]
+            offsets = np.array(self.O[t], dtype=np.int64)
+            out[idx] = self.P[t] + np.repeat(offsets, np.diff(bounds))
+        return dict(zip(self.cols.seq.tolist(), out.tolist()))
+
+
+def resolve_columnar(measured: Trace, constants: AnalysisConstants) -> dict[int, int]:
+    """Event-based resolution over the columnar backend.
+
+    Returns the same ``seq -> t_a`` mapping as
+    ``_Resolver(measured, constants).run()``, and raises the same
+    exceptions (messages included) on malformed traces.
+    """
+    return _ColumnarResolver(measured, constants).run()

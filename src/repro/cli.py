@@ -3,10 +3,17 @@
 Usage::
 
     repro-ppopp91 all            # every table and figure
+    repro-ppopp91 all --jobs 8   # fan simulations out over 8 processes
     repro-ppopp91 table2         # one experiment
     repro-ppopp91 figure1 --quick
     repro-ppopp91 table3 --trips 400 --seed 7
+    repro-ppopp91 cache stats    # inspect the simulation artifact cache
+    repro-ppopp91 cache clear
     python -m repro figure5
+
+Simulations are deterministic per (program, plan, machine, seed) tuple,
+so ``--jobs`` and the artifact cache change wall-clock only — report text
+is byte-identical to a serial, cold run.
 """
 
 from __future__ import annotations
@@ -24,7 +31,7 @@ from repro.experiments import (
     run_figure1,
     run_figure4,
     run_figure5,
-    run_loop_study,
+    run_loop_studies,
     run_mode_study,
     run_scaling,
     run_table1,
@@ -33,6 +40,7 @@ from repro.experiments import (
     run_volume,
 )
 from repro.experiments.table1 import DOACROSS_LOOPS
+from repro.runtime import ArtifactCache, RunSpec, configure, simulate_many
 
 EXPERIMENTS = (
     "figure1",
@@ -72,8 +80,15 @@ def make_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all",),
-        help="which table/figure to regenerate",
+        choices=EXPERIMENTS + ("all", "cache"),
+        help="which table/figure to regenerate, or 'cache' to manage the artifact cache",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        choices=("stats", "clear"),
+        default=None,
+        help="cache management action (with 'cache'; default: stats)",
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced loop lengths (fast)"
@@ -90,16 +105,69 @@ def make_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--width", type=int, default=72, help="chart width in characters"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulation worker processes (default: $REPRO_JOBS or 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="skip the on-disk simulation artifact cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="artifact cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro-ppopp91)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top-25 cumulative entries",
+    )
     return parser
+
+
+def all_specs(config: ExperimentConfig) -> list[RunSpec]:
+    """Every simulation tuple the full report needs, for one-shot fan-out.
+
+    Duplicates across experiments (e.g. the accuracy study re-measures the
+    loop-study tuples) are fine: the runner deduplicates by spec.
+    """
+    from repro.experiments.accuracy import accuracy_specs
+    from repro.experiments.common import loop_study_specs, sequential_study_specs
+    from repro.experiments.modes import mode_study_specs
+    from repro.experiments.scaling import scaling_specs
+    from repro.experiments.volume import volume_specs
+    from repro.livermore.classify import figure1_kernels
+
+    specs: list[RunSpec] = []
+    for k in figure1_kernels():
+        specs.extend(sequential_study_specs(k, config))
+    for k in DOACROSS_LOOPS:
+        specs.extend(loop_study_specs(k, config))
+    specs.extend(mode_study_specs(config))
+    specs.extend(accuracy_specs(config))
+    specs.extend(scaling_specs(17, config))
+    specs.extend(scaling_specs(3, config))
+    specs.extend(volume_specs(20, config))
+    return specs
 
 
 def run(experiment: str, config: ExperimentConfig, width: int = 72) -> str:
     """Run one experiment (or 'all') and return its report text."""
     sections: list[str] = []
+    if experiment == "all":
+        # One batch for the whole report: cache hits resolve immediately
+        # and every remaining simulation fans out in a single wave.
+        simulate_many(all_specs(config))
     # Loop studies are the expensive part; share them across experiments.
     studies = None
     if experiment in ("table1", "table2", "table3", "figure4", "figure5", "all"):
-        studies = {k: run_loop_study(k, config) for k in DOACROSS_LOOPS}
+        studies = run_loop_studies(DOACROSS_LOOPS, config)
     if experiment in ("figure1", "all"):
         sections.append(run_figure1(config).render())
     if experiment in ("table1", "all"):
@@ -124,10 +192,41 @@ def run(experiment: str, config: ExperimentConfig, width: int = 72) -> str:
     return "\n\n" + "\n\n\n".join(sections) + "\n"
 
 
+def _run_cache_command(args: argparse.Namespace) -> int:
+    cache = ArtifactCache(args.cache_dir)
+    action = args.action or "stats"
+    if action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached artifacts from {cache.root}")
+    else:
+        print(cache.stats().describe())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = make_parser().parse_args(argv)
+    if args.experiment == "cache":
+        return _run_cache_command(args)
+    if args.action is not None:
+        make_parser().error(
+            f"'{args.action}' only applies to the 'cache' command"
+        )
+    configure(
+        jobs=args.jobs,
+        cache=None if args.no_cache else ArtifactCache(args.cache_dir),
+    )
     config = _build_config(args)
-    print(run(args.experiment, config, width=args.width))
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        report = profiler.runcall(run, args.experiment, config, width=args.width)
+        print(report)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(25)
+    else:
+        print(run(args.experiment, config, width=args.width))
     return 0
 
 

@@ -18,8 +18,12 @@ from repro.experiments.common import (
     QUICK_CONFIG,
     LoopStudy,
     SequentialStudy,
+    calibrated_constants,
+    loop_study_specs,
+    run_loop_studies,
     run_loop_study,
     run_sequential_study,
+    sequential_study_specs,
 )
 from repro.experiments.figure1 import run_figure1, Figure1Result
 from repro.experiments.table1 import run_table1, Table1Result
@@ -38,8 +42,12 @@ __all__ = [
     "QUICK_CONFIG",
     "LoopStudy",
     "SequentialStudy",
+    "calibrated_constants",
+    "loop_study_specs",
+    "run_loop_studies",
     "run_loop_study",
     "run_sequential_study",
+    "sequential_study_specs",
     "run_figure1",
     "Figure1Result",
     "run_table1",

@@ -18,11 +18,10 @@ from repro.analysis import (
     time_based_approximation,
 )
 from repro.analysis.errors import EventErrorStats
-from repro.exec import Executor
 from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.report import ascii_table
 from repro.instrument.plan import PLAN_FULL, PLAN_NONE, PLAN_STATEMENTS
-from repro.livermore import livermore_program
+from repro.runtime import ProgramSpec, simulate_many
 
 
 @dataclass(frozen=True)
@@ -88,22 +87,40 @@ class AccuracyResult:
         )
 
 
+DOACROSS_KERNELS = (3, 4, 17)
+
+
+def accuracy_specs(config: ExperimentConfig = DEFAULT_CONFIG):
+    """The simulation tuples behind the accuracy study, in row order.
+
+    The DOACROSS tuples are identical to the loop-study ones (same
+    programs, plans, and seed salts), so a shared runner memoizes them
+    across the two experiments.
+    """
+    seq12 = ProgramSpec(12, "sequential", config.trips)
+    specs = [
+        config.spec(seq12, PLAN_NONE, seed_salt=12),
+        config.spec(seq12, PLAN_STATEMENTS, seed_salt=12),
+    ]
+    for k in DOACROSS_KERNELS:
+        program = ProgramSpec(k, "doacross", config.trips)
+        specs.append(config.spec(program, PLAN_NONE, seed_salt=k))
+        specs.append(config.spec(program, PLAN_FULL, seed_salt=k))
+    return specs
+
+
 def run_accuracy(
     config: ExperimentConfig = DEFAULT_CONFIG,
 ) -> AccuracyResult:
     """Per-event accuracy for a sequential loop (time-based) and the
     three DOACROSS loops (event-based)."""
     constants = config.constants()
+    doacross = DOACROSS_KERNELS
+    results = simulate_many(accuracy_specs(config))
     rows: list[AccuracyRow] = []
 
     # Sequential representative: loop 12, time-based.
-    prog = livermore_program(12, mode="sequential", trips=config.trips)
-    ex = Executor(
-        machine_config=config.machine, inst_costs=config.costs,
-        perturb=config.perturb, seed=config.seed + 12,
-    )
-    actual = ex.run(prog, PLAN_NONE)
-    measured = ex.run(prog, PLAN_STATEMENTS)
+    actual, measured = results[0], results[1]
     approx = time_based_approximation(measured.trace, constants)
     stats = per_event_errors(approx, actual.trace)
     rows.append(
@@ -115,14 +132,8 @@ def run_accuracy(
     )
 
     # DOACROSS loops: event-based.
-    for k in (3, 4, 17):
-        prog = livermore_program(k, mode="doacross", trips=config.trips)
-        ex = Executor(
-            machine_config=config.machine, inst_costs=config.costs,
-            perturb=config.perturb, seed=config.seed + k,
-        )
-        actual = ex.run(prog, PLAN_NONE)
-        measured = ex.run(prog, PLAN_FULL)
+    for i, k in enumerate(doacross):
+        actual, measured = results[2 + 2 * i], results[3 + 2 * i]
         approx = event_based_approximation(measured.trace, constants)
         stats = per_event_errors(approx, actual.trace)
         rows.append(

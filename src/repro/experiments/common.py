@@ -18,9 +18,29 @@ from repro.instrument import (
     InstrumentationCosts,
     calibrate_analysis_constants,
 )
-from repro.instrument.plan import PLAN_FULL, PLAN_NONE, PLAN_STATEMENTS
+from repro.instrument.plan import (
+    PLAN_FULL,
+    PLAN_NONE,
+    PLAN_STATEMENTS,
+    InstrumentationPlan,
+)
 from repro.livermore import livermore_program, sequential_program
 from repro.machine.costs import FX80, MachineConfig
+from repro.runtime import ProgramSpec, RunSpec, simulate, simulate_many
+
+
+@lru_cache(maxsize=None)
+def calibrated_constants(
+    machine: MachineConfig, costs: InstrumentationCosts
+) -> AnalysisConstants:
+    """Memoized :func:`calibrate_analysis_constants`.
+
+    Calibration runs five micro-benchmarks on a simulated machine; every
+    experiment needs the same constants for the same (machine, costs)
+    pair, so compute them once per configuration.  Both argument types are
+    frozen dataclasses, hence hashable.
+    """
+    return calibrate_analysis_constants(machine, costs)
 
 
 @dataclass(frozen=True)
@@ -43,10 +63,33 @@ class ExperimentConfig:
 
     def constants(self) -> AnalysisConstants:
         """Calibrated platform constants for the analysis (in vitro)."""
-        return calibrate_analysis_constants(self.machine, self.costs)
+        return calibrated_constants(self.machine, self.costs)
 
     def quick(self, trips: int = 200) -> "ExperimentConfig":
         return replace(self, trips=trips)
+
+    def spec(
+        self,
+        program: ProgramSpec,
+        plan: InstrumentationPlan,
+        seed_salt: int,
+        machine: Optional[MachineConfig] = None,
+    ) -> RunSpec:
+        """A :class:`RunSpec` for one run under this configuration.
+
+        ``seed_salt`` is the per-study offset historically passed to
+        :class:`Executor` (``seed=config.seed + salt``); keeping the same
+        derivation keeps every result byte-identical to the pre-runner
+        inline calls.
+        """
+        return RunSpec(
+            program=program,
+            plan=plan,
+            machine=machine if machine is not None else self.machine,
+            costs=self.costs,
+            perturb=self.perturb,
+            seed=self.seed + seed_salt,
+        )
 
 
 DEFAULT_CONFIG = ExperimentConfig()
@@ -99,13 +142,22 @@ class LoopStudy:
         return self.liberal.total_time / self.actual_time
 
 
+def loop_study_specs(
+    loop: int, config: ExperimentConfig = DEFAULT_CONFIG
+) -> list[RunSpec]:
+    """The three simulation tuples behind one DOACROSS loop study."""
+    program = ProgramSpec(loop, "doacross", config.trips)
+    return [
+        config.spec(program, plan, seed_salt=loop)
+        for plan in (PLAN_NONE, PLAN_STATEMENTS, PLAN_FULL)
+    ]
+
+
 def run_loop_study(loop: int, config: ExperimentConfig = DEFAULT_CONFIG) -> LoopStudy:
     """Run the Tables 1/2 pipeline for one of the DOACROSS loops (3/4/17)."""
-    prog = livermore_program(loop, mode="doacross", trips=config.trips)
-    ex = _executor(config, loop)
-    actual = ex.run(prog, PLAN_NONE)
-    measured_stmt = ex.run(prog, PLAN_STATEMENTS)
-    measured_full = ex.run(prog, PLAN_FULL)
+    actual, measured_stmt, measured_full = simulate_many(
+        loop_study_specs(loop, config)
+    )
     constants = config.constants()
     tb = time_based_approximation(measured_stmt.trace, constants)
     eb = event_based_approximation(measured_full.trace, constants)
@@ -120,6 +172,14 @@ def run_loop_study(loop: int, config: ExperimentConfig = DEFAULT_CONFIG) -> Loop
         liberal=lib,
         constants=constants,
     )
+
+
+def run_loop_studies(
+    loops: tuple[int, ...], config: ExperimentConfig = DEFAULT_CONFIG
+) -> dict[int, LoopStudy]:
+    """Loop studies for several loops, simulations batched for fan-out."""
+    simulate_many([s for k in loops for s in loop_study_specs(k, config)])
+    return {k: run_loop_study(k, config) for k in loops}
 
 
 @dataclass
@@ -141,14 +201,22 @@ class SequentialStudy:
         return self.time_based.total_time / self.actual.total_time
 
 
+def sequential_study_specs(
+    loop: int, config: ExperimentConfig = DEFAULT_CONFIG
+) -> list[RunSpec]:
+    """The two simulation tuples behind one sequential-loop study."""
+    program = ProgramSpec(loop, "sequential", config.trips)
+    return [
+        config.spec(program, plan, seed_salt=100 + loop)
+        for plan in (PLAN_NONE, PLAN_STATEMENTS)
+    ]
+
+
 def run_sequential_study(
     loop: int, config: ExperimentConfig = DEFAULT_CONFIG
 ) -> SequentialStudy:
     """Run the Figure 1 pipeline for one sequentially-executed loop."""
-    prog = sequential_program(loop, trips=config.trips)
-    ex = _executor(config, 100 + loop)
-    actual = ex.run(prog, PLAN_NONE)
-    measured = ex.run(prog, PLAN_STATEMENTS)
+    actual, measured = simulate_many(sequential_study_specs(loop, config))
     constants = config.constants()
     tb = time_based_approximation(measured.trace, constants)
     return SequentialStudy(

@@ -16,9 +16,11 @@ from repro.experiments.common import (
     ExperimentConfig,
     SequentialStudy,
     run_sequential_study,
+    sequential_study_specs,
 )
 from repro.experiments.report import ascii_bars, ascii_table
 from repro.livermore.classify import figure1_kernels
+from repro.runtime import simulate_many
 
 #: The paper's qualitative envelope: slowdowns within [3.5, 20] and model
 #: ratios within 15% of 1.0.
@@ -81,6 +83,9 @@ def run_figure1(
 ) -> Figure1Result:
     """Reproduce Figure 1 over the paper's sequential loop set."""
     loops = loops if loops is not None else figure1_kernels()
+    # Batch the whole sweep so the runner can fan it out; the per-loop
+    # studies below then resolve from the in-process memo.
+    simulate_many([s for k in loops for s in sequential_study_specs(k, config)])
     return Figure1Result(
         studies={k: run_sequential_study(k, config) for k in loops}
     )

@@ -19,11 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis import time_based_approximation
-from repro.exec import Executor
 from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.report import ascii_table
 from repro.instrument.plan import PLAN_NONE, PLAN_STATEMENTS
-from repro.livermore import livermore_program
+from repro.runtime import ProgramSpec, RunSpec, simulate_many
 
 
 @dataclass(frozen=True)
@@ -83,6 +82,22 @@ class ModeStudyResult:
         )
 
 
+DEFAULT_CASES = [(7, "sequential"), (7, "vector"), (21, "doall"), (3, "doacross")]
+
+
+def mode_study_specs(
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    cases: list[tuple[int, str]] | None = None,
+) -> list[RunSpec]:
+    """The simulation tuples behind the mode study (two per case)."""
+    specs: list[RunSpec] = []
+    for kernel, mode in cases if cases is not None else DEFAULT_CASES:
+        program = ProgramSpec(kernel, mode, config.trips)
+        specs.append(config.spec(program, PLAN_NONE, seed_salt=kernel))
+        specs.append(config.spec(program, PLAN_STATEMENTS, seed_salt=kernel))
+    return specs
+
+
 def run_mode_study(
     config: ExperimentConfig = DEFAULT_CONFIG,
     cases: list[tuple[int, str]] | None = None,
@@ -93,19 +108,12 @@ def run_mode_study(
     doacross — one representative per execution mode.
     """
     if cases is None:
-        cases = [(7, "sequential"), (7, "vector"), (21, "doall"), (3, "doacross")]
+        cases = DEFAULT_CASES
     constants = config.constants()
+    results = simulate_many(mode_study_specs(config, cases))
     rows: list[ModeRow] = []
-    for kernel, mode in cases:
-        prog = livermore_program(kernel, mode=mode, trips=config.trips)
-        ex = Executor(
-            machine_config=config.machine,
-            inst_costs=config.costs,
-            perturb=config.perturb,
-            seed=config.seed + kernel,
-        )
-        actual = ex.run(prog, PLAN_NONE)
-        measured = ex.run(prog, PLAN_STATEMENTS)
+    for i, (kernel, mode) in enumerate(cases):
+        actual, measured = results[2 * i], results[2 * i + 1]
         approx = time_based_approximation(measured.trace, constants)
         rows.append(
             ModeRow(

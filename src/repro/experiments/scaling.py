@@ -18,12 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.analysis import event_based_approximation
-from repro.exec import Executor
-from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
+from repro.experiments.common import (
+    DEFAULT_CONFIG,
+    ExperimentConfig,
+    calibrated_constants,
+)
 from repro.experiments.report import ascii_table
-from repro.instrument import calibrate_analysis_constants
 from repro.instrument.plan import PLAN_FULL, PLAN_NONE
-from repro.livermore import doacross_program
+from repro.runtime import ProgramSpec, RunSpec, simulate_many
 
 DEFAULT_WIDTHS = (1, 2, 4, 8, 16)
 
@@ -110,25 +112,34 @@ class ScalingResult:
         )
 
 
+def scaling_specs(
+    loop: int = 17,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    widths: tuple[int, ...] = DEFAULT_WIDTHS,
+) -> list[RunSpec]:
+    """The simulation tuples behind one scaling sweep (two per width)."""
+    program = ProgramSpec(loop, "doacross", config.trips)
+    specs: list[RunSpec] = []
+    for n_ce in widths:
+        machine = config.machine.with_cores(n_ce)
+        salt = loop * 100 + n_ce
+        specs.append(config.spec(program, PLAN_NONE, salt, machine=machine))
+        specs.append(config.spec(program, PLAN_FULL, salt, machine=machine))
+    return specs
+
+
 def run_scaling(
     loop: int = 17,
     config: ExperimentConfig = DEFAULT_CONFIG,
     widths: tuple[int, ...] = DEFAULT_WIDTHS,
 ) -> ScalingResult:
     """Sweep machine width for one DOACROSS loop."""
-    prog = doacross_program(loop, trips=config.trips)
+    results = simulate_many(scaling_specs(loop, config, widths))
     points: list[ScalingPoint] = []
-    for n_ce in widths:
+    for i, n_ce in enumerate(widths):
         machine = config.machine.with_cores(n_ce)
-        constants = calibrate_analysis_constants(machine, config.costs)
-        ex = Executor(
-            machine_config=machine,
-            inst_costs=config.costs,
-            perturb=config.perturb,
-            seed=config.seed + loop * 100 + n_ce,
-        )
-        actual = ex.run(prog, PLAN_NONE)
-        measured = ex.run(prog, PLAN_FULL)
+        constants = calibrated_constants(machine, config.costs)
+        actual, measured = results[2 * i], results[2 * i + 1]
         approx = event_based_approximation(measured.trace, constants)
         points.append(
             ScalingPoint(

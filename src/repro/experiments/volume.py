@@ -21,11 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.analysis import time_based_approximation
-from repro.exec import Executor
 from repro.experiments.common import DEFAULT_CONFIG, ExperimentConfig
 from repro.experiments.report import ascii_table
-from repro.instrument.plan import PLAN_NONE, PLAN_STATEMENTS, InstrumentationPlan
-from repro.livermore import sequential_program
+from repro.instrument.plan import PLAN_NONE, PLAN_STATEMENTS
+from repro.runtime import ProgramSpec, simulate_many
 
 DEFAULT_FRACTIONS = (0.1, 0.25, 0.5, 0.75, 1.0)
 
@@ -92,25 +91,31 @@ class VolumeResult:
         )
 
 
+def volume_specs(
+    loop: int = 20,
+    config: ExperimentConfig = DEFAULT_CONFIG,
+    fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
+):
+    """The simulation tuples behind one volume sweep (actual first)."""
+    program = ProgramSpec(loop, "sequential", config.trips)
+    specs = [config.spec(program, PLAN_NONE, seed_salt=loop)]
+    for fraction in fractions:
+        plan = replace(PLAN_STATEMENTS, statement_fraction=fraction)
+        specs.append(config.spec(program, plan, seed_salt=loop))
+    return specs
+
+
 def run_volume(
     loop: int = 20,
     config: ExperimentConfig = DEFAULT_CONFIG,
     fractions: tuple[float, ...] = DEFAULT_FRACTIONS,
 ) -> VolumeResult:
     """Sweep statement-probe volume for one sequentially-executed loop."""
-    prog = sequential_program(loop, trips=config.trips)
     constants = config.constants()
-    ex = Executor(
-        machine_config=config.machine,
-        inst_costs=config.costs,
-        perturb=config.perturb,
-        seed=config.seed + loop,
-    )
-    actual = ex.run(prog, PLAN_NONE)
+    results = simulate_many(volume_specs(loop, config, fractions))
+    actual = results[0]
     points: list[VolumePoint] = []
-    for fraction in fractions:
-        plan = replace(PLAN_STATEMENTS, statement_fraction=fraction)
-        measured = ex.run(prog, plan)
+    for fraction, measured in zip(fractions, results[1:]):
         approx = time_based_approximation(measured.trace, constants)
         points.append(
             VolumePoint(

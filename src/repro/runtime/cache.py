@@ -1,0 +1,218 @@
+"""Content-addressed on-disk cache of simulation artifacts.
+
+Every cached run occupies two sibling files under a two-level fan-out
+directory (``<root>/<key[:2]>/<key>.*``):
+
+* ``<key>.rpt`` — the execution's trace in the packed binary format
+  (exact round-trip is property-tested in
+  ``tests/property/test_columnar_equivalence.py``);
+* ``<key>.json`` — the rest of the :class:`ExecutionResult` (ground-truth
+  CE/sync statistics, schedule assignments, plan) plus the cache schema
+  version.
+
+The key is :func:`repro.runtime.spec.spec_key` — a hash of the complete
+simulation input — so a hit is definitionally the same result the
+simulator would recompute.  Reads are corruption-tolerant: any damaged,
+truncated, or schema-incompatible artifact is treated as a miss (and the
+leftovers removed), never an error — the simulator is always available as
+the fallback.  Writes are atomic (tmp + ``os.replace``), reusing the
+guarantees of :func:`repro.trace.io.write_trace`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.exec.result import CESnapshot, ExecutionResult, SyncVarStats
+from repro.instrument.plan import InstrumentationPlan
+from repro.runtime.spec import CACHE_SCHEMA_VERSION
+from repro.trace.io import read_trace, write_trace
+from repro.trace.trace import TraceError
+
+
+def default_cache_dir() -> Path:
+    """Artifact cache location: ``$REPRO_CACHE_DIR`` or ``~/.cache``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-ppopp91"
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Cache health snapshot: on-disk contents plus this-process counters."""
+
+    root: str
+    entries: int
+    size_bytes: int
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0  # corrupt artifacts removed on read
+
+    def describe(self) -> str:
+        mb = self.size_bytes / 1e6
+        lines = [
+            f"cache dir: {self.root}",
+            f"entries:   {self.entries}",
+            f"size:      {mb:.1f} MB",
+        ]
+        if self.hits or self.misses or self.stores:
+            lines.append(
+                f"session:   {self.hits} hits, {self.misses} misses, "
+                f"{self.stores} stores"
+            )
+        if self.evictions:
+            lines.append(f"evicted:   {self.evictions} corrupt artifacts")
+        return "\n".join(lines)
+
+
+def _result_payload(result: ExecutionResult) -> dict:
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "program": result.program,
+        "plan": asdict(result.plan),
+        "total_time": result.total_time,
+        "n_ce": result.n_ce,
+        "clock_mhz": result.clock_mhz,
+        "ce_stats": [asdict(ce) for ce in result.ce_stats],
+        "sync_stats": {v: asdict(s) for v, s in result.sync_stats.items()},
+        "assignments": {
+            loop: {str(i): ce for i, ce in sched.items()}
+            for loop, sched in result.assignments.items()
+        },
+    }
+
+
+def _result_from_payload(payload: dict, trace) -> ExecutionResult:
+    if payload.get("schema") != CACHE_SCHEMA_VERSION:
+        raise ValueError(f"cache schema mismatch: {payload.get('schema')!r}")
+    return ExecutionResult(
+        program=payload["program"],
+        plan=InstrumentationPlan(**payload["plan"]),
+        trace=trace,
+        total_time=int(payload["total_time"]),
+        n_ce=int(payload["n_ce"]),
+        clock_mhz=float(payload["clock_mhz"]),
+        ce_stats=[CESnapshot(**ce) for ce in payload["ce_stats"]],
+        sync_stats={
+            v: SyncVarStats(**s) for v, s in payload["sync_stats"].items()
+        },
+        # JSON stringifies the integer iteration indices; restore them.
+        assignments={
+            loop: {int(i): int(ce) for i, ce in sched.items()}
+            for loop, sched in payload["assignments"].items()
+        },
+    )
+
+
+class ArtifactCache:
+    """Content-addressed store of :class:`ExecutionResult` artifacts."""
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------- layout
+    def _entry(self, key: str) -> Path:
+        return self.root / key[:2] / key
+
+    # -------------------------------------------------------------- reads
+    def load(self, key: str) -> Optional[ExecutionResult]:
+        """The cached result for ``key``, or None.
+
+        Never raises on a bad artifact: unreadable, truncated, or
+        schema-mismatched files count as misses and are swept away so the
+        follow-up store starts clean.
+        """
+        entry = self._entry(key)
+        json_path = entry.with_suffix(".json")
+        rpt_path = entry.with_suffix(".rpt")
+        try:
+            payload = json.loads(json_path.read_text())
+            trace = read_trace(rpt_path)
+            result = _result_from_payload(payload, trace)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, TypeError, KeyError, TraceError):
+            self.misses += 1
+            self.evictions += 1
+            self._remove_entry(entry)
+            return None
+        self.hits += 1
+        return result
+
+    # ------------------------------------------------------------- writes
+    def store(self, key: str, result: ExecutionResult) -> None:
+        """Persist ``result`` under ``key`` (atomic; errors are non-fatal)."""
+        entry = self._entry(key)
+        try:
+            entry.parent.mkdir(parents=True, exist_ok=True)
+            write_trace(result.trace, entry.with_suffix(".rpt"), format="rpt")
+            json_path = entry.with_suffix(".json")
+            tmp = json_path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(_result_payload(result)))
+            os.replace(tmp, json_path)
+        except OSError:
+            # A read-only or full cache directory degrades to "no cache",
+            # it must never fail the experiment.
+            return
+        self.stores += 1
+
+    # --------------------------------------------------------- management
+    def _remove_entry(self, entry: Path) -> None:
+        for suffix in (".json", ".rpt", ".json.tmp", ".rpt.tmp"):
+            try:
+                entry.with_suffix(suffix).unlink()
+            except OSError:
+                pass
+
+    def stats(self) -> CacheStats:
+        entries = 0
+        size = 0
+        if self.root.is_dir():
+            for path in self.root.glob("??/*.json"):
+                entries += 1
+                try:
+                    size += path.stat().st_size
+                    size += path.with_suffix(".rpt").stat().st_size
+                except OSError:
+                    pass
+        return CacheStats(
+            root=str(self.root),
+            entries=entries,
+            size_bytes=size,
+            hits=self.hits,
+            misses=self.misses,
+            stores=self.stores,
+            evictions=self.evictions,
+        )
+
+    def clear(self) -> int:
+        """Remove every cached artifact; returns the entry count removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        for path in self.root.glob("??/*"):
+            if path.suffix == ".json":
+                removed += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        for shard in self.root.glob("??"):
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        return removed

@@ -52,3 +52,60 @@ def test_unknown_method_rejected(constants, executor, toy_sequential):
     measured = executor.run(toy_sequential, PLAN_STATEMENTS)
     with pytest.raises(AnalysisError, match="unknown method"):
         auto_approximation(measured.trace, constants, "magic")
+
+
+# --- the selector predicates, branch by branch ---------------------------
+
+from repro.analysis.auto import _has_sync_identity, _looks_parallel  # noqa: E402
+from repro.trace.events import EventKind, TraceEvent  # noqa: E402
+from repro.trace.trace import Trace  # noqa: E402
+
+
+def _trace(*events):
+    return Trace(list(events), {"instrumented": True})
+
+
+def _stmt(thread=0, time=5, seq=0):
+    return TraceEvent(time=time, thread=thread, kind=EventKind.STMT, seq=seq)
+
+
+def test_sync_identity_false_for_plain_statements():
+    assert not _has_sync_identity(_trace(_stmt(), _stmt(time=9, seq=1)))
+
+
+@pytest.mark.parametrize(
+    "kind",
+    [EventKind.ADVANCE, EventKind.AWAIT_B, EventKind.AWAIT_E,
+     EventKind.LOCK_ACQ, EventKind.SEM_ACQ, EventKind.BARRIER_ARRIVE],
+)
+def test_sync_identity_true_for_every_sync_kind(kind):
+    sync = TraceEvent(time=9, thread=0, kind=kind,
+                      sync_var="V", sync_index=1, seq=1)
+    assert _has_sync_identity(_trace(_stmt(), sync))
+
+
+def test_sync_identity_true_for_loop_begin_marker():
+    """LOOP_BEGIN is not a SYNC_KIND but anchors the event-based rules,
+    so it counts as identity on its own."""
+    lb = TraceEvent(time=9, thread=0, kind=EventKind.LOOP_BEGIN,
+                    label="L", seq=1)
+    assert _has_sync_identity(_trace(_stmt(), lb))
+
+
+def test_sync_identity_false_for_empty_trace():
+    assert not _has_sync_identity(Trace([], {"instrumented": True}))
+
+
+def test_looks_parallel_by_thread_count():
+    assert not _looks_parallel(_trace(_stmt(), _stmt(time=9, seq=1)))
+    assert _looks_parallel(_trace(_stmt(thread=0), _stmt(thread=1, seq=1)))
+
+
+def test_forced_event_reason_and_time_reason(constants, executor, toy_doacross):
+    measured = executor.run(toy_doacross, PLAN_FULL)
+    forced_ev = auto_approximation(measured.trace, constants, "event")
+    assert forced_ev.reason == "forced by caller"
+    forced_tb = auto_approximation(measured.trace, constants, "time")
+    assert forced_tb.reason == "forced by caller"
+    auto = auto_approximation(measured.trace, constants)
+    assert auto.reason == "trace carries synchronization identity"

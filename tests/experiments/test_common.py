@@ -73,3 +73,31 @@ def test_noise_free_config_gives_exact_event_based():
     cfg = ExperimentConfig(perturb=PerturbationConfig(), trips=150)
     study = run_loop_study(3, cfg)
     assert study.event_based_ratio == pytest.approx(1.0, abs=1e-9)
+
+
+def test_calibration_runs_once_per_config(monkeypatch):
+    """Regression: analysis-constant calibration is memoized per
+    (machine, costs) — repeated ExperimentConfig.constants() calls and
+    repeated studies must not re-run the calibration."""
+    import repro.experiments.common as common
+
+    calls = []
+    real = common.calibrate_analysis_constants
+
+    def counting(machine, costs):
+        calls.append((machine, costs))
+        return real(machine, costs)
+
+    monkeypatch.setattr(common, "calibrate_analysis_constants", counting)
+    common.calibrated_constants.cache_clear()
+    try:
+        first = CFG.constants()
+        assert len(calls) == 1
+        assert CFG.constants() == first
+        assert common.calibrated_constants(CFG.machine, CFG.costs) == first
+        assert len(calls) == 1  # memo hit, no recalibration
+        other = CFG.machine.with_cores(4)
+        common.calibrated_constants(other, CFG.costs)
+        assert len(calls) == 2  # distinct config recalibrates
+    finally:
+        common.calibrated_constants.cache_clear()

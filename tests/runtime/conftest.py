@@ -1,0 +1,55 @@
+"""Shared helpers for the runtime (spec/cache/runner) tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec import PerturbationConfig
+from repro.instrument import InstrumentationCosts
+from repro.instrument.plan import PLAN_FULL, PLAN_NONE
+from repro.machine.costs import FX80
+from repro.runtime import ProgramSpec, RunSpec, clear_memory_cache
+
+
+def make_spec(
+    kernel: int = 3,
+    mode: str = "doacross",
+    trips: int = 40,
+    plan=PLAN_FULL,
+    seed: int = 1991,
+    machine=FX80,
+) -> RunSpec:
+    return RunSpec(
+        program=ProgramSpec(kernel, mode, trips),
+        plan=plan,
+        machine=machine,
+        costs=InstrumentationCosts(),
+        perturb=PerturbationConfig(dilation=0.04, jitter=0.05),
+        seed=seed,
+    )
+
+
+def make_actual_spec(**kwargs) -> RunSpec:
+    return make_spec(plan=PLAN_NONE, **kwargs)
+
+
+def assert_results_equal(a, b):
+    """Bit-level equality of two ExecutionResults (traces via events)."""
+    assert a.program == b.program
+    assert a.plan == b.plan
+    assert a.total_time == b.total_time
+    assert a.n_ce == b.n_ce
+    assert a.clock_mhz == b.clock_mhz
+    assert a.ce_stats == b.ce_stats
+    assert a.sync_stats == b.sync_stats
+    assert a.assignments == b.assignments
+    assert a.trace.events == b.trace.events
+    assert a.trace.meta == b.trace.meta
+
+
+@pytest.fixture(autouse=True)
+def fresh_memo():
+    """Each test starts and ends with an empty in-process memo."""
+    clear_memory_cache()
+    yield
+    clear_memory_cache()

@@ -1,0 +1,93 @@
+"""Artifact cache: round-trips, corruption tolerance, management."""
+
+from __future__ import annotations
+
+import json
+
+from repro.runtime import ArtifactCache, default_cache_dir, execute_spec, spec_key
+from repro.runtime.spec import CACHE_SCHEMA_VERSION
+
+from tests.runtime.conftest import assert_results_equal, make_spec
+
+
+def _populated(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    spec = make_spec(trips=12)
+    key = spec_key(spec)
+    result = execute_spec(spec)
+    cache.store(key, result)
+    return cache, key, result
+
+
+def test_round_trip_is_exact(tmp_path):
+    cache, key, result = _populated(tmp_path)
+    loaded = cache.load(key)
+    assert loaded is not None
+    assert_results_equal(loaded, result)
+    # including the int-keyed schedule assignments JSON stringifies
+    assert loaded.assignments == result.assignments
+    for sched in loaded.assignments.values():
+        assert all(isinstance(i, int) for i in sched)
+
+
+def test_missing_key_is_a_miss(tmp_path):
+    cache = ArtifactCache(tmp_path / "cache")
+    assert cache.load("ab" + "0" * 62) is None
+    assert cache.misses == 1 and cache.evictions == 0
+
+
+def test_corrupt_json_is_evicted(tmp_path):
+    cache, key, _ = _populated(tmp_path)
+    entry = cache._entry(key)
+    entry.with_suffix(".json").write_text("{not json")
+    assert cache.load(key) is None
+    assert cache.evictions == 1
+    assert not entry.with_suffix(".json").exists()
+    assert not entry.with_suffix(".rpt").exists()  # sibling swept too
+
+
+def test_truncated_trace_is_evicted(tmp_path):
+    cache, key, _ = _populated(tmp_path)
+    rpt = cache._entry(key).with_suffix(".rpt")
+    rpt.write_bytes(rpt.read_bytes()[: rpt.stat().st_size // 2])
+    assert cache.load(key) is None
+    assert cache.evictions == 1
+
+
+def test_schema_mismatch_is_evicted(tmp_path):
+    cache, key, _ = _populated(tmp_path)
+    json_path = cache._entry(key).with_suffix(".json")
+    payload = json.loads(json_path.read_text())
+    payload["schema"] = CACHE_SCHEMA_VERSION + 1
+    json_path.write_text(json.dumps(payload))
+    assert cache.load(key) is None
+    assert cache.evictions == 1
+
+
+def test_stats_and_clear(tmp_path):
+    cache, key, _ = _populated(tmp_path)
+    stats = cache.stats()
+    assert stats.entries == 1
+    assert stats.size_bytes > 0
+    assert stats.stores == 1
+    assert "entries:   1" in stats.describe()
+    assert cache.clear() == 1
+    assert cache.stats().entries == 0
+    assert cache.load(key) is None
+
+
+def test_store_into_unwritable_dir_is_nonfatal(tmp_path):
+    blocked = tmp_path / "blocked"
+    blocked.write_text("a file where the cache dir should go")
+    cache = ArtifactCache(blocked / "cache")  # mkdir will fail
+    spec = make_spec(trips=8)
+    cache.store(spec_key(spec), execute_spec(spec))  # must not raise
+    assert cache.stores == 0
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+    assert default_cache_dir() == tmp_path / "override"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert default_cache_dir() == tmp_path / "xdg" / "repro-ppopp91"

@@ -1,0 +1,100 @@
+"""Sweep runner: memoization, cache layering, and parallel determinism."""
+
+from __future__ import annotations
+
+from repro.runtime import (
+    ArtifactCache,
+    RuntimeContext,
+    clear_memory_cache,
+    execute_spec,
+    simulate,
+    simulate_many,
+)
+from repro.runtime.runner import _env_context
+
+from tests.runtime.conftest import assert_results_equal, make_actual_spec, make_spec
+
+
+def test_simulate_matches_direct_execution():
+    spec = make_spec(trips=10)
+    assert_results_equal(simulate(spec), execute_spec(spec))
+
+
+def test_memo_returns_the_same_object():
+    spec = make_spec(trips=10)
+    first = simulate(spec)
+    assert simulate(spec) is first
+    clear_memory_cache()
+    assert simulate(spec) is not first  # recomputed after clearing
+
+
+def test_simulate_many_preserves_order_and_dedups():
+    a, b = make_spec(trips=10), make_actual_spec(trips=10)
+    results = simulate_many([a, b, a])
+    assert results[0] is results[2]  # one simulation for duplicate specs
+    assert_results_equal(results[0], execute_spec(a))
+    assert_results_equal(results[1], execute_spec(b))
+
+
+def test_parallel_results_identical_to_serial():
+    specs = [make_spec(trips=10, seed=1991 + i) for i in range(4)]
+    serial = simulate_many(specs, jobs=1)
+    clear_memory_cache()
+    parallel = simulate_many(specs, jobs=2)
+    for s, p in zip(serial, parallel):
+        assert_results_equal(s, p)
+
+
+def test_disk_cache_round_trip_through_runner(tmp_path):
+    ctx = RuntimeContext(jobs=1, cache=ArtifactCache(tmp_path / "cache"))
+    spec = make_spec(trips=10)
+    first = simulate(spec, context=ctx)
+    assert ctx.cache.stores == 1
+    clear_memory_cache()
+    second = simulate(spec, context=ctx)  # must come from disk
+    assert ctx.cache.hits == 1
+    assert_results_equal(first, second)
+
+
+def test_simulate_many_stores_and_hits_disk(tmp_path):
+    ctx = RuntimeContext(jobs=1, cache=ArtifactCache(tmp_path / "cache"))
+    specs = [make_spec(trips=10), make_actual_spec(trips=10)]
+    cold = simulate_many(specs, context=ctx)
+    assert ctx.cache.stores == 2
+    clear_memory_cache()
+    warm = simulate_many(specs, context=ctx)
+    assert ctx.cache.hits == 2
+    for c, w in zip(cold, warm):
+        assert_results_equal(c, w)
+
+
+def test_corrupt_cache_falls_back_to_simulation(tmp_path):
+    ctx = RuntimeContext(jobs=1, cache=ArtifactCache(tmp_path / "cache"))
+    spec = make_spec(trips=10)
+    reference = simulate(spec, context=ctx)
+    clear_memory_cache()
+    for path in (tmp_path / "cache").glob("??/*"):
+        path.write_bytes(b"garbage")
+    recomputed = simulate(spec, context=ctx)
+    assert ctx.cache.evictions >= 1
+    assert_results_equal(reference, recomputed)
+
+
+def test_env_context_parses_jobs_and_cache(monkeypatch, tmp_path):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    ctx = _env_context()
+    assert ctx.jobs == 1 and ctx.cache is None  # hermetic default
+
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    monkeypatch.setenv("REPRO_CACHE", "on")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+    ctx = _env_context()
+    assert ctx.jobs == 4
+    assert ctx.cache is not None
+    assert ctx.cache.root == tmp_path / "envcache"
+
+    monkeypatch.setenv("REPRO_JOBS", "not-a-number")
+    assert _env_context().jobs == 1
+    monkeypatch.setenv("REPRO_JOBS", "-3")
+    assert _env_context().jobs == 1  # clamped to serial

@@ -1,0 +1,75 @@
+"""RunSpec construction and content-hash (cache key) behavior."""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.instrument.plan import PLAN_NONE, PLAN_STATEMENTS
+from repro.livermore import livermore_program
+from repro.machine.costs import FX80
+from repro.runtime import ProgramSpec, RunSpec, spec_key
+from repro.runtime.spec import CACHE_SCHEMA_VERSION, program_digest
+
+from tests.runtime.conftest import make_spec
+
+
+def test_program_spec_builds_the_named_kernel():
+    spec = ProgramSpec(3, "doacross", 40)
+    program = spec.build()
+    reference = livermore_program(3, mode="doacross", trips=40)
+    assert program_digest(program) == program_digest(reference)
+
+
+def test_spec_is_hashable_and_picklable():
+    spec = make_spec()
+    assert spec == make_spec()
+    assert {spec: 1}[make_spec()] == 1  # usable as a memo key
+    assert pickle.loads(pickle.dumps(spec)) == spec  # pool-transportable
+
+
+def test_key_is_stable_across_rebuilds():
+    assert spec_key(make_spec()) == spec_key(make_spec())
+
+
+def test_key_accepts_prebuilt_program():
+    spec = make_spec()
+    assert spec_key(spec, spec.program.build()) == spec_key(spec)
+
+
+@pytest.mark.parametrize(
+    "variant",
+    [
+        lambda s: replace(s, seed=s.seed + 1),
+        lambda s: replace(s, plan=PLAN_NONE),
+        lambda s: replace(s, plan=PLAN_STATEMENTS),
+        lambda s: replace(s, machine=FX80.with_cores(4)),
+        lambda s: replace(s, program=ProgramSpec(4, "doacross", 40)),
+        lambda s: replace(s, program=ProgramSpec(3, "doacross", 41)),
+        lambda s: replace(s, max_events=10_000),
+    ],
+    ids=["seed", "plan-none", "plan-stmt", "cores", "kernel", "trips", "budget"],
+)
+def test_key_changes_with_every_input(variant):
+    base = make_spec()
+    assert spec_key(variant(base)) != spec_key(base)
+
+
+def test_key_reflects_callable_costs():
+    """Loop 17's iteration-dependent (callable) costs are part of the
+    digest: the same kernel at different trip counts hashes differently
+    because the sampled per-iteration costs differ."""
+    a = make_spec(kernel=17, trips=30)
+    b = make_spec(kernel=17, trips=31)
+    assert spec_key(a) != spec_key(b)
+    # and deterministically: rebuilding gives the same hash
+    assert spec_key(a) == spec_key(make_spec(kernel=17, trips=30))
+
+
+def test_schema_version_is_part_of_the_key(monkeypatch):
+    before = spec_key(make_spec())
+    monkeypatch.setattr("repro.runtime.spec.CACHE_SCHEMA_VERSION",
+                        CACHE_SCHEMA_VERSION + 1)
+    assert spec_key(make_spec()) != before

@@ -80,3 +80,111 @@ def test_all_includes_extension_sections():
     for label in ("Execution-mode study", "Per-event timing accuracy",
                   "Scalability study", "volume sweep"):
         assert label in text
+
+
+# --- pipeline flags (--jobs / cache / --profile) -------------------------
+
+
+def test_pipeline_flag_defaults():
+    args = parse(["all"])
+    assert args.jobs is None
+    assert not args.no_cache
+    assert args.cache_dir is None
+    assert not args.profile
+    args = parse(["all", "--jobs", "8", "--no-cache", "--cache-dir", "/tmp/x",
+                  "--profile"])
+    assert args.jobs == 8 and args.no_cache and args.cache_dir == "/tmp/x"
+    assert args.profile
+
+
+def test_cache_action_only_with_cache_command():
+    assert parse(["cache"]).action is None
+    assert parse(["cache", "stats"]).action == "stats"
+    assert parse(["cache", "clear"]).action == "clear"
+    with pytest.raises(SystemExit):
+        parse(["cache", "frobnicate"])
+
+
+def test_main_rejects_action_for_experiments(tmp_path, monkeypatch):
+    from repro.cli import main
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    with pytest.raises(SystemExit):
+        main(["table1", "stats"])
+
+
+def test_cache_stats_and_clear_commands(tmp_path, capsys):
+    from repro.cli import main
+
+    cache_dir = tmp_path / "cachecli"
+    assert main(["cache", "stats", "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "entries:   0" in out
+    assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "removed 0 cached artifacts" in out
+
+
+def test_main_populates_and_reuses_disk_cache(tmp_path, capsys):
+    from repro.cli import main
+    from repro.runtime import ArtifactCache, clear_memory_cache, configure
+
+    cache_dir = tmp_path / "clicache"
+    clear_memory_cache()  # earlier tests may have memoized these specs
+    try:
+        assert main(["table3", "--quick", "--cache-dir", str(cache_dir)]) == 0
+        cold = capsys.readouterr().out
+        assert ArtifactCache(cache_dir).stats().entries > 0
+        clear_memory_cache()
+        assert main(["table3", "--quick", "--cache-dir", str(cache_dir)]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold  # cached rerun is byte-identical
+    finally:
+        configure(jobs=1, cache=None)  # restore hermetic default
+        clear_memory_cache()
+
+
+def test_no_cache_flag_leaves_disk_untouched(tmp_path, capsys):
+    from repro.cli import main
+    from repro.runtime import clear_memory_cache, configure
+
+    cache_dir = tmp_path / "unused"
+    try:
+        assert main(["table3", "--quick", "--no-cache",
+                     "--cache-dir", str(cache_dir)]) == 0
+        assert not cache_dir.exists()
+    finally:
+        configure(jobs=1, cache=None)
+        clear_memory_cache()
+    capsys.readouterr()
+
+
+def test_profile_flag_prints_profile(tmp_path, capsys):
+    from repro.cli import main
+    from repro.runtime import clear_memory_cache, configure
+
+    try:
+        assert main(["table3", "--quick", "--no-cache", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out  # the report still prints
+        assert "cumulative" in out  # plus the cProfile summary
+        assert "function calls" in out
+    finally:
+        configure(jobs=1, cache=None)
+        clear_memory_cache()
+
+
+def test_jobs_flag_output_identical_to_serial(tmp_path, capsys):
+    from repro.cli import main
+    from repro.runtime import clear_memory_cache, configure
+
+    try:
+        assert main(["table3", "--quick", "--no-cache"]) == 0
+        serial = capsys.readouterr().out
+        clear_memory_cache()
+        assert main(["table3", "--quick", "--no-cache", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+    finally:
+        configure(jobs=1, cache=None)
+        clear_memory_cache()
