@@ -1,0 +1,56 @@
+"""Cross-backend correctness auditing.
+
+The paper's premise is that measurement infrastructure silently distorts
+what it measures; this package guards against the repo-internal version of
+that failure mode — redundant implementations (object vs columnar storage,
+JSONL vs packed ``.rpt`` encodings, object vs vectorized analyses)
+drifting apart without any test noticing.  It provides:
+
+* :mod:`repro.audit.differential` — a differential oracle that runs every
+  registered backend pair and encoding round-trip on the same trace and
+  reports field-level divergences;
+* :mod:`repro.audit.static` — pre-simulation IR checks (advance/await
+  pairing, dependence-distance consistency, lock/semaphore balance) plus
+  trace-level structural balance checks;
+* ``repro-ppopp91 audit`` — the CLI entry (one-shot standard programs, or
+  ``--fuzz N --seed S`` for the seeded fuzz matrix CI runs).
+"""
+
+from repro.audit.differential import (
+    EVENT_FIELDS,
+    TRACE_CHECKS,
+    audit_program,
+    audit_trace,
+    first_divergence,
+    fuzz_audit,
+    fuzz_repro_command,
+    minimize_events,
+    standard_audit,
+)
+from repro.audit.findings import AuditFinding, AuditReport
+from repro.audit.static import (
+    StaticAuditError,
+    StaticIssue,
+    assert_statically_valid,
+    static_audit,
+    trace_structure_issues,
+)
+
+__all__ = [
+    "AuditFinding",
+    "AuditReport",
+    "EVENT_FIELDS",
+    "StaticAuditError",
+    "StaticIssue",
+    "TRACE_CHECKS",
+    "assert_statically_valid",
+    "audit_program",
+    "audit_trace",
+    "first_divergence",
+    "fuzz_audit",
+    "fuzz_repro_command",
+    "minimize_events",
+    "standard_audit",
+    "static_audit",
+    "trace_structure_issues",
+]

@@ -1,0 +1,248 @@
+"""IR static analysis: synchronization-structure checks before simulation.
+
+:func:`repro.ir.validate.validate_program` raises on the *first* structural
+error it meets; this pass instead enumerates every synchronization
+inconsistency it can find as :class:`StaticIssue` records, so the audit CLI
+can report a malformed program completely in one shot, before any cycles
+are spent simulating it.  The checks are the ones that make DOACROSS
+results silently wrong rather than loudly broken:
+
+* advance/await pairing — every sync variable has exactly one await
+  followed by exactly one advance in the loop body;
+* dependence-distance consistency — the distance is positive and actually
+  exercised by the trip count (``d >= trips`` means the loop-carried
+  dependence never fires and the "DOACROSS" is a mislabeled DOALL);
+* barrier balance — parallel loops emit one arrive and one exit per
+  worker, checked on traces via :func:`trace_structure_issues`;
+* lock/semaphore balance and declaration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.program import (
+    DoAcrossLoop,
+    DoAllLoop,
+    Loop,
+    Program,
+    SequentialLoop,
+)
+from repro.ir.statements import (
+    Advance,
+    Await,
+    LockAcquire,
+    LockRelease,
+    SemSignal,
+    SemWait,
+)
+from repro.trace.events import EventKind
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class StaticIssue:
+    """One synchronization-structure problem found without simulating."""
+
+    code: str
+    message: str
+    loop: Optional[str] = None
+
+    def render(self) -> str:
+        where = f" (loop {self.loop!r})" if self.loop else ""
+        return f"{self.code}{where}: {self.message}"
+
+
+class StaticAuditError(ValueError):
+    """Raised by :func:`assert_statically_valid` on any issue."""
+
+    def __init__(self, issues: list[StaticIssue]):
+        self.issues = issues
+        super().__init__(
+            "; ".join(i.render() for i in issues) or "static audit failed"
+        )
+
+
+def _audit_doacross(loop: DoAcrossLoop) -> list[StaticIssue]:
+    issues: list[StaticIssue] = []
+    awaits: dict[str, Await] = {}
+    advanced: set[str] = set()
+    for stmt in loop.body:
+        if isinstance(stmt, Await):
+            if stmt.var in awaits or stmt.var in advanced:
+                issues.append(StaticIssue(
+                    "multiple-await", f"more than one await on {stmt.var!r}",
+                    loop.name,
+                ))
+            else:
+                awaits[stmt.var] = stmt
+        elif isinstance(stmt, Advance):
+            if stmt.var in advanced:
+                issues.append(StaticIssue(
+                    "multiple-advance",
+                    f"more than one advance on {stmt.var!r}", loop.name,
+                ))
+            elif stmt.var not in awaits:
+                issues.append(StaticIssue(
+                    "advance-before-await",
+                    f"advance on {stmt.var!r} precedes (or lacks) its await",
+                    loop.name,
+                ))
+            else:
+                awt = awaits.pop(stmt.var)
+                distance = stmt.offset - awt.offset
+                if distance < 1:
+                    issues.append(StaticIssue(
+                        "non-positive-distance",
+                        f"dependence distance {distance} on {stmt.var!r} "
+                        "must be >= 1",
+                        loop.name,
+                    ))
+                elif distance >= loop.trips:
+                    issues.append(StaticIssue(
+                        "distance-exceeds-trips",
+                        f"dependence distance {distance} on {stmt.var!r} "
+                        f">= trips ({loop.trips}): the loop-carried "
+                        "dependence is never exercised",
+                        loop.name,
+                    ))
+                advanced.add(stmt.var)
+    for var in awaits:
+        issues.append(StaticIssue(
+            "unmatched-await",
+            f"await on {var!r} has no matching advance", loop.name,
+        ))
+    if not advanced and not awaits and not issues:
+        issues.append(StaticIssue(
+            "doacross-without-sync",
+            "DOACROSS body has no advance/await (use a DOALL loop)",
+            loop.name,
+        ))
+    return issues
+
+
+def _audit_no_ordered_sync(loop: Loop, kind: str) -> list[StaticIssue]:
+    issues: list[StaticIssue] = []
+    for stmt in loop.body:
+        if isinstance(stmt, (Advance, Await)):
+            op = "advance" if isinstance(stmt, Advance) else "await"
+            issues.append(StaticIssue(
+                f"sync-in-{kind}",
+                f"{op} on {stmt.var!r} inside a {kind} loop body",
+                loop.name,
+            ))
+    return issues
+
+
+def _audit_lock_sem_balance(
+    loop: Loop, semaphores: dict[str, int]
+) -> list[StaticIssue]:
+    issues: list[StaticIssue] = []
+    held: list[str] = []
+    sem_balance: dict[str, int] = {}
+    for stmt in loop.body:
+        if isinstance(stmt, LockAcquire):
+            held.append(stmt.lock)
+        elif isinstance(stmt, LockRelease):
+            if stmt.lock in held:
+                held.remove(stmt.lock)
+            else:
+                issues.append(StaticIssue(
+                    "release-before-acquire",
+                    f"unlock of {stmt.lock!r} with no lock held", loop.name,
+                ))
+        elif isinstance(stmt, SemWait):
+            if stmt.sem not in semaphores:
+                issues.append(StaticIssue(
+                    "undeclared-semaphore",
+                    f"P({stmt.sem!r}) on an undeclared semaphore", loop.name,
+                ))
+            sem_balance[stmt.sem] = sem_balance.get(stmt.sem, 0) + 1
+        elif isinstance(stmt, SemSignal):
+            if stmt.sem not in semaphores:
+                issues.append(StaticIssue(
+                    "undeclared-semaphore",
+                    f"V({stmt.sem!r}) on an undeclared semaphore", loop.name,
+                ))
+            sem_balance[stmt.sem] = sem_balance.get(stmt.sem, 0) - 1
+    for lock in held:
+        issues.append(StaticIssue(
+            "unbalanced-lock",
+            f"lock {lock!r} acquired but never released in the body",
+            loop.name,
+        ))
+    for sem, bal in sorted(sem_balance.items()):
+        if bal != 0:
+            issues.append(StaticIssue(
+                "unbalanced-semaphore",
+                f"semaphore {sem!r} P/V unbalanced by {bal} per iteration",
+                loop.name,
+            ))
+    return issues
+
+
+def static_audit(program: Program) -> list[StaticIssue]:
+    """Every synchronization-structure issue in ``program`` (non-raising)."""
+    issues: list[StaticIssue] = []
+    for loop in program.loops():
+        if loop.trips < 1:
+            issues.append(StaticIssue(
+                "empty-loop", f"trip count {loop.trips} < 1", loop.name
+            ))
+        if isinstance(loop, DoAcrossLoop):
+            issues.extend(_audit_doacross(loop))
+        elif isinstance(loop, DoAllLoop):
+            issues.extend(_audit_no_ordered_sync(loop, "doall"))
+        elif isinstance(loop, SequentialLoop):
+            issues.extend(_audit_no_ordered_sync(loop, "sequential"))
+        issues.extend(_audit_lock_sem_balance(loop, program.semaphores))
+    return issues
+
+
+def assert_statically_valid(program: Program) -> None:
+    """Raise :class:`StaticAuditError` listing *all* issues, if any."""
+    issues = static_audit(program)
+    if issues:
+        raise StaticAuditError(issues)
+
+
+def trace_structure_issues(trace: Trace) -> list[StaticIssue]:
+    """Structural imbalance checks on a measured trace.
+
+    Complements the IR checks with the properties only visible after
+    execution: barrier arrive/exit balance per loop and awaitB/awaitE
+    pairing per thread.  A clean executor run satisfies all of them; a
+    damaged or truncated trace typically does not.
+    """
+    issues: list[StaticIssue] = []
+    barrier_arrive: dict[str, int] = {}
+    barrier_exit: dict[str, int] = {}
+    await_b: dict[int, int] = {}
+    await_e: dict[int, int] = {}
+    for e in trace.events:
+        if e.kind is EventKind.BARRIER_ARRIVE:
+            barrier_arrive[e.label] = barrier_arrive.get(e.label, 0) + 1
+        elif e.kind is EventKind.BARRIER_EXIT:
+            barrier_exit[e.label] = barrier_exit.get(e.label, 0) + 1
+        elif e.kind is EventKind.AWAIT_B:
+            await_b[e.thread] = await_b.get(e.thread, 0) + 1
+        elif e.kind is EventKind.AWAIT_E:
+            await_e[e.thread] = await_e.get(e.thread, 0) + 1
+    for label in sorted(set(barrier_arrive) | set(barrier_exit)):
+        arr = barrier_arrive.get(label, 0)
+        ext = barrier_exit.get(label, 0)
+        if arr != ext:
+            issues.append(StaticIssue(
+                "barrier-imbalance",
+                f"{arr} arrivals vs {ext} exits", label or None,
+            ))
+    for thread in sorted(set(await_b) | set(await_e)):
+        b = await_b.get(thread, 0)
+        e_ = await_e.get(thread, 0)
+        if b != e_:
+            issues.append(StaticIssue(
+                "await-imbalance",
+                f"thread {thread}: {b} awaitB vs {e_} awaitE",
+            ))
+    return issues

@@ -9,6 +9,8 @@ Usage::
     repro-ppopp91 table3 --trips 400 --seed 7
     repro-ppopp91 cache stats    # inspect the simulation artifact cache
     repro-ppopp91 cache clear
+    repro-ppopp91 audit              # cross-backend parity, standard programs
+    repro-ppopp91 audit --fuzz 50 --seed 0   # seeded differential fuzzing
     python -m repro figure5
 
 Simulations are deterministic per (program, plan, machine, seed) tuple,
@@ -80,8 +82,12 @@ def make_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all", "cache"),
-        help="which table/figure to regenerate, or 'cache' to manage the artifact cache",
+        choices=EXPERIMENTS + ("all", "cache", "audit"),
+        help=(
+            "which table/figure to regenerate, 'cache' to manage the "
+            "artifact cache, or 'audit' to run the cross-backend "
+            "correctness audit"
+        ),
     )
     parser.add_argument(
         "action",
@@ -127,6 +133,21 @@ def make_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="run under cProfile and print the top-25 cumulative entries",
+    )
+    parser.add_argument(
+        "--fuzz",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "(audit) differential-audit N fuzzed programs seeded "
+            "SEED..SEED+N-1 instead of the standard program set"
+        ),
+    )
+    parser.add_argument(
+        "--no-minimize",
+        action="store_true",
+        help="(audit) skip delta-minimization of divergence witnesses",
     )
     return parser
 
@@ -192,6 +213,25 @@ def run(experiment: str, config: ExperimentConfig, width: int = 72) -> str:
     return "\n\n" + "\n\n\n".join(sections) + "\n"
 
 
+def _run_audit_command(args: argparse.Namespace) -> int:
+    from repro.audit import fuzz_audit, standard_audit
+
+    minimize = not args.no_minimize
+    if args.fuzz is not None:
+        if args.fuzz < 1:
+            make_parser().error("--fuzz requires N >= 1")
+        report = fuzz_audit(
+            args.fuzz,
+            base_seed=args.seed if args.seed is not None else 0,
+            minimize=minimize,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+    else:
+        report = standard_audit(trips=args.trips, minimize=minimize)
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def _run_cache_command(args: argparse.Namespace) -> int:
     cache = ArtifactCache(args.cache_dir)
     action = args.action or "stats"
@@ -207,6 +247,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = make_parser().parse_args(argv)
     if args.experiment == "cache":
         return _run_cache_command(args)
+    if args.experiment == "audit":
+        if args.action is not None:
+            make_parser().error(
+                f"'{args.action}' only applies to the 'cache' command"
+            )
+        return _run_audit_command(args)
+    if args.fuzz is not None:
+        make_parser().error("--fuzz only applies to the 'audit' command")
     if args.action is not None:
         make_parser().error(
             f"'{args.action}' only applies to the 'cache' command"

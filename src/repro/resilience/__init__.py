@@ -39,9 +39,11 @@ from repro.resilience.validate import (
     validate_trace,
 )
 from repro.resilience.repair import (
+    SYNTHESIZED_MARK,
     RepairAction,
     RepairReport,
     RepairResult,
+    is_synthesized,
     repair_trace,
 )
 
@@ -63,5 +65,7 @@ __all__ = [
     "RepairAction",
     "RepairReport",
     "RepairResult",
+    "SYNTHESIZED_MARK",
+    "is_synthesized",
     "repair_trace",
 ]

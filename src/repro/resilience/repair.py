@@ -52,8 +52,18 @@ _SEM_ROLES = {
 SYNTHESIZED_MARK = " [synthesized]"
 
 
-def _is_synthesized(e: TraceEvent) -> bool:
+def is_synthesized(e: TraceEvent) -> bool:
+    """True for events fabricated by :func:`repair_trace` (marker label).
+
+    The marker lives in the event's ``label`` field, so it survives both
+    trace encodings (JSONL stores labels verbatim; the packed ``.rpt``
+    format interns them in a string table and restores them exactly).
+    """
     return bool(e.label) and e.label.endswith(SYNTHESIZED_MARK)
+
+
+# Internal alias kept for call sites within this module's history.
+_is_synthesized = is_synthesized
 
 
 @dataclass(frozen=True)

@@ -143,6 +143,13 @@ class ArtifactCache:
             result = _result_from_payload(payload, trace)
         except FileNotFoundError:
             self.misses += 1
+            # A half-present entry (one file of the pair deleted or never
+            # written) is as corrupt as a garbled one: sweep the orphaned
+            # sibling too, or it inflates ``cache stats`` forever and a
+            # later store could pair a fresh file with a stale one.
+            if json_path.exists() or rpt_path.exists():
+                self.evictions += 1
+                self._remove_entry(entry)
             return None
         except (OSError, ValueError, TypeError, KeyError, TraceError):
             self.misses += 1

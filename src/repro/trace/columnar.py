@@ -45,6 +45,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: int64 stand-in for ``None`` in the ``iteration``/``sync_index`` columns.
 NONE_SENTINEL = -(2**63)
 
+#: Range of optional-field values the columnar backend can represent.
+#: ``NONE_SENTINEL`` itself is reserved, so true int64-min is *not* a legal
+#: ``iteration``/``sync_index`` value — packing it must fail loudly rather
+#: than silently round-tripping to ``None``.
+OPTIONAL_MIN = NONE_SENTINEL + 1
+OPTIONAL_MAX = 2**63 - 1
+
 #: Column names, in storage order (also the binary-format buffer order).
 COLUMN_NAMES = (
     "time",
@@ -65,6 +72,23 @@ def _require_numpy() -> None:
         raise RuntimeError(
             "the columnar trace backend requires numpy, which is not installed"
         )
+
+
+def _checked_optional(value: int, field: str, row: int) -> int:
+    """``value`` if the int64 columns can represent it, else ValueError.
+
+    ``NONE_SENTINEL`` (int64 min) is reserved for ``None``; anything
+    outside int64 would overflow the column.  Both must be rejected here —
+    numpy would accept the sentinel silently and the event would come back
+    with ``field=None``, a lossy round trip no caller can detect.
+    """
+    if OPTIONAL_MIN <= value <= OPTIONAL_MAX:
+        return value
+    raise ValueError(
+        f"event {row}: {field}={value} is not representable in the columnar "
+        f"backend (int64 min is reserved as the None sentinel; legal range "
+        f"is [{OPTIONAL_MIN}, {OPTIONAL_MAX}])"
+    )
 
 
 class StringTable:
@@ -174,8 +198,12 @@ class TraceColumns:
             k[i] = kind_code[e.kind]
             ei[i] = e.eid
             sq[i] = e.seq
-            it[i] = NONE_SENTINEL if e.iteration is None else e.iteration
-            si[i] = NONE_SENTINEL if e.sync_index is None else e.sync_index
+            it[i] = NONE_SENTINEL if e.iteration is None else _checked_optional(
+                e.iteration, "iteration", i
+            )
+            si[i] = NONE_SENTINEL if e.sync_index is None else _checked_optional(
+                e.sync_index, "sync_index", i
+            )
             ov[i] = e.overhead
             sv[i] = sync_vars.intern(e.sync_var)
             lb[i] = labels.intern(e.label if e.label else None)
@@ -268,8 +296,13 @@ class TraceColumns:
         ties = dt == 0
         if not np.any(ties):
             return True
+        # ``>= 0`` (not ``> 0``): the object path's sortedness probe uses
+        # ``(time, seq) <= (time, seq)``, so duplicate (time, seq) pairs
+        # count as sorted there.  Requiring strictly increasing seq here
+        # would send only the columnar path through a re-sort and the two
+        # backends could disagree on event order for such traces.
         dseq = np.diff(self.seq)
-        return bool(np.all(dseq[ties] > 0))
+        return bool(np.all(dseq[ties] >= 0))
 
     def sorted_by_time_seq(self) -> "TraceColumns":
         """Rows reordered by ``(time, seq)``; self if already sorted."""

@@ -1,0 +1,166 @@
+"""Static IR audit: every sync-structure inconsistency is enumerated."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audit.static import (
+    StaticAuditError,
+    assert_statically_valid,
+    static_audit,
+    trace_structure_issues,
+)
+from repro.exec import Executor
+from repro.instrument.plan import PLAN_FULL
+from repro.ir.program import (
+    Block,
+    DoAcrossLoop,
+    DoAllLoop,
+    Program,
+    SequentialLoop,
+)
+from repro.ir.statements import (
+    Advance,
+    Await,
+    Compute,
+    LockAcquire,
+    LockRelease,
+    SemSignal,
+    SemWait,
+)
+
+from tests.conftest import build_toy_doacross
+
+
+def raw_program(*loops, semaphores=None):
+    """A Program assembled directly — bypasses the builder's validation,
+    which is exactly the point: the static audit must catch what an
+    unvalidated (hand-built or corrupted) program would smuggle in."""
+    return Program("raw", list(loops), semaphores=semaphores)
+
+
+def codes(program):
+    return {i.code for i in static_audit(program)}
+
+
+def test_clean_program_has_no_issues():
+    assert static_audit(build_toy_doacross(trips=10)) == []
+    assert_statically_valid(build_toy_doacross(trips=10))  # no raise
+
+
+def test_advance_without_await():
+    loop = DoAcrossLoop(trips=10, name="L", body=Block([
+        Compute(cost=5), Advance(var="A", offset=0),
+    ]))
+    assert codes(raw_program(loop)) == {"advance-before-await"}
+
+
+def test_await_without_advance():
+    loop = DoAcrossLoop(trips=10, name="L", body=Block([
+        Await(var="A", offset=-1), Compute(cost=5),
+    ]))
+    assert codes(raw_program(loop)) == {"unmatched-await"}
+
+
+def test_multiple_awaits_and_advances():
+    loop = DoAcrossLoop(trips=10, name="L", body=Block([
+        Await(var="A", offset=-1), Await(var="A", offset=-2),
+        Advance(var="A", offset=0), Advance(var="A", offset=0),
+    ]))
+    assert {"multiple-await", "multiple-advance"} <= codes(raw_program(loop))
+
+
+def test_non_positive_distance():
+    loop = DoAcrossLoop(trips=10, name="L", body=Block([
+        Await(var="A", offset=0), Advance(var="A", offset=0),
+    ]))
+    assert codes(raw_program(loop)) == {"non-positive-distance"}
+
+
+def test_distance_exceeding_trips_is_flagged():
+    """d >= trips: the dependence never fires — a mislabeled DOALL."""
+    loop = DoAcrossLoop(trips=3, name="L", body=Block([
+        Await(var="A", offset=-5), Advance(var="A", offset=0),
+    ]))
+    assert codes(raw_program(loop)) == {"distance-exceeds-trips"}
+
+
+def test_doacross_without_any_sync():
+    loop = DoAcrossLoop(trips=10, name="L", body=Block([Compute(cost=5)]))
+    assert codes(raw_program(loop)) == {"doacross-without-sync"}
+
+
+def test_sync_inside_doall_and_sequential():
+    doall = DoAllLoop(trips=10, name="P", body=Block([
+        Await(var="A", offset=-1), Advance(var="A", offset=0),
+    ]))
+    seq = SequentialLoop(trips=10, name="S", body=Block([
+        Advance(var="B", offset=0),
+    ]))
+    found = codes(raw_program(doall, seq))
+    assert found == {"sync-in-doall", "sync-in-sequential"}
+
+
+def test_lock_balance():
+    loop = DoAllLoop(trips=10, name="L", body=Block([
+        LockAcquire(lock="X"), Compute(cost=3),
+    ]))
+    assert codes(raw_program(loop)) == {"unbalanced-lock"}
+    loop2 = DoAllLoop(trips=10, name="L2", body=Block([
+        LockRelease(lock="X"),
+    ]))
+    assert codes(raw_program(loop2)) == {"release-before-acquire"}
+
+
+def test_semaphore_declaration_and_balance():
+    loop = DoAllLoop(trips=10, name="L", body=Block([
+        SemWait(sem="S"), Compute(cost=3),
+    ]))
+    assert codes(raw_program(loop)) == {
+        "undeclared-semaphore", "unbalanced-semaphore"
+    }
+    balanced = DoAllLoop(trips=10, name="L", body=Block([
+        SemWait(sem="S"), Compute(cost=3), SemSignal(sem="S"),
+    ]))
+    assert codes(raw_program(balanced, semaphores={"S": 2})) == set()
+
+
+def test_empty_loop_flagged():
+    loop = SequentialLoop(trips=0, name="Z", body=Block([Compute(cost=1)]))
+    assert "empty-loop" in codes(raw_program(loop))
+
+
+def test_assert_statically_valid_lists_every_issue():
+    bad = DoAcrossLoop(trips=10, name="L", body=Block([
+        Advance(var="A", offset=0),
+        Await(var="B", offset=-1),
+        LockAcquire(lock="X"),
+    ]))
+    with pytest.raises(StaticAuditError) as exc:
+        assert_statically_valid(raw_program(bad))
+    issues = {i.code for i in exc.value.issues}
+    # All three problems reported at once, not just the first.
+    assert issues == {
+        "advance-before-await", "unmatched-await", "unbalanced-lock"
+    }
+    assert "advance-before-await" in str(exc.value)
+
+
+def test_trace_structure_clean_and_damaged():
+    from repro.resilience.inject import DropEvents, inject
+    from repro.trace.events import EventKind
+
+    measured = Executor(seed=3).run(build_toy_doacross(trips=12), PLAN_FULL).trace
+    assert trace_structure_issues(measured) == []
+
+    no_awaitb = inject(
+        measured, [DropEvents(kinds=frozenset({EventKind.AWAIT_B}))]
+    )
+    found = {i.code for i in trace_structure_issues(no_awaitb)}
+    assert "await-imbalance" in found
+
+    no_exit = inject(
+        measured, [DropEvents(kinds=frozenset({EventKind.BARRIER_EXIT}))]
+    )
+    found = {i.code for i in trace_structure_issues(no_exit)}
+    assert "barrier-imbalance" in found

@@ -29,7 +29,7 @@ from repro.instrument.plan import PLAN_FULL
 from repro.machine.costs import FX80
 from repro.resilience.inject import DropEvents, DuplicateEvents, ReorderEvents, inject
 from repro.resilience.validate import validate_events, validate_trace
-from repro.trace.columnar import TraceColumns
+from repro.trace.columnar import OPTIONAL_MIN, TraceColumns
 from repro.trace.events import EventKind, TraceEvent
 from repro.trace.io import read_trace, write_trace
 from repro.trace.trace import Trace
@@ -58,6 +58,31 @@ events = st.builds(
     overhead=st.integers(min_value=0, max_value=1000),
 )
 event_lists = st.lists(events, max_size=60)
+
+# Adversarial variant: a tiny time domain guarantees duplicate timestamps
+# (and duplicate (time, seq) pairs), and the optional-index domain reaches
+# down to the edge of the representable range, one above the None sentinel.
+# The wide strategies above essentially never generate either.
+dup_times = st.integers(min_value=0, max_value=3)
+edge_index = st.one_of(
+    st.none(),
+    st.integers(min_value=-4, max_value=100),
+    st.integers(min_value=OPTIONAL_MIN, max_value=OPTIONAL_MIN + 2),
+)
+dup_events = st.builds(
+    TraceEvent,
+    time=dup_times,
+    thread=st.integers(min_value=0, max_value=3),
+    kind=kinds,
+    eid=st.integers(min_value=-1, max_value=20),
+    seq=st.integers(min_value=-1, max_value=5),
+    iteration=edge_index,
+    sync_var=names,
+    sync_index=edge_index,
+    label=st.text(max_size=4),
+    overhead=st.integers(min_value=0, max_value=50),
+)
+dup_event_lists = st.lists(dup_events, max_size=40)
 
 
 def columnar_copy(trace: Trace) -> Trace:
@@ -122,6 +147,40 @@ def test_validate_agrees_across_backends(evs):
     col = columnar_copy(obj)
     expected = validate_events(obj.events, sem_capacities=None)
     assert validate_trace(col) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(dup_event_lists)
+def test_backends_agree_on_duplicate_timestamps(evs):
+    """Equal-timestamp ordering matches across storage backends.
+
+    Regression guard for the tie-breaking rules: the object path keeps
+    input order among equal ``(time, seq)`` keys, and the columnar path
+    (stable argsort / lexsort plus the relaxed ``is_sorted`` tie rule)
+    must do exactly the same.
+    """
+    obj = Trace(list(evs), {"n": 1})
+    col = Trace.from_columns(TraceColumns.from_events(evs), {"n": 1})
+    assert col.events == obj.events
+    assert col.threads == obj.threads
+    for t in obj.threads:
+        assert col.thread(t).events == obj.thread(t).events
+
+
+@settings(max_examples=30, deadline=None)
+@given(dup_event_lists)
+def test_rpt_roundtrip_duplicate_timestamps_and_edge_indices(evs):
+    """Packed format is lossless under ties and near-sentinel indices."""
+    trace = Trace(list(evs), {"program": "prop-dup"})
+    buf = io.BytesIO()
+    write_trace(trace, buf)
+    buf.seek(0)
+    back = read_trace(buf)
+    assert back.events == trace.events
+    text = io.StringIO()
+    write_trace(trace, text)
+    text.seek(0)
+    assert read_trace(text).events == trace.events
 
 
 def assert_same_approximation(a, b):

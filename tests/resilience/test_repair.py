@@ -186,3 +186,45 @@ def test_repair_never_raises_on_garbage():
     ]
     result = repair_trace(Trace(evs, {}))
     assert error_count(validate_trace(result.trace)) == 0
+
+
+def test_synthesized_markers_survive_rpt_round_trip(measured, tmp_path):
+    """The synthesized flag lives in the interned label string table.
+
+    Regression guard: a repaired trace written to packed ``.rpt`` and read
+    back must still identify its fabricated events — re-repairing the
+    reloaded trace must treat them as synthesized (no re-synthesis, no
+    clamping), exactly as it does for the in-memory original.
+    """
+    from repro.resilience.repair import is_synthesized
+    from repro.trace.io import read_trace, write_trace
+
+    broken = inject(
+        measured, [DropEvents(kinds=frozenset({EventKind.AWAIT_B}), thread=3)]
+    )
+    result = repair_trace(broken)
+    marked = [e for e in result.trace.events if is_synthesized(e)]
+    assert marked  # the repair really did synthesize something
+
+    path = tmp_path / "repaired.rpt"
+    write_trace(result.trace, path, format="rpt")
+    back = read_trace(path)
+    assert back.events == result.trace.events
+    assert [e for e in back.events if is_synthesized(e)] == marked
+
+    # A second repair pass on the reloaded trace is a no-op: the markers
+    # were preserved, so nothing is re-synthesized.
+    again = repair_trace(back)
+    assert again.report.synthesized_events == 0
+    assert again.trace.events == back.events
+
+
+def test_is_synthesized_is_public_and_label_based():
+    from repro.resilience import SYNTHESIZED_MARK, is_synthesized
+
+    plain = TraceEvent(time=1, thread=0, kind=EventKind.AWAIT_B, seq=0,
+                       sync_var="A", label="await")
+    marked = TraceEvent(time=1, thread=0, kind=EventKind.AWAIT_B, seq=1,
+                        sync_var="A", label="await" + SYNTHESIZED_MARK)
+    assert not is_synthesized(plain)
+    assert is_synthesized(marked)

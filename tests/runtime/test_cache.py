@@ -64,6 +64,40 @@ def test_schema_mismatch_is_evicted(tmp_path):
     assert cache.evictions == 1
 
 
+def test_missing_rpt_evicts_orphan_json(tmp_path):
+    """A deleted (or corrupt-evicted) .rpt must not strand its sidecar.
+
+    Regression: the FileNotFoundError path used to return a plain miss,
+    leaving the .json behind to inflate ``cache stats`` forever.
+    """
+    cache, key, _ = _populated(tmp_path)
+    entry = cache._entry(key)
+    entry.with_suffix(".rpt").unlink()
+    assert cache.load(key) is None
+    assert cache.misses == 1 and cache.evictions == 1
+    assert not entry.with_suffix(".json").exists()  # orphan swept
+    assert cache.stats().entries == 0
+
+
+def test_missing_json_evicts_orphan_rpt(tmp_path):
+    cache, key, _ = _populated(tmp_path)
+    entry = cache._entry(key)
+    entry.with_suffix(".json").unlink()
+    assert cache.load(key) is None
+    assert cache.evictions == 1
+    assert not entry.with_suffix(".rpt").exists()
+    # The full pair really is gone: a re-store starts clean and hits.
+    cache.store(key, execute_spec(make_spec(trips=12)))
+    assert cache.load(key) is not None
+
+
+def test_fully_missing_entry_is_not_an_eviction(tmp_path):
+    """No files at all is an ordinary miss — no phantom eviction count."""
+    cache = ArtifactCache(tmp_path / "cache")
+    assert cache.load("ab" + "1" * 62) is None
+    assert cache.misses == 1 and cache.evictions == 0
+
+
 def test_stats_and_clear(tmp_path):
     cache, key, _ = _populated(tmp_path)
     stats = cache.stats()

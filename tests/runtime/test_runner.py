@@ -98,3 +98,67 @@ def test_env_context_parses_jobs_and_cache(monkeypatch, tmp_path):
     assert _env_context().jobs == 1
     monkeypatch.setenv("REPRO_JOBS", "-3")
     assert _env_context().jobs == 1  # clamped to serial
+
+
+def test_explicit_jobs_overrides_env(monkeypatch):
+    """CLI --jobs (configure) must beat REPRO_JOBS, not merge with it."""
+    from repro.runtime import configure
+    from repro.runtime import runner as runner_mod
+
+    monkeypatch.setenv("REPRO_JOBS", "8")
+    monkeypatch.setattr(runner_mod, "_context", None)  # drop cached context
+    try:
+        assert runner_mod.get_context().jobs == 8  # env honoured by default
+        ctx = configure(jobs=2, cache=None)
+        assert ctx.jobs == 2  # explicit wins
+        # And a per-call jobs= overrides the context for that call only.
+        specs = [make_spec(trips=8, seed=1991 + i) for i in range(2)]
+        serial = simulate_many(specs, jobs=1)
+        clear_memory_cache()
+        assert ctx.jobs == 2
+        again = simulate_many(specs, jobs=1)
+        for s, p in zip(serial, again):
+            assert_results_equal(s, p)
+    finally:
+        monkeypatch.setattr(runner_mod, "_context", None)
+
+
+def test_no_cache_context_never_writes_artifacts(tmp_path, monkeypatch):
+    """cache=None must not create the cache dir, even via env defaults."""
+    from repro.runtime import configure
+    from repro.runtime import runner as runner_mod
+
+    cache_dir = tmp_path / "should-stay-absent"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+    monkeypatch.setenv("REPRO_CACHE", "on")
+    monkeypatch.setattr(runner_mod, "_context", None)
+    try:
+        configure(jobs=1, cache=None)  # the CLI's --no-cache path
+        simulate_many([make_spec(trips=8), make_actual_spec(trips=8)])
+        assert not cache_dir.exists()
+    finally:
+        monkeypatch.setattr(runner_mod, "_context", None)
+
+
+def test_warm_cache_parallel_run_byte_identical_to_serial(tmp_path):
+    import io
+
+    from repro.trace.io import write_trace
+
+    def trace_bytes(result):
+        buf = io.BytesIO()
+        write_trace(result.trace, buf)
+        return buf.getvalue()
+
+    specs = [make_spec(trips=8, seed=1991 + i) for i in range(3)]
+    cold_ctx = RuntimeContext(jobs=1, cache=ArtifactCache(tmp_path / "c"))
+    serial = simulate_many(specs, context=cold_ctx)
+    assert cold_ctx.cache.stores == len(specs)
+
+    clear_memory_cache()
+    warm_ctx = RuntimeContext(jobs=2, cache=ArtifactCache(tmp_path / "c"))
+    parallel = simulate_many(specs, context=warm_ctx)
+    assert warm_ctx.cache.hits == len(specs)  # all from disk, no workers
+    for s, p in zip(serial, parallel):
+        assert_results_equal(s, p)
+        assert trace_bytes(s) == trace_bytes(p)  # byte-level, not just eq

@@ -188,3 +188,53 @@ def test_jobs_flag_output_identical_to_serial(tmp_path, capsys):
     finally:
         configure(jobs=1, cache=None)
         clear_memory_cache()
+
+
+def test_audit_fuzz_clean_exit_zero(capsys):
+    from repro.cli import main
+
+    assert main(["audit", "--fuzz", "2", "--seed", "0"]) == 0
+    captured = capsys.readouterr()
+    assert "no divergences found" in captured.out
+    assert "audited 2 program(s)" in captured.out
+    assert "fuzz seed 1" in captured.err  # progress goes to stderr
+
+
+def test_audit_one_shot_standard_programs(capsys):
+    from repro.cli import main
+
+    assert main(["audit", "--trips", "30"]) == 0
+    out = capsys.readouterr().out
+    assert "audited 3 program(s)" in out
+    assert "no divergences found" in out
+
+
+def test_audit_seeded_divergence_exits_nonzero(monkeypatch, capsys):
+    from repro.analysis import timebased
+    from repro.cli import main
+
+    original = timebased._vectorized_times
+
+    def corrupted(measured, costs):
+        times = original(measured, costs)
+        if times:
+            first = min(times)
+            times[first] = times[first] + 1
+        return times
+
+    monkeypatch.setattr(timebased, "_vectorized_times", corrupted)
+    assert main(["audit", "--fuzz", "1", "--seed", "11", "--no-minimize"]) == 1
+    out = capsys.readouterr().out
+    assert "timebased-backends" in out
+    assert "repro: repro-ppopp91 audit --fuzz 1 --seed 11" in out
+
+
+def test_audit_flag_validation():
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["audit", "stats"])  # cache actions don't apply
+    with pytest.raises(SystemExit):
+        main(["table1", "--fuzz", "5"])  # --fuzz is audit-only
+    with pytest.raises(SystemExit):
+        main(["audit", "--fuzz", "0"])  # N must be >= 1

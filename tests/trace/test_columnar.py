@@ -10,6 +10,8 @@ from repro.exec import Executor
 from repro.instrument.plan import PLAN_FULL
 from repro.trace.columnar import (
     NONE_SENTINEL,
+    OPTIONAL_MAX,
+    OPTIONAL_MIN,
     StringTable,
     TraceColumns,
     kind_code_mask,
@@ -253,3 +255,60 @@ class TestSortednessGuards:
         b = TraceEvent(time=5, thread=1, kind=EventKind.STMT, eid=2)
         tr = Trace([a, b])
         assert [e.eid for e in tr] == [1, 2]
+
+
+class TestOptionalFieldRange:
+    """int64-min is the None sentinel; packing must refuse it loudly."""
+
+    def _event(self, **kwargs):
+        return TraceEvent(time=1, thread=0, kind=EventKind.STMT, eid=0,
+                          seq=0, **kwargs)
+
+    @pytest.mark.parametrize("field", ["iteration", "sync_index"])
+    def test_sentinel_value_rejected(self, field):
+        # Regression: this used to pack silently and come back as None.
+        with pytest.raises(ValueError, match=field):
+            TraceColumns.from_events([self._event(**{field: NONE_SENTINEL})])
+
+    @pytest.mark.parametrize("field", ["iteration", "sync_index"])
+    @pytest.mark.parametrize("value", [OPTIONAL_MIN, OPTIONAL_MIN + 1,
+                                       -1, 0, OPTIONAL_MAX])
+    def test_range_extremes_round_trip(self, field, value):
+        cols = TraceColumns.from_events([self._event(**{field: value})])
+        assert getattr(cols.to_events()[0], field) == value
+
+    def test_near_sentinel_survives_rpt_round_trip(self, tmp_path):
+        from repro.trace.io import read_trace, write_trace
+
+        events = [
+            self._event(iteration=OPTIONAL_MIN, sync_index=OPTIONAL_MIN),
+            TraceEvent(time=2, thread=0, kind=EventKind.PROG_END, seq=1),
+        ]
+        path = tmp_path / "near-sentinel.rpt"
+        write_trace(Trace(events), path, format="rpt")
+        back = read_trace(path)
+        assert back.events[0].iteration == OPTIONAL_MIN
+        assert back.events[0].sync_index == OPTIONAL_MIN
+
+    def test_none_still_packs_to_sentinel(self):
+        cols = TraceColumns.from_events([self._event()])
+        assert cols.iteration[0] == NONE_SENTINEL
+        assert cols.to_events()[0].iteration is None
+
+    def test_equal_time_seq_pairs_count_as_sorted(self):
+        """is_sorted must accept what the object-path probe accepts.
+
+        Regression: duplicate (time, seq) pairs used to flunk only the
+        columnar probe, sending one backend through a re-sort.
+        """
+        from repro.trace.trace import _is_time_seq_sorted
+
+        a = TraceEvent(time=5, thread=0, kind=EventKind.STMT, seq=3)
+        b = TraceEvent(time=5, thread=1, kind=EventKind.STMT, seq=3)
+        events = [a, b]
+        assert _is_time_seq_sorted(events)
+        assert TraceColumns.from_events(events).is_sorted()
+        # Strictly decreasing seq at a tie still fails both probes.
+        c = TraceEvent(time=5, thread=1, kind=EventKind.STMT, seq=2)
+        assert not _is_time_seq_sorted([a, c])
+        assert not TraceColumns.from_events([a, c]).is_sorted()
