@@ -1,0 +1,273 @@
+#!/usr/bin/env python
+"""Native-backend benchmark: compiled event-based resolution.
+
+Not a paper reproduction — this is the perf baseline for the
+``repro.native`` JIT-build subsystem.  It generates a Livermore loop 3
+(inner product, DOACROSS) measured trace of ~1M events (``--quick``:
+~100k) and times:
+
+* **build**: cold kernel compile (cache cleared) vs warm cache load;
+* **event-based analysis**: the columnar segment-offset resolver
+  (``backend="columnar"``) vs the compiled worklist sweep
+  (``backend="native"``), each on a fresh trace loaded from ``.rpt``;
+* **reference point**: columnar *time-based* analysis on the same trace —
+  the structure-blind lower bound the event-based model is measured
+  against.
+
+Correctness gates before any timing: native and columnar must agree on
+every approximated timestamp.  Results go to stdout and, machine-readable,
+to ``BENCH_native.json`` (override with ``--out``).  Exit status enforces
+the tripwire (``--quick``: native must not be slower than columnar) and
+the full-run PR target: native event-based analysis within
+``TARGET_VS_TIMEBASED`` (2x) of columnar time-based on the 1M-event
+trace.  The time-based denominator is the *committed*
+``BENCH_columnar.json`` measurement (the fixed reference the target was
+set against); the same-run time-based leg is also timed and recorded so
+the ratio on the current machine is visible, but a same-run denominator
+is mostly fixed Python overhead shared with the native leg, so run-to-run
+variance in it would dominate the gate.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_native.py [--quick] [--events N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from repro.analysis import event_based_approximation, time_based_approximation
+from repro.exec import Executor, PerturbationConfig
+from repro.instrument import InstrumentationCosts, calibrate_analysis_constants
+from repro.instrument.plan import PLAN_FULL
+from repro.livermore import livermore_program
+from repro.machine.costs import FX80
+from repro.trace.io import read_trace, write_trace
+
+#: Loop 3 DOACROSS emits ~5 events per trip under PLAN_FULL.
+EVENTS_PER_TRIP = 5
+
+FULL_EVENTS = 1_000_000
+QUICK_EVENTS = 100_000
+
+#: PR acceptance target (full run): native event-based analysis within
+#: this factor of columnar *time-based* analysis on the same trace.
+TARGET_VS_TIMEBASED = 2.0
+
+#: Committed columnar benchmark whose time-based measurement is the
+#: fixed reference denominator for the full-run target.
+REFERENCE_BENCH = Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
+
+
+def reference_timebased_secs(n_events: int) -> float | None:
+    """Committed time-based columnar seconds, if comparable.
+
+    Only trusted when the committed benchmark ran the same-size trace;
+    otherwise (missing file, ``--events`` override, ``--quick``) the
+    caller falls back to the same-run measurement.
+    """
+    try:
+        data = json.loads(REFERENCE_BENCH.read_text())
+        ref_events = data["n_events"]
+        secs = data["time_based_analysis"]["columnar_secs"]
+    except (OSError, KeyError, ValueError):
+        return None
+    if abs(ref_events - n_events) > 0.01 * ref_events:
+        return None
+    return float(secs)
+
+
+def build_loop3_trace(n_events: int):
+    """Measured (fully instrumented) Livermore loop 3 DOACROSS trace."""
+    trips = max(1, n_events // EVENTS_PER_TRIP)
+    program = livermore_program(3, mode="doacross", trips=trips)
+    executor = Executor(
+        machine_config=FX80,
+        inst_costs=InstrumentationCosts(),
+        perturb=PerturbationConfig(dilation=0.04, jitter=0.05),
+        seed=1991,
+    )
+    return executor.run(program, plan=PLAN_FULL).trace
+
+
+def timed(fn, repeats: int = 1):
+    """(best wall-clock seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_build(tmp: Path) -> dict:
+    """Cold compile and warm cache load, in an isolated cache dir."""
+    import os
+
+    from repro import native
+    from repro.native.build import CACHE_ENV
+
+    old = os.environ.get(CACHE_ENV)
+    os.environ[CACHE_ENV] = str(tmp / "native-cache")
+    try:
+        native.clear_native_cache()
+        cold_secs, handle = timed(native.get_resolve_kernel)
+        native._reset_memo()  # drop the handle, keep the on-disk build
+        warm_secs, handle2 = timed(native.get_resolve_kernel)
+        if handle2.key != handle.key:
+            raise SystemExit("FATAL: warm load resolved a different build")
+        out = {
+            "cold_build_secs": cold_secs,
+            "warm_load_secs": warm_secs,
+            "loader": handle.loader,
+            "key": handle.key,
+        }
+    finally:
+        if old is None:
+            os.environ.pop(CACHE_ENV, None)
+        else:
+            os.environ[CACHE_ENV] = old
+        native._reset_memo()
+    print(f"build:    cold {out['cold_build_secs']:.3f}s  "
+          f"warm {out['warm_load_secs']:.3f}s  ({out['loader']})")
+    return out
+
+
+def run(n_events: int, out_path: Path, repeats: int) -> dict:
+    from repro import native
+
+    if not native.native_available():
+        raise SystemExit(
+            f"FATAL: native backend unavailable: {native.native_reason()}"
+        )
+    constants = calibrate_analysis_constants(FX80, InstrumentationCosts())
+    print(f"generating ~{n_events} event loop 3 trace ...", flush=True)
+    t0 = time.perf_counter()
+    trace = build_loop3_trace(n_events)
+    gen_secs = time.perf_counter() - t0
+    print(f"  {len(trace)} events in {gen_secs:.1f}s")
+
+    results: dict = {
+        "benchmark": "native",
+        "program": "livermore loop 3 (doacross, PLAN_FULL)",
+        "n_events": len(trace),
+        "n_threads": len(trace.threads),
+    }
+
+    with TemporaryDirectory(prefix="bench_native_") as tmp:
+        results["build"] = bench_build(Path(tmp))
+
+        rpt = Path(tmp) / "loop3.rpt"
+        write_trace(trace, rpt, format="rpt")
+
+        # Correctness gate before timing: identical approximated times.
+        col_trace = read_trace(rpt)
+        a_col = event_based_approximation(col_trace, constants,
+                                          backend="columnar")
+        a_nat = event_based_approximation(read_trace(rpt), constants,
+                                          backend="native")
+        if a_col.times != a_nat.times or a_col.total_time != a_nat.total_time:
+            raise SystemExit("FATAL: columnar and native resolvers disagree")
+
+        # Benchmarked as loaded from disk: columnar-backed, like any
+        # cached artifact.  Fresh instance per run so no backend benefits
+        # from another's materialization.
+        col_secs, _ = timed(
+            lambda: event_based_approximation(
+                read_trace(rpt), constants, backend="columnar"
+            ),
+            repeats,
+        )
+        nat_secs, _ = timed(
+            lambda: event_based_approximation(
+                read_trace(rpt), constants, backend="native"
+            ),
+            repeats,
+        )
+        tb_secs, _ = timed(
+            lambda: time_based_approximation(
+                read_trace(rpt), constants, backend="columnar"
+            ),
+            repeats,
+        )
+
+    speedup = col_secs / nat_secs
+    ref_tb = reference_timebased_secs(len(trace))
+    gate_tb = ref_tb if ref_tb is not None else tb_secs
+    vs_timebased = nat_secs / gate_tb
+    results["event_based_analysis"] = {
+        "columnar_secs": col_secs,
+        "native_secs": nat_secs,
+        "speedup": speedup,
+        "total_time_cycles": a_nat.total_time,
+    }
+    results["reference"] = {
+        "timebased_columnar_secs": tb_secs,
+        "committed_timebased_secs": ref_tb,
+        "native_vs_timebased": vs_timebased,
+        "denominator": "committed" if ref_tb is not None else "same-run",
+    }
+    print(f"analysis: columnar {col_secs:.3f}s  native {nat_secs:.3f}s  "
+          f"({speedup:.2f}x)")
+    denom = ("committed BENCH_columnar.json" if ref_tb is not None
+             else "same run")
+    print(f"          time-based columnar {gate_tb:.3f}s ({denom}; "
+          f"this run {tb_secs:.3f}s)  native = {vs_timebased:.2f}x of it")
+
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"~{QUICK_EVENTS} events and a slower-than-columnar tripwire "
+        "only (the CI smoke mode)",
+    )
+    parser.add_argument("--events", type=int, default=None,
+                        help="override the event-count target")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing repetitions; best run is reported")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_native.json"),
+                        help="machine-readable results path")
+    args = parser.parse_args(argv)
+
+    n_events = args.events or (QUICK_EVENTS if args.quick else FULL_EVENTS)
+    results = run(n_events, args.out, max(1, args.repeats))
+
+    speedup = results["event_based_analysis"]["speedup"]
+    vs_tb = results["reference"]["native_vs_timebased"]
+    if args.quick:
+        if speedup < 1.0:
+            print(f"FAIL: native resolver is {speedup:.2f}x the columnar "
+                  "path (regression tripwire)", file=sys.stderr)
+            return 1
+        print(f"OK: native {speedup:.2f}x columnar, "
+              f"{vs_tb:.2f}x of time-based")
+        return 0
+    failed = False
+    if speedup < 1.0:
+        print(f"FAIL: native resolver is {speedup:.2f}x the columnar path "
+              "(regression tripwire)", file=sys.stderr)
+        failed = True
+    if vs_tb > TARGET_VS_TIMEBASED:
+        print(f"FAIL: native event-based is {vs_tb:.2f}x columnar "
+              f"time-based > {TARGET_VS_TIMEBASED}x target", file=sys.stderr)
+        failed = True
+    if not failed:
+        print(f"OK: native {speedup:.2f}x columnar event-based, "
+              f"{vs_tb:.2f}x of columnar time-based "
+              f"(target <= {TARGET_VS_TIMEBASED}x)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,8 @@ from repro.analysis.approximation import AnalysisError, Approximation
 from repro.analysis.eventbased import event_based_approximation
 from repro.analysis.timebased import time_based_approximation
 from repro.instrument.costs import AnalysisConstants
+from repro.trace import columnar as _columnar
+from repro.trace.columnar import kind_code_mask
 from repro.trace.events import SYNC_KINDS, EventKind
 from repro.trace.trace import Trace
 
@@ -36,7 +38,18 @@ class AutoResult:
 
 def _has_sync_identity(trace: Trace) -> bool:
     """True if the trace carries anything the event-based rules can use:
-    paired sync events, barrier markers, or loop-entry markers."""
+    paired sync events, barrier markers, or loop-entry markers.
+
+    When the columnar form is already realized this is one vectorized
+    kind-mask over ``columns.kind`` instead of materializing every event
+    object just to look at its kind.
+    """
+    if _columnar.HAVE_NUMPY and trace.has_columns:
+        return bool(
+            kind_code_mask(
+                trace.columns.kind, *SYNC_KINDS, EventKind.LOOP_BEGIN
+            ).any()
+        )
     return any(
         e.kind in SYNC_KINDS or e.kind is EventKind.LOOP_BEGIN
         for e in trace.events
@@ -44,6 +57,9 @@ def _has_sync_identity(trace: Trace) -> bool:
 
 
 def _looks_parallel(trace: Trace) -> bool:
+    if _columnar.HAVE_NUMPY and trace.has_columns:
+        thread = trace.columns.thread
+        return bool(len(thread)) and bool((thread != thread[0]).any())
     return len(trace.threads) > 1
 
 

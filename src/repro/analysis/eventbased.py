@@ -53,8 +53,43 @@ from repro.trace import columnar as _columnar
 from repro.trace.events import EventKind, TraceEvent
 from repro.trace.trace import Trace
 
-#: Analysis backends accepted by :func:`event_based_approximation`.
-BACKENDS = ("auto", "columnar", "object")
+#: Analysis backends accepted by :func:`event_based_approximation`,
+#: fastest first; ``"auto"`` picks the first one available here.
+BACKENDS = ("auto", "native", "columnar", "object")
+
+
+def pick_backend() -> str:
+    """The backend ``"auto"`` resolves to right now: native when the
+    compiled kernel can be built/loaded, else columnar when numpy is
+    importable, else the object worklist."""
+    if _columnar.HAVE_NUMPY:
+        from repro import native
+
+        if native.native_available():
+            return "native"
+        return "columnar"
+    return "object"
+
+
+#: Backend used when the caller does not pass one (see configure_backend).
+_DEFAULT_BACKEND = "auto"
+
+
+def configure_backend(backend: str) -> str:
+    """Set the process-wide default analysis backend; returns the previous.
+
+    This is what the CLI's ``--backend`` flag calls: experiment code never
+    mentions a backend, so one configuration point redirects every
+    event-based analysis in the run.
+    """
+    global _DEFAULT_BACKEND
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown analysis backend {backend!r}; expected one of {BACKENDS}"
+        )
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = backend
+    return previous
 
 
 class ResolutionError(AnalysisError):
@@ -311,7 +346,7 @@ def event_based_approximation(
     constants: AnalysisConstants,
     policy: str = "strict",
     *,
-    backend: str = "auto",
+    backend: Optional[str] = None,
 ) -> Approximation:
     """Apply event-based perturbation analysis to a measured trace.
 
@@ -336,22 +371,44 @@ def event_based_approximation(
     Under a non-strict policy the returned approximation carries the
     validator's ``diagnostics`` and the ``repair_report`` of every change.
 
-    ``backend``: ``"columnar"`` resolves over ``measured.columns`` —
-    vectorized per-thread prefix sums with a scalar worklist visiting only
+    ``backend``: ``"native"`` resolves through the JIT-built C kernel
+    (:mod:`repro.analysis.eventbased_native`; raises
+    :class:`~repro.analysis.approximation.AnalysisError` when no compiler
+    or cached build is available — see :mod:`repro.native`);
+    ``"columnar"`` resolves over ``measured.columns`` — vectorized
+    per-thread prefix sums with a scalar worklist visiting only
     synchronization events (:mod:`repro.analysis.eventbased_columnar`);
     ``"object"`` runs the per-event reference worklist; ``"auto"``
-    (default) picks columnar whenever numpy is available.  The two produce
-    identical results — and identical failures, so the degradation
-    policies quarantine the same threads (property-tested).
+    (default) picks the fastest available: native, then columnar, then
+    object.  All backends produce identical results — and identical
+    failures, so the degradation policies quarantine the same threads
+    (property-tested).  Omitting ``backend`` uses the process-wide
+    default (``"auto"`` unless :func:`configure_backend` changed it).
     """
     check_policy(policy)
+    if backend is None:
+        backend = _DEFAULT_BACKEND
     if backend not in BACKENDS:
         raise ValueError(
             f"unknown analysis backend {backend!r}; expected one of {BACKENDS}"
         )
     if backend == "auto":
-        backend = "columnar" if _columnar.HAVE_NUMPY else "object"
-    if backend == "columnar":
+        backend = pick_backend()
+    if backend == "native":
+        from repro import native
+        from repro.analysis.eventbased_native import resolve_native
+
+        try:  # fail fast, before any validation/repair work
+            native.get_resolve_kernel()
+        except native.NativeUnavailable as exc:
+            raise AnalysisError(
+                f"native backend requested but unavailable: {exc}"
+            ) from exc
+
+        def _solve(trace: Trace) -> dict[int, int]:
+            return resolve_native(trace, constants)
+
+    elif backend == "columnar":
         from repro.analysis.eventbased_columnar import resolve_columnar
 
         def _solve(trace: Trace) -> dict[int, int]:

@@ -37,7 +37,6 @@ including on damaged traces where the *failure* must match too.
 
 from __future__ import annotations
 
-from bisect import bisect_right
 from typing import Optional
 
 from repro.analysis.approximation import AnalysisError
@@ -92,18 +91,26 @@ class _ColumnarResolver:
         order = list(measured.by_thread().keys())
         special = kind_code_mask(cols.kind, *SPECIAL_KINDS)
 
+        # Full-trace state stays in numpy (one int64 per row per array);
+        # the worklist converts scalars per special access instead of
+        # materializing million-entry Python lists up front.  ``seg`` is
+        # each row's segment index — the count of specials at-or-before it
+        # in its thread — precomputed vectorized so ``_value`` needs no
+        # per-access bisect.
         pos = np.empty(n, dtype=np.int64)
         tidx = np.empty(n, dtype=np.int64)
+        row_prefix = np.empty(n, dtype=np.int64)
+        seg = np.empty(n, dtype=np.int64)
         self.thread_rows: list = []  # per thread: row indices (np)
         self.P: list = []  # per thread: prefix sums (np)
-        self.P_l: list[list[int]] = []  # ... and as python ints
-        self.spec_pos: list[list[int]] = []  # per thread: special positions
-        self.spec_rows: list[list[int]] = []  # ... and their storage rows
+        self.spec_pos: list = []  # per thread: special positions (np)
+        self.spec_rows: list = []  # ... and their storage rows (np)
         self.m: list[int] = []  # per thread: event count
         for ti, tid in enumerate(order):
             idx = by_id[tid]
             k = len(idx)
-            pos[idx] = np.arange(k)
+            positions = np.arange(k)
+            pos[idx] = positions
             tidx[idx] = ti
             tm = cols.time[idx]
             ov = overhead[idx]
@@ -117,13 +124,15 @@ class _ColumnarResolver:
             sp = np.flatnonzero(special[idx])
             self.thread_rows.append(idx)
             self.P.append(prefix)
-            self.P_l.append(prefix.tolist())
-            self.spec_pos.append(sp.tolist())
-            self.spec_rows.append(idx[sp].tolist())
+            row_prefix[idx] = prefix
+            seg[idx] = np.searchsorted(sp, positions, side="right")
+            self.spec_pos.append(sp)
+            self.spec_rows.append(idx[sp])
             self.m.append(k)
-        self.pos_l = pos.tolist()
-        self.tidx_l = tidx.tolist()
-        self.time_l = cols.time.tolist()
+        self.pos = pos
+        self.tidx = tidx
+        self.row_prefix = row_prefix
+        self.seg = seg
 
         # Worklist state: per thread, resolved-special count, the scan
         # position (how far the worklist has actually swept — plain
@@ -137,25 +146,35 @@ class _ColumnarResolver:
         self.reached = [0] * nthreads
         self.O: list[list[int]] = [[0] for _ in range(nthreads)]
 
-        # Per-special payload: (kind code, sync_var idx, sync_index,
-        # label idx, overhead), keyed by storage row.
-        self.payload: dict[int, tuple[int, int, int, int, int]] = {}
-        for t in range(nthreads):
-            rows = self.spec_rows[t]
-            if not rows:
-                continue
-            ra = np.array(rows, dtype=np.int64)
-            for row, k, sv, si, lb, ov in zip(
-                rows,
-                cols.kind[ra].tolist(),
-                cols.sync_var[ra].tolist(),
-                cols.sync_index[ra].tolist(),
-                cols.label[ra].tolist(),
-                overhead[ra].tolist(),
-            ):
-                self.payload[row] = (k, sv, si, lb, ov)
+        # Per-special payload dict is built lazily (see ``payload``): the
+        # native backend's happy path reads the columns directly and never
+        # needs it.
+        self._payload: Optional[dict[int, tuple[int, int, int, int, int]]] = None
 
         self._index_sync()
+
+    @property
+    def payload(self) -> dict[int, tuple[int, int, int, int, int]]:
+        """Per-special payload: (kind code, sync_var idx, sync_index,
+        label idx, overhead), keyed by storage row.  Built on first use."""
+        if self._payload is None:
+            cols = self.cols
+            per_kind = overhead_table(self.constants.costs)
+            payload: dict[int, tuple[int, int, int, int, int]] = {}
+            for ra in self.spec_rows:
+                if len(ra) == 0:
+                    continue
+                for row, k, sv, si, lb, ov in zip(
+                    ra.tolist(),
+                    cols.kind[ra].tolist(),
+                    cols.sync_var[ra].tolist(),
+                    cols.sync_index[ra].tolist(),
+                    cols.label[ra].tolist(),
+                    per_kind[cols.kind[ra]].tolist(),
+                ):
+                    payload[row] = (k, sv, si, lb, ov)
+            self._payload = payload
+        return self._payload
 
     # -------------------------------------------------------------- indexes
     def _sync_key(self, row: int, sv: int, si: int) -> tuple[str, int]:
@@ -164,6 +183,16 @@ class _ColumnarResolver:
             self.cols.event(row).sync_key  # raises "no sync identity"
         return (self.cols.sync_var_table[sv], si)
 
+    def _sync_keys(self, rows) -> list[tuple[str, int]]:
+        """Pairing keys for ``rows`` (all known to have sync identity)."""
+        np = _columnar.np
+        cols = self.cols
+        sv_objs = np.array(cols.sync_var_table, dtype=object)
+        return list(zip(
+            sv_objs[cols.sync_var[rows]].tolist(),
+            cols.sync_index[rows].tolist(),
+        ))
+
     def _index_sync(self) -> None:
         np = _columnar.np
         cols = self.cols
@@ -171,8 +200,6 @@ class _ColumnarResolver:
         self.await_begin: dict[tuple[str, int], int] = {}
         self.barrier_arrivals: dict[tuple[str, int], list[int]] = {}
         self.loop_anchor: dict[str, Optional[int]] = {}
-        sv_table = cols.sync_var_table
-        lb_table = cols.label_table
 
         mask = kind_code_mask(
             cols.kind,
@@ -182,6 +209,41 @@ class _ColumnarResolver:
             EventKind.LOOP_BEGIN,
         )
         rows = np.flatnonzero(mask)
+        kinds = cols.kind[rows]
+        pair_sel = (kinds == _CODE_ADVANCE) | (kinds == _CODE_AWAIT_B)
+        pair_rows = rows[pair_sel]
+
+        # Fast path: advance/awaitB pairing is two vectorized dict builds.
+        # Any structural error (missing sync identity, duplicate advance)
+        # drops to the reference scan, which raises the identical
+        # exception at the identical row — errors stay byte-compatible
+        # with the object resolver, only the happy path is vectorized.
+        sv = cols.sync_var[pair_rows]
+        si = cols.sync_index[pair_rows]
+        if not bool(((sv < 0) | (si == NONE_SENTINEL)).any()):
+            adv_rows = rows[kinds == _CODE_ADVANCE]
+            adv_keys = self._sync_keys(adv_rows)
+            self.advances = dict(zip(adv_keys, adv_rows.tolist()))
+            if len(self.advances) == len(adv_keys):
+                awb_rows = rows[kinds == _CODE_AWAIT_B]
+                # dict build keeps last-wins semantics, like the scan.
+                self.await_begin = dict(zip(
+                    self._sync_keys(awb_rows), awb_rows.tolist()
+                ))
+                self._index_sync_scan(rows[~pair_sel])
+                self._index_lock_sem()
+                return
+            self.advances = {}  # duplicate advance: replay for the error
+
+        self._index_sync_scan(rows)
+        self._index_lock_sem()
+
+    def _index_sync_scan(self, rows) -> None:
+        """Reference row-order scan over ``rows`` (any of the four
+        indexable kinds); the error-raising path of sync indexing."""
+        cols = self.cols
+        sv_table = cols.sync_var_table
+        lb_table = cols.label_table
         for row, k, sv, si, lb in zip(
             rows.tolist(),
             cols.kind[rows].tolist(),
@@ -205,22 +267,24 @@ class _ColumnarResolver:
                 self.barrier_arrivals.setdefault(key, []).append(row)
             else:  # LOOP_BEGIN: latest-(time, seq) predecessor anchors it
                 label = "" if lb < 0 else lb_table[lb]
-                p = self.pos_l[row]
-                t = self.tidx_l[row]
+                p = int(self.pos[row])
+                t = int(self.tidx[row])
                 prev = int(self.thread_rows[t][p - 1]) if p > 0 else None
                 if label not in self.loop_anchor:
                     self.loop_anchor[label] = prev
                 elif prev is not None:
                     current = self.loop_anchor[label]
                     if current is None or (
-                        self.time_l[prev],
+                        int(cols.time[prev]),
                         int(cols.seq[prev]),
-                    ) > (self.time_l[current], int(cols.seq[current])):
+                    ) > (int(cols.time[current]), int(cols.seq[current])):
                         self.loop_anchor[label] = prev
 
+    def _index_lock_sem(self) -> None:
         # Lock/semaphore structure is rare; only pay for it when present.
         # The Trace accessors raise the same TraceErrors the object path
         # surfaces for incomplete use triples.
+        cols = self.cols
         self.lock_uses: dict = {}
         self.lock_prev_rel: dict[int, Optional[int]] = {}
         self.sem_uses: dict = {}
@@ -286,13 +350,11 @@ class _ColumnarResolver:
 
     # ---------------------------------------------------------- resolution
     def _resolved(self, row: int) -> bool:
-        return self.pos_l[row] < self.reached[self.tidx_l[row]]
+        return self.pos[row] < self.reached[self.tidx[row]]
 
     def _value(self, row: int) -> int:
         """t_a of a resolved row: its segment offset plus its prefix."""
-        t = self.tidx_l[row]
-        p = self.pos_l[row]
-        return self.O[t][bisect_right(self.spec_pos[t], p)] + self.P_l[t][p]
+        return self.O[self.tidx[row]][self.seg[row]] + int(self.row_prefix[row])
 
     def _try_special(self, row: int, t: int, p: int) -> Optional[int]:
         """Resolve the special at thread t, position p; None if not ready."""
@@ -309,19 +371,19 @@ class _ColumnarResolver:
             label = "" if lb < 0 else self.cols.label_table[lb]
             anchor = self.loop_anchor.get(label)
             if anchor is None:
-                ta = max(0, self.time_l[row] - ov)
+                ta = max(0, int(self.cols.time[row]) - ov)
             else:
                 if not self._resolved(anchor):
                     return None
                 ta = (
                     self._value(anchor)
-                    + (self.time_l[row] - self.time_l[anchor])
+                    + (int(self.cols.time[row]) - int(self.cols.time[anchor]))
                     - ov
                 )
         if ta is None:
             return None
         if p > 0:
-            ta_pred = self.O[t][-1] + self.P_l[t][p - 1]
+            ta_pred = self.O[t][-1] + int(self.P[t][p - 1])
             if ta_pred > ta:
                 ta = ta_pred  # thread order is causal
         return ta if ta > 0 else 0
@@ -422,17 +484,21 @@ class _ColumnarResolver:
                     # Sweep the plain run up to the next special (those
                     # rows become resolved *now*, not implicitly before
                     # the worklist reaches them).
-                    nxt = sp[self.ptr[t]] if self.ptr[t] < len(sp) else self.m[t]
+                    nxt = (
+                        int(sp[self.ptr[t]])
+                        if self.ptr[t] < len(sp)
+                        else self.m[t]
+                    )
                     if self.reached[t] < nxt:
                         progress += nxt - self.reached[t]
                         self.reached[t] = nxt
                     if self.ptr[t] >= len(sp):
                         break
                     p = nxt
-                    ta = self._try_special(rows[self.ptr[t]], t, p)
+                    ta = self._try_special(int(rows[self.ptr[t]]), t, p)
                     if ta is None:
                         break
-                    self.O[t].append(ta - self.P_l[t][p])
+                    self.O[t].append(ta - int(self.P[t][p]))
                     self.ptr[t] += 1
                     self.reached[t] = p + 1
                     progress += 1

@@ -1,0 +1,345 @@
+"""Compiled (native) backend for event-based resolution.
+
+``_NativeResolver`` reuses every indexing structure of
+:class:`repro.analysis.eventbased_columnar._ColumnarResolver` — thread
+grouping, prefix sums, sync pairing, payloads, and *all* of its eager
+structural errors — and replaces only the Python worklist sweep with one
+call into the JIT-built C kernel (:mod:`repro.native`).  The packer lowers
+the resolver's dictionaries into flat int64 dependency arrays:
+
+* each special event becomes a row in thread-major ``spec_*`` tables with a
+  rule code, up to three dependency rows, and precomputed prefix values;
+* structural failures the Python worklist would raise *when visiting* a
+  special (awaitE without awaitB, stripped sync identity, barrier exit
+  without arrivals, …) become a per-special error flag;  the kernel stops
+  on the first flagged special it tries — or on a deadlocked round — and
+  the wrapper replays exactly that special through the interpreted
+  ``_try_special``, reproducing the exception type, message, and implicated
+  events byte-for-byte.
+
+Equivalence with the ``"columnar"`` and ``"object"`` backends (successes
+and failures alike) is property-tested in
+``tests/property/test_native_backend.py`` and enforced by the audit
+differential oracle's ``eventbased-native-*`` pairs.
+
+The kernel computes in two's-complement ``int64``; the Python resolvers
+compute in unbounded ints.  Traces whose magnitudes could overflow the
+headroom (|values| approaching 2^60) are resolved by the interpreted
+worklist instead — same results, no wraparound risk.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.eventbased_columnar import (
+    _CODE_AWAIT_E,
+    _CODE_BARRIER_EXIT,
+    _CODE_LOCK_ACQ,
+    _CODE_LOOP_BEGIN,
+    _CODE_SEM_ACQ,
+    _ColumnarResolver,
+    _resolution_error,
+)
+from repro.analysis.approximation import AnalysisError
+from repro.instrument.costs import AnalysisConstants
+from repro.trace import columnar as _columnar
+from repro.trace.columnar import NONE_SENTINEL
+from repro.trace.trace import Trace
+
+#: |values| must stay below this for int64 kernel arithmetic to be exact.
+_INT64_HEADROOM = 1 << 60
+#: Analysis constants are tiny in practice; anything bigger falls back.
+_CONSTANT_LIMIT = 1 << 40
+
+
+class _NativeResolver(_ColumnarResolver):
+    """Segment-offset resolution with the sweep compiled to C."""
+
+    # ------------------------------------------------------------- packing
+    def _int64_safe(self) -> bool:
+        """True if every kernel input/intermediate fits int64 comfortably."""
+        c = self.constants
+        for value in (
+            c.s_nowait, c.s_wait, c.lock_nowait, c.lock_handoff,
+            c.barrier_release,
+        ):
+            if abs(int(value)) >= _CONSTANT_LIMIT:
+                return False
+        time = self.cols.time
+        if len(time) and not (
+            int(time.min()) > -_INT64_HEADROOM
+            and int(time.max()) < _INT64_HEADROOM
+        ):
+            return False
+        for prefix in self.P:
+            if len(prefix) and not (
+                int(prefix.min()) >= 0 and int(prefix.max()) < _INT64_HEADROOM
+            ):
+                return False
+        return True
+
+    def _pack(self) -> Optional[dict]:
+        """Flat int64 tables for the kernel (None on an empty trace)."""
+        from repro.native import source as _src
+
+        np = _columnar.np
+        nthreads = len(self.m)
+        if nthreads == 0:
+            return None
+        i64 = np.int64
+        nspec = np.array([len(sp) for sp in self.spec_pos], dtype=i64)
+        spec_off = np.zeros(nthreads, dtype=i64)
+        np.cumsum(nspec[:-1], out=spec_off[1:])
+        o_off = np.zeros(nthreads, dtype=i64)
+        np.cumsum(nspec[:-1] + 1, out=o_off[1:])
+        n_spec = int(nspec.sum())
+
+        if n_spec:
+            spec_pos = np.concatenate(self.spec_pos)
+            spec_rows = np.concatenate(self.spec_rows)
+        else:
+            spec_pos = np.zeros(0, dtype=i64)
+            spec_rows = np.zeros(0, dtype=i64)
+
+        # Prefix values at each special and at its thread predecessor,
+        # vectorized per thread.
+        spec_prefix = np.zeros(n_spec, dtype=i64)
+        spec_prev_prefix = np.zeros(n_spec, dtype=i64)
+        for t in range(nthreads):
+            lo, hi = int(spec_off[t]), int(spec_off[t]) + int(nspec[t])
+            if lo == hi:
+                continue
+            sp = self.spec_pos[t]
+            spec_prefix[lo:hi] = self.P[t][sp]
+            prev = np.maximum(sp - 1, 0)
+            spec_prev_prefix[lo:hi] = np.where(sp > 0, self.P[t][prev], 0)
+
+        err = np.zeros(n_spec, dtype=i64)
+        dep_a = np.full(n_spec, -1, dtype=i64)
+        dep_b = np.full(n_spec, -1, dtype=i64)
+        dep_c = np.full(n_spec, -1, dtype=i64)
+        aux = np.zeros(n_spec, dtype=i64)
+        arr_off = np.zeros(n_spec, dtype=i64)
+        arr_len = np.zeros(n_spec, dtype=i64)
+        arrivals_flat: list[int] = []
+
+        cols = self.cols
+        spec_kinds = cols.kind[spec_rows] if n_spec else np.zeros(0, dtype=i64)
+        rule_lut = np.zeros(int(spec_kinds.max()) + 1 if n_spec else 1, dtype=i64)
+        for code, r in (
+            (_CODE_AWAIT_E, _src.RULE_AWAIT_E),
+            (_CODE_LOCK_ACQ, _src.RULE_LOCK_ACQ),
+            (_CODE_SEM_ACQ, _src.RULE_SEM_ACQ),
+            (_CODE_BARRIER_EXIT, _src.RULE_BARRIER_EXIT),
+            (_CODE_LOOP_BEGIN, _src.RULE_LOOP_BEGIN),
+        ):
+            if code < len(rule_lut):
+                rule_lut[code] = r
+        rule = rule_lut[spec_kinds]
+
+        sv_table = cols.sync_var_table
+        lb_table = cols.label_table
+        time = cols.time
+        advances = self.advances
+        await_begin = self.await_begin
+
+        # awaitE is the bulk of any real trace's specials: vectorize the
+        # identity check and batch the two pairing lookups.
+        ae = np.flatnonzero(spec_kinds == _CODE_AWAIT_E)
+        if len(ae):
+            ae_rows = spec_rows[ae]
+            bad = (cols.sync_var[ae_rows] < 0) | (
+                cols.sync_index[ae_rows] == NONE_SENTINEL
+            )
+            err[ae[bad]] = 1  # "no sync identity" ValueError on visit
+            good = ae[~bad]
+            if len(good):
+                keys = self._sync_keys(spec_rows[good])
+                begin = np.array(
+                    [await_begin.get(k, -1) for k in keys], dtype=i64
+                )
+                dep_a[good] = begin
+                err[good[begin < 0]] = 1  # "awaitE without awaitB"
+                adv = [advances.get(k) for k in keys]
+                dep_b[good] = [
+                    # A missing advance raises only once the awaitB is
+                    # resolved (Python visit order); si < 0 marks the
+                    # DOACROSS prologue await, satisfied by convention.
+                    a if a is not None
+                    else (_src.ADV_MISSING if k[1] >= 0 else _src.ADV_PROLOGUE)
+                    for a, k in zip(adv, keys)
+                ]
+
+        # The remaining rules are rare; a scalar loop over them is cheap.
+        rest = np.flatnonzero(
+            (spec_kinds != _CODE_AWAIT_E) if n_spec else spec_kinds
+        )
+        per_kind = _columnar.overhead_table(self.constants.costs)
+        for s in rest.tolist():
+            row = int(spec_rows[s])
+            kind = int(spec_kinds[s])
+            sv = int(cols.sync_var[row])
+            si = int(cols.sync_index[row])
+            if kind == _CODE_LOOP_BEGIN:
+                lb = int(cols.label[row])
+                ov = int(per_kind[kind])
+                label = "" if lb < 0 else lb_table[lb]
+                anchor = self.loop_anchor.get(label)
+                if anchor is None:
+                    aux[s] = max(0, int(time[row]) - ov)
+                else:
+                    dep_a[s] = anchor
+                    aux[s] = int(time[row]) - int(time[anchor]) - ov
+                continue
+            if kind == _CODE_BARRIER_EXIT:
+                sv_val = None if sv < 0 else sv_table[sv]
+                si_val = None if si == NONE_SENTINEL else si
+                arrivals = self.barrier_arrivals.get(
+                    (sv_val or "barrier", si_val or 0)
+                )
+                if not arrivals:
+                    err[s] = 1  # "barrier exit ... without arrivals"
+                    continue
+                arr_off[s] = len(arrivals_flat)
+                arr_len[s] = len(arrivals)
+                arrivals_flat.extend(arrivals)
+                continue
+            # lockAcq / semAcq key on the sync identity first.
+            if sv < 0 or si == NONE_SENTINEL:
+                err[s] = 1  # "no sync identity" ValueError
+                continue
+            key = (sv_table[sv], si)
+            if kind == _CODE_LOCK_ACQ:
+                use = self.lock_uses.get(key)
+                if use is None:  # pragma: no cover - lock_uses is complete
+                    err[s] = 1
+                    continue
+                dep_a[s] = use["req"]
+                prev_rel = self.lock_prev_rel.get(row)
+                if prev_rel is not None:
+                    dep_b[s] = prev_rel
+            else:  # _CODE_SEM_ACQ
+                use = self.sem_uses.get(key)
+                if use is None:  # pragma: no cover - sem_uses is complete
+                    err[s] = 1
+                    continue
+                dep_a[s] = use["req"]
+                enabler = self.sem_enabler.get(row)
+                if enabler is not None:
+                    dep_b[s] = enabler
+                prev_acq = self.sem_prev_acq.get(row)
+                if prev_acq is not None:
+                    dep_c[s] = prev_acq
+
+        c = self.constants
+        return {
+            "nthreads": nthreads,
+            "total_events": sum(self.m),
+            "m": np.array(self.m, dtype=i64),
+            "nspec": nspec,
+            "spec_off": spec_off,
+            "o_off": o_off,
+            "spec_pos": spec_pos,
+            "spec_rows": spec_rows,
+            "spec_rule": rule,
+            "spec_err": err,
+            "spec_prefix": spec_prefix,
+            "spec_prev_prefix": spec_prev_prefix,
+            "dep_a": dep_a,
+            "dep_b": dep_b,
+            "dep_c": dep_c,
+            "aux": aux,
+            "arr_off": arr_off,
+            "arr_len": arr_len,
+            "arrival_rows": np.array(arrivals_flat, dtype=i64),
+            "row_prefix": self.row_prefix,
+            "row_pos": self.pos,
+            "row_tidx": self.tidx,
+            "row_seg": self.seg,
+            "s_nowait": int(c.s_nowait),
+            "s_wait": int(c.s_wait),
+            "lock_nowait": int(c.lock_nowait),
+            "lock_handoff": int(c.lock_handoff),
+            "barrier_release": int(c.barrier_release),
+            "o_flat": np.zeros(n_spec + nthreads, dtype=i64),
+            "ptr": np.zeros(nthreads, dtype=i64),
+            "reached": np.zeros(nthreads, dtype=i64),
+            "out_state": np.zeros(1, dtype=i64),
+        }
+
+    # ----------------------------------------------------------- execution
+    def _sync_state(self, pack: dict) -> None:
+        """Mirror the kernel's worklist state back into resolver attrs so
+        ``_resolved``/``_value``/``_try_special`` (error replay) and
+        ``_assemble`` see exactly what the interpreted sweep would have."""
+        nthreads = pack["nthreads"]
+        ptr = pack["ptr"].tolist()
+        self.ptr = ptr
+        self.reached = pack["reached"].tolist()
+        o_flat = pack["o_flat"]
+        o_off = pack["o_off"]
+        self.O = [
+            o_flat[int(o_off[t]): int(o_off[t]) + ptr[t] + 1].tolist()
+            for t in range(nthreads)
+        ]
+
+    def run(self, kernel=None):  # type: ignore[override]
+        from repro import native
+
+        if kernel is None:
+            kernel = native.get_resolve_kernel()
+        if not self._int64_safe():
+            # Magnitudes too close to int64: the interpreted worklist is
+            # exact and byte-identical; correctness beats speed here.
+            return super().run()
+        pack = self._pack()
+        if pack is None:
+            return self._assemble()
+        from repro.native import source as _src
+
+        args = tuple(pack[name] for _, name in _src.RESOLVE_ARGS)
+        status = kernel(*args)
+        self._sync_state(pack)
+        if status == _src.STATUS_ERROR:
+            s = int(pack["out_state"][0])
+            row = int(pack["spec_rows"][s])
+            t = int(self.tidx[row])
+            p = int(pack["spec_pos"][s])
+            # Replay the single special the kernel stopped on; the
+            # interpreted rule raises the identical exception.
+            self._try_special(row, t, p)
+            raise AnalysisError(  # pragma: no cover - defensive
+                "native kernel flagged special "
+                f"{s} (row {row}) but the interpreted replay resolved it"
+            )
+        if status == _src.STATUS_DEADLOCK:
+            stuck = [
+                self.cols.event(int(self.spec_rows[t][self.ptr[t]]))
+                for t in range(pack["nthreads"])
+                if self.ptr[t] < len(self.spec_pos[t])
+            ]
+            raise _resolution_error(
+                "event resolution deadlocked (malformed trace?); "
+                "unresolvable events:\n  "
+                + "\n  ".join(str(e) for e in stuck[:8]),
+                tuple(stuck),
+            )
+        if status != _src.STATUS_OK:  # pragma: no cover - defensive
+            raise AnalysisError(f"native kernel returned status {status}")
+        return self._assemble()
+
+
+def resolve_native(measured: Trace, constants: AnalysisConstants) -> dict[int, int]:
+    """Event-based resolution through the compiled kernel.
+
+    Same ``seq -> t_a`` mapping — and the same exceptions on malformed
+    traces — as :func:`repro.analysis.eventbased_columnar.resolve_columnar`
+    and the object worklist.  Raises
+    :class:`repro.native.NativeUnavailable` when the kernel cannot be
+    built or loaded here (callers pick a fallback backend).
+    """
+    from repro import native
+
+    kernel = native.get_resolve_kernel()  # raise before any indexing work
+    return _NativeResolver(measured, constants).run(kernel)

@@ -156,9 +156,12 @@ def _analysis_outcome(fn, trace: Trace, backend: str):
         return ("raise", type(exc).__name__, str(exc))
 
 
-def _analysis_divergence(fn, trace: Trace):
-    obj = _analysis_outcome(fn, trace, "object")
-    col = _analysis_outcome(fn, trace, "columnar")
+def _analysis_divergence(
+    fn, trace: Trace, reference: str = "object", candidate: str = "columnar"
+):
+    """First divergence between two analysis backends on one trace."""
+    obj = _analysis_outcome(fn, trace, reference)
+    col = _analysis_outcome(fn, trace, candidate)
     if obj == col:
         return None
     if (
@@ -188,6 +191,18 @@ def _check_eventbased_backends(trace: Trace):
     from repro.analysis.eventbased import event_based_approximation
 
     return _analysis_divergence(event_based_approximation, trace)
+
+
+def _check_eventbased_native(candidate_reference: str):
+    def check(trace: Trace):
+        from repro.analysis.eventbased import event_based_approximation
+
+        return _analysis_divergence(
+            event_based_approximation, trace,
+            reference=candidate_reference, candidate="native",
+        )
+
+    return check
 
 
 def _stats_fingerprint(stats):
@@ -221,18 +236,37 @@ def _check_trace_structure(trace: Trace):
             "; ".join(i.render() for i in issues)[:400])
 
 
-#: name -> (check, needs_numpy).  Every registered check runs on every
-#: audited trace; additions here are picked up by the CLI and CI for free.
-TRACE_CHECKS: dict[str, tuple[Callable[[Trace], Optional[tuple]], bool]] = {
-    "storage-normalization": (_check_storage_normalization, True),
-    "roundtrip-jsonl": (lambda t: _check_roundtrip(t, "jsonl"), False),
-    "roundtrip-rpt": (lambda t: _check_roundtrip(t, "rpt"), True),
-    "encoding-chain": (_check_encoding_chain, True),
-    "timebased-backends": (_check_timebased_backends, True),
-    "eventbased-backends": (_check_eventbased_backends, True),
-    "stats-backends": (_check_stats_backends, True),
-    "trace-structure": (_check_trace_structure, False),
+#: name -> (check, requirement).  The requirement is ``None`` (always
+#: runnable), ``"numpy"`` or ``"native"``; checks whose requirement is not
+#: met here are recorded as skipped, never silently dropped.  Every
+#: registered check runs on every audited trace; additions here are picked
+#: up by the CLI and CI for free.
+TRACE_CHECKS: dict[str, tuple[Callable[[Trace], Optional[tuple]], Optional[str]]] = {
+    "storage-normalization": (_check_storage_normalization, "numpy"),
+    "roundtrip-jsonl": (lambda t: _check_roundtrip(t, "jsonl"), None),
+    "roundtrip-rpt": (lambda t: _check_roundtrip(t, "rpt"), "numpy"),
+    "encoding-chain": (_check_encoding_chain, "numpy"),
+    "timebased-backends": (_check_timebased_backends, "numpy"),
+    "eventbased-backends": (_check_eventbased_backends, "numpy"),
+    "eventbased-native-columnar": (_check_eventbased_native("columnar"), "native"),
+    "eventbased-native-object": (_check_eventbased_native("object"), "native"),
+    "stats-backends": (_check_stats_backends, "numpy"),
+    "trace-structure": (_check_trace_structure, None),
 }
+
+
+def _requirement_met(requirement: Optional[str]) -> bool:
+    if requirement is None:
+        return True
+    if requirement == "numpy":
+        return HAVE_NUMPY
+    if requirement == "native":
+        if not HAVE_NUMPY:
+            return False
+        from repro import native
+
+        return native.native_available()
+    raise ValueError(f"unknown check requirement {requirement!r}")
 
 
 def _minimized_detail(trace: Trace, check) -> Optional[int]:
@@ -261,8 +295,8 @@ def audit_trace(
 ) -> AuditReport:
     """Run every registered differential check on one trace."""
     report = report if report is not None else AuditReport()
-    for name, (check, needs_numpy) in TRACE_CHECKS.items():
-        if needs_numpy and not HAVE_NUMPY:
+    for name, (check, requirement) in TRACE_CHECKS.items():
+        if not _requirement_met(requirement):
             report.skipped.append(name)
             continue
         report.checks_run += 1

@@ -11,6 +11,9 @@ Usage::
     repro-ppopp91 cache clear
     repro-ppopp91 audit              # cross-backend parity, standard programs
     repro-ppopp91 audit --fuzz 50 --seed 0   # seeded differential fuzzing
+    repro-ppopp91 native info    # compiled-kernel availability and cache
+    repro-ppopp91 native clear   # drop cached kernel builds
+    repro-ppopp91 all --backend native   # force one analysis backend
     python -m repro figure5
 
 Simulations are deterministic per (program, plan, machine, seed) tuple,
@@ -25,6 +28,9 @@ import sys
 from dataclasses import replace
 from typing import Optional, Sequence
 
+from repro.analysis.approximation import AnalysisError
+from repro.analysis.eventbased import BACKENDS as ANALYSIS_BACKENDS
+from repro.analysis.eventbased import configure_backend
 from repro.exec import PerturbationConfig
 from repro.experiments import (
     DEFAULT_CONFIG,
@@ -82,19 +88,23 @@ def make_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all", "cache", "audit"),
+        choices=EXPERIMENTS + ("all", "cache", "audit", "native"),
         help=(
             "which table/figure to regenerate, 'cache' to manage the "
-            "artifact cache, or 'audit' to run the cross-backend "
-            "correctness audit"
+            "artifact cache, 'audit' to run the cross-backend "
+            "correctness audit, or 'native' to manage the compiled "
+            "analysis kernel"
         ),
     )
     parser.add_argument(
         "action",
         nargs="?",
-        choices=("stats", "clear"),
+        choices=("stats", "clear", "info"),
         default=None,
-        help="cache management action (with 'cache'; default: stats)",
+        help=(
+            "management action: with 'cache' stats|clear (default stats); "
+            "with 'native' info|clear (default info)"
+        ),
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced loop lengths (fast)"
@@ -148,6 +158,15 @@ def make_parser() -> argparse.ArgumentParser:
         "--no-minimize",
         action="store_true",
         help="(audit) skip delta-minimization of divergence witnesses",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=ANALYSIS_BACKENDS,
+        default=None,
+        help=(
+            "event-based analysis backend for this run (default: auto — "
+            "native, then columnar, then object)"
+        ),
     )
     return parser
 
@@ -235,6 +254,8 @@ def _run_audit_command(args: argparse.Namespace) -> int:
 def _run_cache_command(args: argparse.Namespace) -> int:
     cache = ArtifactCache(args.cache_dir)
     action = args.action or "stats"
+    if action == "info":
+        make_parser().error("'cache' supports actions: stats, clear")
     if action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached artifacts from {cache.root}")
@@ -243,21 +264,53 @@ def _run_cache_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_native_command(args: argparse.Namespace) -> int:
+    from repro import native
+
+    action = args.action or "info"
+    if action == "stats":
+        make_parser().error("'native' supports actions: info, clear")
+    if action == "clear":
+        root = native.native_cache_dir()
+        removed = native.clear_native_cache()
+        print(f"removed {removed} cached kernel builds from {root}")
+        return 0
+    print(native.describe_status())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except AnalysisError as exc:
+        # e.g. --backend native on a host where the kernel can't run
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. piped into `head`
+        return 0
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
     args = make_parser().parse_args(argv)
+    if args.backend is not None:
+        configure_backend(args.backend)
     if args.experiment == "cache":
         return _run_cache_command(args)
+    if args.experiment == "native":
+        return _run_native_command(args)
     if args.experiment == "audit":
         if args.action is not None:
             make_parser().error(
-                f"'{args.action}' only applies to the 'cache' command"
+                f"'{args.action}' only applies to the 'cache' and "
+                "'native' commands"
             )
         return _run_audit_command(args)
     if args.fuzz is not None:
         make_parser().error("--fuzz only applies to the 'audit' command")
     if args.action is not None:
         make_parser().error(
-            f"'{args.action}' only applies to the 'cache' command"
+            f"'{args.action}' only applies to the 'cache' and 'native' "
+            "commands"
         )
     configure(
         jobs=args.jobs,

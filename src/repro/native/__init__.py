@@ -1,0 +1,181 @@
+"""``repro.native`` — JIT-built C kernel for event-based resolution.
+
+Public surface of the compiled sync-replay subsystem:
+
+* :func:`get_resolve_kernel` — the loaded kernel handle (compiling and
+  caching on first use); raises :class:`NativeUnavailable` when the
+  backend cannot run here;
+* :func:`native_available` / :func:`native_reason` — cheap availability
+  probe for ``backend="auto"`` selection and audit/CI gating;
+* :func:`native_status` — diagnostic snapshot for ``repro-ppopp91 native
+  info``;
+* :func:`clear_native_cache` — drop every cached build.
+
+Availability is re-evaluated whenever the controlling environment changes
+(``REPRO_NATIVE``, ``REPRO_CC``, ``REPRO_NATIVE_LOADER``,
+``REPRO_NATIVE_CACHE_DIR``), so tests and operators can flip the escape
+hatch at runtime; a successfully loaded kernel is memoized per cache key.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.native.build import (
+    CACHE_ENV,
+    CC_ENV,
+    LOADER_ENV,
+    NATIVE_ENV,
+    KernelHandle,
+    NativeBuildError,
+    NativeUnavailable,
+    cache_entries,
+    clear_cache,
+    ensure_kernel,
+    find_compiler,
+    native_cache_dir,
+    native_enabled,
+)
+from repro.native.source import (
+    KERNEL_NAME,
+    STATUS_DEADLOCK,
+    STATUS_ERROR,
+    STATUS_OK,
+    kernel_source,
+    source_digest,
+)
+
+__all__ = [
+    "KERNEL_NAME",
+    "KernelHandle",
+    "NativeBuildError",
+    "NativeUnavailable",
+    "STATUS_DEADLOCK",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "clear_native_cache",
+    "get_resolve_kernel",
+    "kernel_source",
+    "native_available",
+    "native_cache_dir",
+    "native_enabled",
+    "native_reason",
+    "native_status",
+    "source_digest",
+]
+
+#: Memoized state: (env fingerprint, handle-or-None, failure reason).
+_state: Optional[tuple[tuple, Optional[KernelHandle], Optional[str]]] = None
+
+
+def _env_fingerprint() -> tuple:
+    return tuple(
+        os.environ.get(var) for var in (NATIVE_ENV, CC_ENV, LOADER_ENV, CACHE_ENV)
+    )
+
+
+def _reset_memo() -> None:
+    global _state
+    _state = None
+
+
+def get_resolve_kernel() -> KernelHandle:
+    """The compiled worklist kernel (built/cached/loaded on first use)."""
+    global _state
+    fingerprint = _env_fingerprint()
+    if _state is not None and _state[0] == fingerprint:
+        handle, reason = _state[1], _state[2]
+        if handle is not None:
+            return handle
+        raise NativeUnavailable(reason)
+    try:
+        from repro.trace.columnar import HAVE_NUMPY
+
+        if not HAVE_NUMPY:
+            raise NativeUnavailable(
+                "the native backend requires numpy, which is not installed"
+            )
+        handle = ensure_kernel()
+    except NativeUnavailable as exc:
+        _state = (fingerprint, None, str(exc))
+        raise
+    _state = (fingerprint, handle, None)
+    return handle
+
+
+def native_available() -> bool:
+    """True if ``backend="native"`` would work right now."""
+    try:
+        get_resolve_kernel()
+        return True
+    except NativeUnavailable:
+        return False
+
+
+def native_reason() -> Optional[str]:
+    """Why the native backend is unavailable, or None if it is available."""
+    try:
+        get_resolve_kernel()
+        return None
+    except NativeUnavailable as exc:
+        return str(exc)
+
+
+def clear_native_cache() -> int:
+    """Remove every cached kernel build; returns the count removed."""
+    removed = clear_cache()
+    _reset_memo()
+    return removed
+
+
+def native_status() -> dict:
+    """Diagnostic snapshot (the ``repro-ppopp91 native info`` payload)."""
+    root = native_cache_dir()
+    entries = cache_entries(root)
+    size = 0
+    for so in entries:
+        try:
+            size += so.stat().st_size
+        except OSError:
+            pass
+    compiler = find_compiler()
+    status: dict = {
+        "enabled": native_enabled(),
+        "available": False,
+        "reason": None,
+        "loader": None,
+        "key": None,
+        "compiler": " ".join(compiler) if compiler else None,
+        "cache_dir": str(root),
+        "cached_builds": len(entries),
+        "cache_bytes": size,
+        "source_sha256": source_digest(),
+    }
+    try:
+        handle = get_resolve_kernel()
+        status["available"] = True
+        status["loader"] = handle.loader
+        status["key"] = handle.key
+    except NativeUnavailable as exc:
+        status["reason"] = str(exc)
+    return status
+
+
+def describe_status(status: Optional[dict] = None) -> str:
+    """Human-readable ``native info`` text."""
+    st = status if status is not None else native_status()
+    lines = [
+        f"native backend: {'available' if st['available'] else 'unavailable'}",
+        f"enabled:        {st['enabled']} ({NATIVE_ENV}=0 disables)",
+        f"compiler:       {st['compiler'] or 'none found'}",
+        f"loader:         {st['loader'] or '-'}",
+        f"cache dir:      {st['cache_dir']}",
+        f"cached builds:  {st['cached_builds']} ({st['cache_bytes'] / 1e3:.1f} kB)",
+        f"source sha256:  {st['source_sha256'][:16]}…",
+    ]
+    if st["key"]:
+        lines.append(f"build key:      {st['key'][:16]}…")
+    if st["reason"]:
+        lines.append(f"reason:         {st['reason']}")
+    return "\n".join(lines)

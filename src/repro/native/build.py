@@ -1,0 +1,372 @@
+"""Build, cache, and load the compiled sync-replay kernel.
+
+The pipeline is: generate C (:mod:`repro.native.source`) → compile it to a
+plain shared library → load the exported symbol through cffi (preferred) or
+ctypes (always available).  Builds land in a content-addressed on-disk
+cache keyed by the SHA-256 of the generated source plus the compiler
+identity, mirroring :class:`repro.runtime.cache.ArtifactCache`'s
+corruption-tolerant semantics: a missing, truncated, or unloadable artifact
+is a *miss* (the entry is swept and rebuilt), never an error.  When no
+compiler and no cached build are available the subsystem reports itself
+unavailable and the analysis layer falls back to the pure-Python backends.
+
+Environment knobs (all optional):
+
+* ``REPRO_NATIVE=0`` — disable the native backend entirely;
+* ``REPRO_CC`` — compiler command (default: ``$CC`` from the Python build,
+  then ``cc``/``gcc``/``clang`` on ``PATH``);
+* ``REPRO_NATIVE_LOADER=cffi|ctypes`` — force one FFI loader;
+* ``REPRO_NATIVE_CACHE_DIR`` — build-cache location (default:
+  ``<artifact cache>/native``, i.e. ``$REPRO_CACHE_DIR`` aware).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import json
+import os
+import shutil
+import subprocess
+import sys
+import sysconfig
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.native.source import (
+    KERNEL_NAME,
+    RESOLVE_ARGS,
+    cffi_cdef,
+    kernel_source,
+)
+
+NATIVE_ENV = "REPRO_NATIVE"
+CC_ENV = "REPRO_CC"
+LOADER_ENV = "REPRO_NATIVE_LOADER"
+CACHE_ENV = "REPRO_NATIVE_CACHE_DIR"
+
+#: Bumping this invalidates every cached build (key ingredient).
+BUILD_SCHEMA = 1
+
+_FALSY = ("0", "false", "no", "off")
+
+
+class NativeUnavailable(RuntimeError):
+    """The native backend cannot run here; callers should fall back."""
+
+
+class NativeBuildError(NativeUnavailable):
+    """Compilation was attempted and failed."""
+
+
+def native_enabled() -> bool:
+    """False when the ``REPRO_NATIVE=0`` escape hatch is set."""
+    return os.environ.get(NATIVE_ENV, "1").strip().lower() not in _FALSY
+
+
+def native_cache_dir() -> Path:
+    """Build-cache location (``REPRO_NATIVE_CACHE_DIR`` override)."""
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    from repro.runtime.cache import default_cache_dir
+
+    return default_cache_dir() / "native"
+
+
+# ------------------------------------------------------------------ compiler
+def find_compiler() -> Optional[list[str]]:
+    """The C compiler command to use, or None if none is on this host."""
+    env = os.environ.get(CC_ENV)
+    if env:
+        cmd = env.split()
+        return cmd if cmd and shutil.which(cmd[0]) else None
+    candidates = []
+    cc_var = (sysconfig.get_config_var("CC") or "").split()
+    if cc_var:
+        candidates.append(cc_var)
+    candidates += [["cc"], ["gcc"], ["clang"]]
+    for cmd in candidates:
+        if shutil.which(cmd[0]):
+            return cmd
+    return None
+
+
+_COMPILER_ID: dict[str, str] = {}
+
+
+def compiler_id(cmd: list[str]) -> str:
+    """Stable identity string for ``cmd`` (resolved path + version line)."""
+    exe = shutil.which(cmd[0]) or cmd[0]
+    cached = _COMPILER_ID.get(exe)
+    if cached is not None:
+        return cached
+    try:
+        probe = subprocess.run(
+            [exe, "--version"], capture_output=True, text=True, timeout=30
+        )
+        version = (probe.stdout or probe.stderr).splitlines()[0].strip()
+    except (OSError, subprocess.TimeoutExpired, IndexError):
+        version = "unknown"
+    ident = f"{exe} {version}"
+    _COMPILER_ID[exe] = ident
+    return ident
+
+
+def build_key(source: str, cmd: list[str]) -> str:
+    """Content address of one build: source + compiler + ABI ingredients."""
+    h = hashlib.sha256()
+    for part in (
+        f"repro-native-schema-{BUILD_SCHEMA}",
+        source,
+        " ".join(cmd),
+        compiler_id(cmd),
+        sys.platform,
+        str(sys.maxsize),
+    ):
+        h.update(part.encode())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+# --------------------------------------------------------------------- build
+def _entry(cache_dir: Path, key: str) -> Path:
+    return cache_dir / key[:2] / key
+
+
+def _remove_entry(entry: Path) -> None:
+    for suffix in (".so", ".c", ".json"):
+        try:
+            entry.with_suffix(suffix).unlink()
+        except OSError:
+            pass
+
+
+def compile_shared_lib(source: str, cmd: list[str], out_path: Path) -> None:
+    """Compile ``source`` to a shared library at ``out_path`` (atomic)."""
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(
+        prefix="repro-native-", dir=str(out_path.parent)
+    ) as tmp:
+        c_path = Path(tmp) / "kernel.c"
+        so_path = Path(tmp) / "kernel.so"
+        c_path.write_text(source)
+        argv = cmd + [
+            "-O2", "-shared", "-fPIC", "-std=c99",
+            str(c_path), "-o", str(so_path),
+        ]
+        try:
+            proc = subprocess.run(
+                argv, capture_output=True, text=True, timeout=300
+            )
+        except (OSError, subprocess.TimeoutExpired) as exc:
+            raise NativeBuildError(f"compiler failed to run: {exc}") from exc
+        if proc.returncode != 0 or not so_path.exists():
+            tail = (proc.stderr or proc.stdout or "").strip()[-800:]
+            raise NativeBuildError(
+                f"kernel compilation failed ({' '.join(argv[:1])} exit "
+                f"{proc.returncode}):\n{tail}"
+            )
+        os.replace(so_path, out_path)
+
+
+def _write_sidecar(entry: Path, key: str, cmd: list[str]) -> None:
+    payload = {
+        "schema": BUILD_SCHEMA,
+        "key": key,
+        "kernel": KERNEL_NAME,
+        "compiler": compiler_id(cmd),
+    }
+    try:
+        tmp = entry.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2))
+        os.replace(tmp, entry.with_suffix(".json"))
+        entry.with_suffix(".c").write_text(kernel_source())
+    except OSError:
+        pass  # the .so alone is sufficient; sidecars are diagnostics
+
+
+# ------------------------------------------------------------------- loaders
+class KernelHandle:
+    """A loaded kernel: callable with the :data:`RESOLVE_ARGS` tuple.
+
+    Scalars are passed as Python ints, arrays as C-contiguous ``int64``
+    numpy arrays; the handle marshals them to typed pointers through the
+    chosen FFI layer and returns the kernel's int status.
+    """
+
+    __slots__ = ("loader", "path", "key", "_call")
+
+    def __init__(self, loader: str, path: Path, key: str, call):
+        self.loader = loader
+        self.path = path
+        self.key = key
+        self._call = call
+
+    def __call__(self, *args) -> int:
+        if len(args) != len(RESOLVE_ARGS):
+            raise TypeError(
+                f"{KERNEL_NAME} takes {len(RESOLVE_ARGS)} arguments, "
+                f"got {len(args)}"
+            )
+        return self._call(args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"KernelHandle({self.loader}, {self.path.name})"
+
+
+def _check_array(arr, name: str):
+    import numpy as np
+
+    if (
+        not isinstance(arr, np.ndarray)
+        or arr.dtype != np.int64
+        or not arr.flags["C_CONTIGUOUS"]
+    ):
+        raise TypeError(
+            f"kernel argument {name!r} must be a C-contiguous int64 "
+            f"numpy array, got {type(arr).__name__}"
+        )
+    return arr
+
+
+def _load_cffi(path: Path, key: str) -> KernelHandle:
+    import cffi
+
+    ffi = cffi.FFI()
+    ffi.cdef(cffi_cdef())
+    lib = ffi.dlopen(str(path))
+    fn = getattr(lib, KERNEL_NAME)
+    spec = RESOLVE_ARGS
+    cast = ffi.cast
+
+    def call(args):
+        marshalled = []
+        keepalive = args  # noqa: F841 - arrays must outlive the call
+        for (kind, name), value in zip(spec, args):
+            if kind == "scalar":
+                marshalled.append(int(value))
+            else:
+                arr = _check_array(value, name)
+                marshalled.append(cast("int64_t *", arr.ctypes.data))
+        return int(fn(*marshalled))
+
+    return KernelHandle("cffi", path, key, call)
+
+
+def _load_ctypes(path: Path, key: str) -> KernelHandle:
+    lib = ctypes.CDLL(str(path))
+    fn = getattr(lib, KERNEL_NAME)
+    ptr_t = ctypes.POINTER(ctypes.c_int64)
+    fn.restype = ctypes.c_int64
+    fn.argtypes = [
+        ctypes.c_int64 if kind == "scalar" else ptr_t
+        for kind, _ in RESOLVE_ARGS
+    ]
+    spec = RESOLVE_ARGS
+
+    def call(args):
+        marshalled = []
+        keepalive = args  # noqa: F841 - arrays must outlive the call
+        for (kind, name), value in zip(spec, args):
+            if kind == "scalar":
+                marshalled.append(int(value))
+            else:
+                arr = _check_array(value, name)
+                marshalled.append(arr.ctypes.data_as(ptr_t))
+        return int(fn(*marshalled))
+
+    return KernelHandle("ctypes", path, key, call)
+
+
+def _loaders() -> list[tuple[str, object]]:
+    forced = os.environ.get(LOADER_ENV, "").strip().lower()
+    table = [("cffi", _load_cffi), ("ctypes", _load_ctypes)]
+    if forced:
+        table = [(name, fn) for name, fn in table if name == forced]
+        if not table:
+            raise NativeUnavailable(
+                f"unknown {LOADER_ENV}={forced!r}; expected 'cffi' or 'ctypes'"
+            )
+    return table
+
+
+def load_kernel(path: Path, key: str) -> KernelHandle:
+    """Load the kernel from ``path`` via the first working FFI loader."""
+    errors = []
+    for name, loader in _loaders():
+        try:
+            return loader(path, key)
+        except ImportError as exc:  # cffi not installed
+            errors.append(f"{name}: {exc}")
+        except OSError as exc:  # unloadable artifact
+            errors.append(f"{name}: {exc}")
+    raise NativeUnavailable(
+        "no FFI loader could load the kernel: " + "; ".join(errors)
+    )
+
+
+# -------------------------------------------------------------------- facade
+def ensure_kernel(cache_dir: Optional[Path] = None) -> KernelHandle:
+    """The resolve kernel: loaded from cache, or compiled then cached.
+
+    Raises :class:`NativeUnavailable` when disabled, or when neither a
+    loadable cached build nor a working compiler exists.
+    """
+    if not native_enabled():
+        raise NativeUnavailable(f"native backend disabled ({NATIVE_ENV}=0)")
+    root = Path(cache_dir) if cache_dir is not None else native_cache_dir()
+    source = kernel_source()
+    cmd = find_compiler()
+    if cmd is None:
+        # No compiler: a previously cached build may still be loadable.
+        for so in sorted(root.glob("??/*.so")):
+            try:
+                return load_kernel(so, so.stem)
+            except NativeUnavailable:
+                continue
+        raise NativeUnavailable(
+            "no C compiler found (set $REPRO_CC) and no cached kernel build"
+        )
+    key = build_key(source, cmd)
+    entry = _entry(root, key)
+    so_path = entry.with_suffix(".so")
+    if so_path.exists():
+        try:
+            return load_kernel(so_path, key)
+        except NativeUnavailable:
+            # Corrupt or ABI-stale artifact: treat as a miss and rebuild.
+            _remove_entry(entry)
+    compile_shared_lib(source, cmd, so_path)
+    _write_sidecar(entry, key, cmd)
+    return load_kernel(so_path, key)
+
+
+def cache_entries(cache_dir: Optional[Path] = None) -> list[Path]:
+    """Cached kernel builds (``.so`` paths) currently on disk."""
+    root = Path(cache_dir) if cache_dir is not None else native_cache_dir()
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("??/*.so"))
+
+
+def clear_cache(cache_dir: Optional[Path] = None) -> int:
+    """Remove every cached build; returns the number of builds removed."""
+    root = Path(cache_dir) if cache_dir is not None else native_cache_dir()
+    removed = 0
+    if not root.is_dir():
+        return 0
+    for path in root.glob("??/*"):
+        if path.suffix == ".so":
+            removed += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    for shard in root.glob("??"):
+        try:
+            shard.rmdir()
+        except OSError:
+            pass
+    return removed

@@ -82,10 +82,20 @@ def test_minimize_events_is_bounded():
 
 # ---------------------------------------------------------- clean pipeline
 def test_clean_trace_passes_every_check():
+    from repro import native
+
     report = audit_trace(_measured(), program="toy", minimize=False)
     assert report.ok
-    assert report.checks_run == len(TRACE_CHECKS)
-    assert report.skipped == []  # numpy present: nothing skipped
+    if native.native_available():
+        assert report.checks_run == len(TRACE_CHECKS)
+        assert report.skipped == []  # numpy + compiler: nothing skipped
+    else:
+        # No compiler (or REPRO_NATIVE=0): only the native pairs skip,
+        # and they are recorded, never silently dropped.
+        assert report.skipped == [
+            "eventbased-native-columnar", "eventbased-native-object",
+        ]
+        assert report.checks_run == len(TRACE_CHECKS) - 2
 
 
 def test_fuzz_audit_clean_matrix():

@@ -1,0 +1,235 @@
+"""Build-layer tests for the ``repro.native`` JIT subsystem.
+
+Cache correctness (hit without recompile, corruption tolerance), the
+environment knobs (``REPRO_NATIVE``, ``REPRO_NATIVE_LOADER``,
+``REPRO_NATIVE_CACHE_DIR``), and both FFI loaders.  Everything runs
+against an isolated cache directory; the user-level cache is never
+touched.  Tests that need a working C compiler skip cleanly where none
+exists (the ``REPRO_NATIVE=0`` CI leg).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro import native
+from repro.native import build as nb
+from repro.native.build import (
+    CACHE_ENV,
+    LOADER_ENV,
+    NATIVE_ENV,
+    NativeUnavailable,
+    build_key,
+    cache_entries,
+    clear_cache,
+    ensure_kernel,
+    find_compiler,
+    kernel_source,
+)
+from repro.native.source import RESOLVE_ARGS, STATUS_OK
+
+HAVE_CC = find_compiler() is not None
+needs_cc = pytest.mark.skipif(not HAVE_CC, reason="no C compiler on host")
+
+
+@pytest.fixture()
+def isolated_cache(tmp_path, monkeypatch):
+    """Point the build cache at a throwaway dir; reset the memo around it.
+
+    Also clears an inherited ``REPRO_NATIVE=0`` / forced-loader setting:
+    these tests exercise the subsystem on purpose, even on the CI leg
+    that disables it for the rest of the suite.
+    """
+    cache = tmp_path / "native-cache"
+    monkeypatch.setenv(CACHE_ENV, str(cache))
+    monkeypatch.delenv(NATIVE_ENV, raising=False)
+    monkeypatch.delenv(LOADER_ENV, raising=False)
+    native._reset_memo()
+    yield cache
+    native._reset_memo()
+
+
+def _trivial_call(handle) -> int:
+    """Invoke the kernel on an empty (zero-thread) pack: must return OK."""
+    z = lambda n: np.zeros(n, dtype=np.int64)  # noqa: E731
+    args = []
+    for kind, name in RESOLVE_ARGS:
+        if kind == "scalar":
+            args.append(0)
+        elif name == "out_state":
+            args.append(z(1))
+        else:
+            args.append(z(1))
+    return handle(*args)
+
+
+@needs_cc
+def test_cold_build_then_cache_hit_without_recompile(isolated_cache, monkeypatch):
+    handle = ensure_kernel()
+    assert handle.path.exists()
+    assert _trivial_call(handle) == STATUS_OK
+    [so] = cache_entries()
+    first_mtime = so.stat().st_mtime_ns
+
+    # Second load must reuse the artifact, not rebuild it — poisoning the
+    # compiler proves no compile happens on the warm path.
+    native._reset_memo()
+    monkeypatch.setattr(
+        nb, "compile_shared_lib",
+        lambda *a, **k: pytest.fail("cache hit must not recompile"),
+    )
+    handle2 = ensure_kernel()
+    assert handle2.key == handle.key
+    assert so.stat().st_mtime_ns == first_mtime
+    assert _trivial_call(handle2) == STATUS_OK
+
+
+def _corrupt(so, payload: bytes) -> None:
+    """Replace ``so`` with garbage on a *fresh inode*.
+
+    In-place truncation of a library this process already dlopen'd would
+    fault the live mapping (SIGBUS).  Unlink-then-write is what real cache
+    corruption looks like to a cold loader: new bytes, fresh open.
+    """
+    so.unlink()
+    so.write_bytes(payload)
+
+
+def _ensure_in_fresh_process(cache) -> str:
+    """Run ``ensure_kernel`` in a new interpreter; return the build key.
+
+    dlopen dedups by path within a process, so once a library has been
+    loaded here, reloading the same path silently reuses the stale
+    mapping — corrupt bytes on disk are only ever *seen* by a fresh
+    process.  That cold-start is exactly the case load-as-miss covers.
+    """
+    import subprocess
+    import sys as _sys
+
+    env = dict(os.environ, REPRO_NATIVE_CACHE_DIR=str(cache))
+    src_dir = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [src_dir, env.get("PYTHONPATH")])
+    )
+    proc = subprocess.run(
+        [_sys.executable, "-c",
+         "from repro.native.build import ensure_kernel; "
+         "print(ensure_kernel().key)"],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout.strip()
+
+
+@needs_cc
+def test_corrupt_artifact_is_a_miss_not_an_error(isolated_cache):
+    handle = ensure_kernel()
+    [so] = cache_entries()
+    _corrupt(so, b"this is not a shared library")
+
+    # A cold process must treat the garbage as a miss: evict, rebuild,
+    # and come back with the same content-addressed key.
+    assert _ensure_in_fresh_process(isolated_cache) == handle.key
+    assert so.read_bytes()[:4] == b"\x7fELF"
+
+
+@needs_cc
+def test_truncated_artifact_recovers(isolated_cache):
+    handle = ensure_kernel()
+    [so] = cache_entries()
+    # Keep only the ELF header: dlopen rejects it cleanly as too short.
+    _corrupt(so, so.read_bytes()[:64])
+    assert _ensure_in_fresh_process(isolated_cache) == handle.key
+    assert so.stat().st_size > 64
+
+
+@needs_cc
+@pytest.mark.parametrize("loader", ["cffi", "ctypes"])
+def test_forced_loader(isolated_cache, monkeypatch, loader):
+    if loader == "cffi":
+        pytest.importorskip("cffi")
+    monkeypatch.setenv(LOADER_ENV, loader)
+    native._reset_memo()
+    handle = native.get_resolve_kernel()
+    assert handle.loader == loader
+    assert _trivial_call(handle) == STATUS_OK
+
+
+def test_unknown_loader_rejected(isolated_cache, monkeypatch):
+    monkeypatch.setenv(LOADER_ENV, "dlopen")
+    native._reset_memo()
+    with pytest.raises(NativeUnavailable, match="unknown REPRO_NATIVE_LOADER"):
+        native.get_resolve_kernel()
+
+
+def test_escape_hatch_disables(isolated_cache, monkeypatch):
+    monkeypatch.setenv(NATIVE_ENV, "0")
+    native._reset_memo()
+    assert not native.native_available()
+    assert "disabled" in (native.native_reason() or "")
+    with pytest.raises(NativeUnavailable, match="disabled"):
+        native.get_resolve_kernel()
+
+
+def test_availability_tracks_env_changes(isolated_cache, monkeypatch):
+    """The memo re-evaluates when the controlling env changes — no stale
+    verdicts after flipping the escape hatch (no _reset_memo needed)."""
+    monkeypatch.setenv(NATIVE_ENV, "0")
+    assert not native.native_available()
+    monkeypatch.delenv(NATIVE_ENV, raising=False)
+    if HAVE_CC:
+        assert native.native_available()
+        assert native.native_reason() is None
+    monkeypatch.setenv(NATIVE_ENV, "off")
+    assert not native.native_available()
+
+
+@needs_cc
+def test_clear_cache_removes_builds(isolated_cache):
+    ensure_kernel()
+    assert len(cache_entries()) == 1
+    assert native.clear_native_cache() == 1
+    assert cache_entries() == []
+    assert clear_cache() == 0  # idempotent
+
+
+@needs_cc
+def test_build_key_changes_with_source(isolated_cache):
+    cmd = find_compiler()
+    base = build_key(kernel_source(), cmd)
+    assert build_key(kernel_source() + "\n/* x */\n", cmd) != base
+    assert build_key(kernel_source(), cmd) == base  # deterministic
+
+
+def test_status_snapshot_shapes(isolated_cache):
+    status = native.native_status()
+    assert status["cache_dir"] == str(isolated_cache)
+    assert isinstance(status["source_sha256"], str)
+    text = native.describe_status(status)
+    assert "native backend:" in text
+    if status["available"]:
+        assert "build key:" in text
+    else:
+        assert status["reason"] in text
+
+
+@needs_cc
+def test_no_compiler_falls_back_to_cached_build(isolated_cache, monkeypatch):
+    """With the compiler gone, a previously cached .so still loads."""
+    handle = ensure_kernel()
+    native._reset_memo()
+    monkeypatch.setattr(nb, "find_compiler", lambda: None)
+    cached = ensure_kernel()
+    assert cached.key == handle.key
+    assert _trivial_call(cached) == STATUS_OK
+
+
+def test_no_compiler_no_cache_is_unavailable(isolated_cache, monkeypatch):
+    monkeypatch.setattr(nb, "find_compiler", lambda: None)
+    with pytest.raises(NativeUnavailable, match="no C compiler"):
+        ensure_kernel()

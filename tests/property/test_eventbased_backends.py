@@ -133,7 +133,7 @@ def test_approximation_identical_across_analysis_backends(trace):
 def test_unknown_backend_rejected():
     with pytest.raises(ValueError, match="unknown analysis backend"):
         event_based_approximation(DOACROSS, CONSTANTS, backend="simd")
-    assert BACKENDS == ("auto", "columnar", "object")
+    assert BACKENDS == ("auto", "native", "columnar", "object")
 
 
 faults = st.lists(
