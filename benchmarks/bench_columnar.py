@@ -152,6 +152,9 @@ def run(n_events: int, out_path: Path, repeats: int) -> dict:
         print(f"validate(columnar) {val_secs:.3f}s  "
               f"stats(columnar) {stats_secs:.3f}s")
 
+    from repro.obs import bench_summary
+
+    results["obs"] = bench_summary()
     out_path.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {out_path}")
     return results

@@ -220,6 +220,9 @@ def run(n_events: int, out_path: Path, repeats: int) -> dict:
     print(f"          time-based columnar {gate_tb:.3f}s ({denom}; "
           f"this run {tb_secs:.3f}s)  native = {vs_timebased:.2f}x of it")
 
+    from repro.obs import bench_summary
+
+    results["obs"] = bench_summary()
     out_path.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {out_path}")
     return results

@@ -208,12 +208,15 @@ def main(argv=None) -> int:
     config = DEFAULT_CONFIG.quick() if args.quick else DEFAULT_CONFIG
     n_events = args.events or (QUICK_EVENTS if args.quick else FULL_EVENTS)
 
+    from repro.obs import bench_summary
+
     results = {
         "benchmark": "pipeline",
         "quick": args.quick,
         "n_cpus": n_cpus,
         "sweep": bench_sweep(config, jobs),
         "event_based_analysis": bench_resolver(n_events),
+        "obs": bench_summary(),
     }
     args.out.write_text(json.dumps(results, indent=2) + "\n")
     print(f"wrote {args.out}")

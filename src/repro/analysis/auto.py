@@ -16,6 +16,7 @@ from repro.analysis.approximation import AnalysisError, Approximation
 from repro.analysis.eventbased import event_based_approximation
 from repro.analysis.timebased import time_based_approximation
 from repro.instrument.costs import AnalysisConstants
+from repro.obs import core as obs
 from repro.trace import columnar as _columnar
 from repro.trace.columnar import kind_code_mask
 from repro.trace.events import SYNC_KINDS, EventKind
@@ -74,6 +75,7 @@ def auto_approximation(
     """
     warnings: list[str] = []
     if method == "event" or (method == "auto" and _has_sync_identity(measured)):
+        obs.count("analysis.auto.event")
         approx = event_based_approximation(measured, constants)
         reason = (
             "trace carries synchronization identity"
@@ -89,6 +91,7 @@ def auto_approximation(
             "identity: time-based results are unreliable for dependent "
             "execution (paper Table 1) — re-measure with the FULL plan"
         )
+    obs.count("analysis.auto.time")
     approx = time_based_approximation(measured, constants)
     reason = (
         "no synchronization identity in trace"

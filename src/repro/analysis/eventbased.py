@@ -43,6 +43,7 @@ from repro.analysis.approximation import (
     check_policy,
 )
 from repro.instrument.costs import AnalysisConstants
+from repro.obs import core as obs
 from repro.resilience.repair import (
     RepairReport,
     quarantine_threads,
@@ -67,6 +68,9 @@ def pick_backend() -> str:
 
         if native.native_available():
             return "native"
+        # Compiler-less host or REPRO_NATIVE=0: the interpreted
+        # columnar path carries the load.
+        obs.count("analysis.backend.native_fallback")
         return "columnar"
     return "object"
 
@@ -392,8 +396,14 @@ def event_based_approximation(
         raise ValueError(
             f"unknown analysis backend {backend!r}; expected one of {BACKENDS}"
         )
+    requested = backend
     if backend == "auto":
         backend = pick_backend()
+    if obs.enabled():
+        obs.count(f"analysis.backend.requested.{requested}")
+        obs.count(f"analysis.backend.picked.{backend}")
+        if policy != "strict":
+            obs.count(f"analysis.policy.{policy}")
     if backend == "native":
         from repro import native
         from repro.analysis.eventbased_native import resolve_native
@@ -422,9 +432,10 @@ def event_based_approximation(
     diagnostics: list[Diagnostic] = []
     report: Optional[RepairReport] = None
     if policy != "strict":
-        diagnostics = validate_trace(measured)
-        result = repair_trace(measured, mode=policy)
-        measured, report = result.trace, result.report
+        with obs.span("analysis.eventbased.repair", policy=policy):
+            diagnostics = validate_trace(measured)
+            result = repair_trace(measured, mode=policy)
+            measured, report = result.trace, result.report
     if not len(measured):
         raise AnalysisError("cannot analyze an empty trace")
     if not measured.meta.get("instrumented", True):
@@ -432,19 +443,29 @@ def event_based_approximation(
             "trace is not a measured (instrumented) trace; nothing to remove"
         )
     if policy == "strict":
-        times = _solve(measured)
+        with obs.span(
+            "analysis.eventbased.resolve", backend=backend, n_events=len(measured)
+        ):
+            times = _solve(measured)
     else:
         # Bounded retry: each failed resolution names the events it could
         # not resolve; quarantining their threads removes at least one
         # thread per round, so this terminates.
         for _ in range(len(measured.threads) + 1):
             try:
-                times = _solve(measured)
+                with obs.span(
+                    "analysis.eventbased.resolve",
+                    backend=backend,
+                    n_events=len(measured),
+                ):
+                    times = _solve(measured)
                 break
             except ResolutionError as exc:
                 bad_threads = {e.thread for e in exc.events}
                 if not bad_threads:
                     raise
+                obs.count("analysis.quarantine.rounds")
+                obs.count("analysis.quarantine.threads", len(bad_threads))
                 result = quarantine_threads(measured, bad_threads, report)
                 measured = result.trace
                 if not len(measured):

@@ -41,6 +41,7 @@ from typing import Optional
 
 from repro.analysis.approximation import AnalysisError
 from repro.instrument.costs import AnalysisConstants
+from repro.obs import core as obs
 from repro.trace import columnar as _columnar
 from repro.trace.columnar import NONE_SENTINEL, kind_code_mask, overhead_table
 from repro.trace.events import KIND_CODE, EventKind
@@ -538,4 +539,5 @@ def resolve_columnar(measured: Trace, constants: AnalysisConstants) -> dict[int,
     ``_Resolver(measured, constants).run()``, and raises the same
     exceptions (messages included) on malformed traces.
     """
-    return _ColumnarResolver(measured, constants).run()
+    with obs.span("analysis.columnar.resolve", n_events=len(measured)):
+        return _ColumnarResolver(measured, constants).run()

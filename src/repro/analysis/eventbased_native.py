@@ -43,6 +43,7 @@ from repro.analysis.eventbased_columnar import (
 )
 from repro.analysis.approximation import AnalysisError
 from repro.instrument.costs import AnalysisConstants
+from repro.obs import core as obs
 from repro.trace import columnar as _columnar
 from repro.trace.columnar import NONE_SENTINEL
 from repro.trace.trace import Trace
@@ -292,6 +293,7 @@ class _NativeResolver(_ColumnarResolver):
         if not self._int64_safe():
             # Magnitudes too close to int64: the interpreted worklist is
             # exact and byte-identical; correctness beats speed here.
+            obs.count("analysis.native.overflow_fallback")
             return super().run()
         pack = self._pack()
         if pack is None:

@@ -27,6 +27,7 @@ from repro.analysis.approximation import (
     check_policy,
 )
 from repro.instrument.costs import AnalysisConstants, InstrumentationCosts
+from repro.obs import core as obs
 from repro.resilience.repair import RepairReport, repair_trace
 from repro.resilience.validate import Diagnostic, validate_trace
 from repro.trace import columnar as _columnar
@@ -142,10 +143,13 @@ def time_based_approximation(
         )
     if backend == "auto":
         backend = "columnar" if _columnar.HAVE_NUMPY else "object"
-    if backend == "columnar":
-        times = _vectorized_times(measured, constants.costs)
-    else:
-        times = _per_event_times(measured, constants.costs)
+    with obs.span(
+        "analysis.timebased", backend=backend, n_events=len(measured)
+    ):
+        if backend == "columnar":
+            times = _vectorized_times(measured, constants.costs)
+        else:
+            times = _per_event_times(measured, constants.costs)
     total = max(times.values())
     return Approximation(
         trace=build_approx_trace(measured, times, "time-based"),

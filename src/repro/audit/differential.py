@@ -22,6 +22,7 @@ from typing import Callable, Optional
 
 from repro.audit.findings import AuditFinding, AuditReport
 from repro.audit.static import static_audit, trace_structure_issues
+from repro.obs import core as obs
 from repro.exec import Executor, PerturbationConfig
 from repro.instrument import InstrumentationCosts, calibrate_analysis_constants
 from repro.instrument.plan import PLAN_FULL
@@ -295,31 +296,34 @@ def audit_trace(
 ) -> AuditReport:
     """Run every registered differential check on one trace."""
     report = report if report is not None else AuditReport()
-    for name, (check, requirement) in TRACE_CHECKS.items():
-        if not _requirement_met(requirement):
-            report.skipped.append(name)
-            continue
-        report.checks_run += 1
-        divergence = check(trace)
-        if divergence is None:
-            continue
-        index, fld, expected, actual = divergence
-        detail = f"{name} divergence on {len(trace.events)} events"
-        if minimize:
-            n = _minimized_detail(trace, check)
-            if n is not None:
-                detail += f" (minimized witness: {n} events)"
-        report.findings.append(AuditFinding(
-            check=name,
-            program=program,
-            detail=detail,
-            seed=seed,
-            event_index=index,
-            field=fld,
-            expected=expected,
-            actual=actual,
-            repro=repro,
-        ))
+    with obs.span("audit.trace", program=program, n_events=len(trace.events)):
+        for name, (check, requirement) in TRACE_CHECKS.items():
+            if not _requirement_met(requirement):
+                report.skipped.append(name)
+                continue
+            report.checks_run += 1
+            obs.count("audit.checks")
+            divergence = check(trace)
+            if divergence is None:
+                continue
+            index, fld, expected, actual = divergence
+            detail = f"{name} divergence on {len(trace.events)} events"
+            if minimize:
+                n = _minimized_detail(trace, check)
+                if n is not None:
+                    detail += f" (minimized witness: {n} events)"
+            obs.count("audit.findings")
+            report.findings.append(AuditFinding(
+                check=name,
+                program=program,
+                detail=detail,
+                seed=seed,
+                event_index=index,
+                field=fld,
+                expected=expected,
+                actual=actual,
+                repro=repro,
+            ))
     return report
 
 
@@ -339,6 +343,7 @@ def audit_program(
     report.checks_run += 1
     issues = static_audit(program)
     if issues:
+        obs.count("audit.findings", len(issues))
         for issue in issues:
             report.findings.append(AuditFinding(
                 check="static",

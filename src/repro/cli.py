@@ -14,6 +14,11 @@ Usage::
     repro-ppopp91 native info    # compiled-kernel availability and cache
     repro-ppopp91 native clear   # drop cached kernel builds
     repro-ppopp91 all --backend native   # force one analysis backend
+    repro-ppopp91 all --obs          # record spans/counters, write manifest
+    repro-ppopp91 obs report         # render the latest run manifest
+    repro-ppopp91 obs export         # latest event log -> Chrome trace JSON
+    repro-ppopp91 obs calibrate      # measure the obs layer's own overhead
+    repro-ppopp91 all --log-level debug   # stderr diagnostics ($REPRO_LOG)
     python -m repro figure5
 
 Simulations are deterministic per (program, plan, machine, seed) tuple,
@@ -48,7 +53,10 @@ from repro.experiments import (
     run_volume,
 )
 from repro.experiments.table1 import DOACROSS_LOOPS
+from repro.logutil import configure_logging, get_logger
 from repro.runtime import ArtifactCache, RunSpec, configure, simulate_many
+
+log = get_logger("cli")
 
 EXPERIMENTS = (
     "figure1",
@@ -88,22 +96,24 @@ def make_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=EXPERIMENTS + ("all", "cache", "audit", "native"),
+        choices=EXPERIMENTS + ("all", "cache", "audit", "native", "obs"),
         help=(
             "which table/figure to regenerate, 'cache' to manage the "
             "artifact cache, 'audit' to run the cross-backend "
-            "correctness audit, or 'native' to manage the compiled "
-            "analysis kernel"
+            "correctness audit, 'native' to manage the compiled "
+            "analysis kernel, or 'obs' to inspect self-instrumentation "
+            "runs"
         ),
     )
     parser.add_argument(
         "action",
         nargs="?",
-        choices=("stats", "clear", "info"),
+        choices=("stats", "clear", "info", "report", "export", "calibrate"),
         default=None,
         help=(
             "management action: with 'cache' stats|clear (default stats); "
-            "with 'native' info|clear (default info)"
+            "with 'native' info|clear (default info); with 'obs' "
+            "report|export|calibrate (default report)"
         ),
     )
     parser.add_argument(
@@ -166,6 +176,33 @@ def make_parser() -> argparse.ArgumentParser:
         help=(
             "event-based analysis backend for this run (default: auto — "
             "native, then columnar, then object)"
+        ),
+    )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help=(
+            "record self-instrumentation spans/counters during the run "
+            "and write a run manifest, event log, and Chrome trace "
+            "(equivalent to REPRO_OBS=1)"
+        ),
+    )
+    parser.add_argument(
+        "--obs-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "where obs exports land (default: $REPRO_OBS_DIR or "
+            "<artifact cache>/obs)"
+        ),
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help=(
+            "stderr diagnostics level: debug/info/warning/error "
+            "(default: $REPRO_LOG or info)"
         ),
     )
     return parser
@@ -243,7 +280,7 @@ def _run_audit_command(args: argparse.Namespace) -> int:
             args.fuzz,
             base_seed=args.seed if args.seed is not None else 0,
             minimize=minimize,
-            progress=lambda line: print(line, file=sys.stderr),
+            progress=log.info,
         )
     else:
         report = standard_audit(trips=args.trips, minimize=minimize)
@@ -268,7 +305,7 @@ def _run_native_command(args: argparse.Namespace) -> int:
     from repro import native
 
     action = args.action or "info"
-    if action == "stats":
+    if action not in ("info", "clear"):
         make_parser().error("'native' supports actions: info, clear")
     if action == "clear":
         root = native.native_cache_dir()
@@ -276,6 +313,46 @@ def _run_native_command(args: argparse.Namespace) -> int:
         print(f"removed {removed} cached kernel builds from {root}")
         return 0
     print(native.describe_status())
+    return 0
+
+
+def _run_obs_command(args: argparse.Namespace) -> int:
+    from repro import obs
+
+    action = args.action or "report"
+    if action not in ("report", "export", "calibrate"):
+        make_parser().error("'obs' supports actions: report, export, calibrate")
+    directory = args.obs_dir  # None -> $REPRO_OBS_DIR or <cache>/obs
+    if action == "calibrate":
+        print(obs.calibrate().describe())
+        return 0
+    if action == "export":
+        jsonl = obs.latest_jsonl(directory)
+        if jsonl is None:
+            print(
+                "error: no obs event log found; run an experiment with "
+                "--obs (or REPRO_OBS=1) first",
+                file=sys.stderr,
+            )
+            return 1
+        doc = obs.chrome_trace_from_jsonl(jsonl)
+        out = jsonl.with_name(jsonl.name.replace(".events.jsonl", ".trace.json"))
+        import json as _json
+
+        out.write_text(_json.dumps(doc) + "\n")
+        print(out)
+        return 0
+    found = obs.latest_manifest(directory)
+    if found is None:
+        print(
+            "error: no obs run manifest found; run an experiment with "
+            "--obs (or REPRO_OBS=1) first",
+            file=sys.stderr,
+        )
+        return 1
+    path, manifest = found
+    print(obs.render_manifest(manifest))
+    log.info("manifest: %s", path)
     return 0
 
 
@@ -292,31 +369,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 def _main(argv: Optional[Sequence[str]] = None) -> int:
     args = make_parser().parse_args(argv)
+    configure_logging(args.log_level, default="info")
     if args.backend is not None:
         configure_backend(args.backend)
     if args.experiment == "cache":
         return _run_cache_command(args)
     if args.experiment == "native":
         return _run_native_command(args)
+    if args.experiment == "obs":
+        return _run_obs_command(args)
     if args.experiment == "audit":
         if args.action is not None:
             make_parser().error(
-                f"'{args.action}' only applies to the 'cache' and "
-                "'native' commands"
+                f"'{args.action}' only applies to the 'cache', 'native', "
+                "and 'obs' commands"
             )
         return _run_audit_command(args)
     if args.fuzz is not None:
         make_parser().error("--fuzz only applies to the 'audit' command")
     if args.action is not None:
         make_parser().error(
-            f"'{args.action}' only applies to the 'cache' and 'native' "
-            "commands"
+            f"'{args.action}' only applies to the 'cache', 'native', and "
+            "'obs' commands"
         )
     configure(
         jobs=args.jobs,
         cache=None if args.no_cache else ArtifactCache(args.cache_dir),
     )
     config = _build_config(args)
+    from repro import obs
+
+    if args.obs and not obs.enabled():
+        obs.enable()
     if args.profile:
         import cProfile
         import pstats
@@ -328,6 +412,10 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
         stats.sort_stats("cumulative").print_stats(25)
     else:
         print(run(args.experiment, config, width=args.width))
+    if obs.enabled():
+        paths = obs.write_run(args.obs_dir)
+        log.info("obs manifest: %s", paths.manifest)
+        log.info("obs trace:    %s", paths.trace)
     return 0
 
 

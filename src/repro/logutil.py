@@ -1,0 +1,94 @@
+"""Unified diagnostics logging for the ``repro.*`` namespace.
+
+Historically the toolchain's diagnostics were ad-hoc ``print(...,
+file=sys.stderr)`` lines scattered across the CLI, the sweep runner, and
+the native build layer.  They now flow through one stdlib ``logging``
+hierarchy rooted at the ``repro`` logger:
+
+* :func:`get_logger` — a namespaced child logger (``repro.<name>``);
+* :func:`configure_logging` — install the stderr handler and set the
+  level, from (in order) an explicit argument, ``$REPRO_LOG``, or the
+  given default.
+
+The CLI calls ``configure_logging(args.log_level, default="info")`` so
+progress lines stay visible by default; library use leaves the hierarchy
+unconfigured (stdlib last-resort behaviour: warnings and errors only)
+unless ``REPRO_LOG`` is set.  Report text — tables, figures, benchmark
+results — is program *output* and stays on stdout via ``print``.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+LOG_ENV = "REPRO_LOG"
+
+_ROOT_NAME = "repro"
+_FORMAT = "%(levelname)s %(name)s: %(message)s"
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro``-namespaced logger for one subsystem."""
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + ".") or name == _ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def _resolve_level(value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    numeric = logging.getLevelName(value.strip().upper())
+    if isinstance(numeric, int):
+        return numeric
+    raise ValueError(
+        f"unknown log level {value!r}; use debug/info/warning/error or a number"
+    )
+
+
+def configure_logging(
+    level: Optional[str] = None,
+    *,
+    default: str = "warning",
+    stream=None,
+) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy and return its root.
+
+    Precedence for the level: ``level`` argument (the CLI's
+    ``--log-level``), then ``$REPRO_LOG``, then ``default``.  The stderr
+    handler is installed once; repeated calls only adjust the level, so
+    tests can reconfigure freely.
+    """
+    chosen = level or os.environ.get(LOG_ENV) or default
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(_resolve_level(str(chosen)))
+    target = stream if stream is not None else sys.stderr
+    for handler in root.handlers:
+        if getattr(handler, "_repro_handler", False):
+            # Swap without setStream(): that flushes the old stream,
+            # which may already be closed (pytest capture teardown).
+            handler.acquire()
+            try:
+                handler.stream = target
+            finally:
+                handler.release()
+            break
+    else:
+        handler = logging.StreamHandler(target)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler._repro_handler = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+        root.propagate = False
+    return root
+
+
+# Opt-in for library (non-CLI) use: REPRO_LOG=debug on any entry point
+# routes diagnostics to stderr without code changes.
+if os.environ.get(LOG_ENV, "").strip():  # pragma: no cover - env-driven
+    configure_logging()

@@ -98,6 +98,9 @@ def get_resolve_kernel() -> KernelHandle:
             )
         handle = ensure_kernel()
     except NativeUnavailable as exc:
+        from repro.obs import core as obs
+
+        obs.count("native.unavailable")
         _state = (fingerprint, None, str(exc))
         raise
     _state = (fingerprint, handle, None)

@@ -34,12 +34,16 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
+from repro.logutil import get_logger
 from repro.native.source import (
     KERNEL_NAME,
     RESOLVE_ARGS,
     cffi_cdef,
     kernel_source,
 )
+from repro.obs import core as obs
+
+log = get_logger("native.build")
 
 NATIVE_ENV = "REPRO_NATIVE"
 CC_ENV = "REPRO_CC"
@@ -156,19 +160,30 @@ def compile_shared_lib(source: str, cmd: list[str], out_path: Path) -> None:
             "-O2", "-shared", "-fPIC", "-std=c99",
             str(c_path), "-o", str(so_path),
         ]
-        try:
-            proc = subprocess.run(
-                argv, capture_output=True, text=True, timeout=300
-            )
-        except (OSError, subprocess.TimeoutExpired) as exc:
-            raise NativeBuildError(f"compiler failed to run: {exc}") from exc
-        if proc.returncode != 0 or not so_path.exists():
-            tail = (proc.stderr or proc.stdout or "").strip()[-800:]
-            raise NativeBuildError(
-                f"kernel compilation failed ({' '.join(argv[:1])} exit "
-                f"{proc.returncode}):\n{tail}"
-            )
-        os.replace(so_path, out_path)
+        log.debug("compiling kernel: %s", " ".join(argv))
+        with obs.span("native.compile", compiler=cmd[0]):
+            try:
+                proc = subprocess.run(
+                    argv, capture_output=True, text=True, timeout=300
+                )
+            except (OSError, subprocess.TimeoutExpired) as exc:
+                obs.count("native.build.failed")
+                log.warning("kernel compiler failed to run: %r", exc)
+                raise NativeBuildError(
+                    f"compiler failed to run: {exc}"
+                ) from exc
+            if proc.returncode != 0 or not so_path.exists():
+                tail = (proc.stderr or proc.stdout or "").strip()[-800:]
+                obs.count("native.build.failed")
+                log.warning(
+                    "kernel compilation failed (exit %d)", proc.returncode
+                )
+                raise NativeBuildError(
+                    f"kernel compilation failed ({' '.join(argv[:1])} exit "
+                    f"{proc.returncode}):\n{tail}"
+                )
+            os.replace(so_path, out_path)
+        obs.count("native.build.compile")
 
 
 def _write_sidecar(entry: Path, key: str, cmd: list[str]) -> None:
@@ -183,8 +198,9 @@ def _write_sidecar(entry: Path, key: str, cmd: list[str]) -> None:
         tmp.write_text(json.dumps(payload, indent=2))
         os.replace(tmp, entry.with_suffix(".json"))
         entry.with_suffix(".c").write_text(kernel_source())
-    except OSError:
-        pass  # the .so alone is sufficient; sidecars are diagnostics
+    except OSError as exc:
+        # The .so alone is sufficient; sidecars are diagnostics.
+        log.debug("sidecar write failed for %s: %r", key, exc)
 
 
 # ------------------------------------------------------------------- loaders
@@ -295,13 +311,17 @@ def _loaders() -> list[tuple[str, object]]:
 def load_kernel(path: Path, key: str) -> KernelHandle:
     """Load the kernel from ``path`` via the first working FFI loader."""
     errors = []
-    for name, loader in _loaders():
-        try:
-            return loader(path, key)
-        except ImportError as exc:  # cffi not installed
-            errors.append(f"{name}: {exc}")
-        except OSError as exc:  # unloadable artifact
-            errors.append(f"{name}: {exc}")
+    with obs.span("native.load", path=path.name):
+        for name, loader in _loaders():
+            try:
+                handle = loader(path, key)
+            except ImportError as exc:  # cffi not installed
+                errors.append(f"{name}: {exc}")
+            except OSError as exc:  # unloadable artifact
+                errors.append(f"{name}: {exc}")
+            else:
+                log.debug("loaded kernel %s via %s", path.name, name)
+                return handle
     raise NativeUnavailable(
         "no FFI loader could load the kernel: " + "; ".join(errors)
     )
@@ -334,10 +354,15 @@ def ensure_kernel(cache_dir: Optional[Path] = None) -> KernelHandle:
     so_path = entry.with_suffix(".so")
     if so_path.exists():
         try:
-            return load_kernel(so_path, key)
-        except NativeUnavailable:
+            handle = load_kernel(so_path, key)
+        except NativeUnavailable as exc:
             # Corrupt or ABI-stale artifact: treat as a miss and rebuild.
+            obs.count("native.build.evict")
+            log.debug("evicting unloadable kernel build %s: %r", key, exc)
             _remove_entry(entry)
+        else:
+            obs.count("native.build.cache_hit")
+            return handle
     compile_shared_lib(source, cmd, so_path)
     _write_sidecar(entry, key, cmd)
     return load_kernel(so_path, key)

@@ -1,0 +1,122 @@
+"""Self-overhead calibration: measure the observer's own perturbation.
+
+``repro.instrument.calibrate`` measures the simulated platform's probe
+costs (α/β) so the perturbation analysis can subtract them; this module
+does the same for the observability layer itself.  It times the span and
+counter entry points in both modes against an empty-loop baseline, so
+the manifest of any instrumented run can be read alongside an honest
+statement of what the instrumentation cost — the paper's Instrumentation
+Uncertainty Principle, applied to the tool.
+
+The interesting number is ``disabled_span_ns``: that is the tax every
+committed benchmark pays for an instrumented call site when recording is
+off, and it must stay far below the ``< 2%`` acceptance bound on the
+1M-event columnar analysis (span sites are per-phase, not per-event, so
+the bound holds with orders of magnitude of slack; see
+``docs/OBSERVABILITY.md`` for measured values).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.obs import core
+
+
+@dataclass(frozen=True)
+class ObsCalibration:
+    """Per-call costs of the observability entry points, in nanoseconds.
+
+    All values are per-iteration means with the empty-loop baseline
+    *included* (what a call site actually pays), measured over ``iters``
+    iterations with the best of ``repeats`` rounds kept.
+    """
+
+    iters: int
+    baseline_ns: float
+    disabled_span_ns: float
+    enabled_span_ns: float
+    disabled_count_ns: float
+    enabled_count_ns: float
+
+    def describe(self) -> str:
+        def fmt(label: str, ns: float) -> str:
+            return f"  {label:<28} {ns:>10.1f} ns/call"
+
+        return "\n".join(
+            [
+                f"obs self-overhead ({self.iters} iterations/round)",
+                fmt("empty loop baseline", self.baseline_ns),
+                fmt("span, disabled", self.disabled_span_ns),
+                fmt("span, enabled", self.enabled_span_ns),
+                fmt("counter, disabled", self.disabled_count_ns),
+                fmt("counter, enabled", self.enabled_count_ns),
+                f"  enabled/disabled span ratio  "
+                f"{self.enabled_span_ns / max(self.disabled_span_ns, 1e-9):>10.1f}x",
+            ]
+        )
+
+
+def _best_of(fn, iters: int, repeats: int) -> float:
+    """Best per-iteration wall time in ns over ``repeats`` rounds."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter_ns()
+        fn(iters)
+        best = min(best, (time.perf_counter_ns() - t0) / iters)
+    return best
+
+
+def _loop_baseline(iters: int) -> None:
+    for _ in range(iters):
+        pass
+
+
+def _loop_span(iters: int) -> None:
+    span = core.span
+    for _ in range(iters):
+        with span("obs.calibrate.probe"):
+            pass
+
+
+def _loop_count(iters: int) -> None:
+    count = core.count
+    for _ in range(iters):
+        count("obs.calibrate.counter")
+
+
+def calibrate(iters: int = 100_000, repeats: int = 3) -> ObsCalibration:
+    """Measure enabled-vs-disabled span/counter cost.
+
+    The caller's recording state (flag *and* buffer contents) is saved
+    and restored, so calibration can run inside an instrumented session
+    without polluting its manifest; the enabled rounds record into a
+    private throwaway ring.
+    """
+    iters = max(1000, int(iters))
+    saved_enabled = core._enabled
+    saved_state = core._state
+    try:
+        core._enabled = False
+        baseline = _best_of(_loop_baseline, iters, repeats)
+        disabled_span = _best_of(_loop_span, iters, repeats)
+        disabled_count = _best_of(_loop_count, iters, repeats)
+
+        # Private ring sized to the workload so aggregation, not
+        # overflow-drop, is what gets measured.
+        core._state = core._ObsState(2 * iters + 16)
+        core._enabled = True
+        enabled_span = _best_of(_loop_span, iters, repeats)
+        enabled_count = _best_of(_loop_count, iters, repeats)
+    finally:
+        core._enabled = saved_enabled
+        core._state = saved_state
+    return ObsCalibration(
+        iters=iters,
+        baseline_ns=baseline,
+        disabled_span_ns=disabled_span,
+        enabled_span_ns=enabled_span,
+        disabled_count_ns=disabled_count,
+        enabled_count_ns=enabled_count,
+    )

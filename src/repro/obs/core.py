@@ -1,0 +1,315 @@
+"""Self-instrumentation core: spans, counters, gauges, ring buffer.
+
+The paper's subject is the Instrumentation Uncertainty Principle —
+measurement perturbs the system — and this module applies the same
+discipline to the reproduction toolchain itself.  Hot paths wrap their
+work in :func:`span` context managers and bump :func:`count`/:func:`gauge`
+metrics; the recorded stream is exported by :mod:`repro.obs.export` and
+the layer's own perturbation is measured by :mod:`repro.obs.calibrate`
+(the analogue of ``repro.instrument.calibrate`` measuring α/β).
+
+Disabled is the default and must be near-free: every entry point checks
+one module-level boolean first and returns a pre-allocated singleton
+no-op, so an instrumented call site costs a function call plus an
+attribute test — no ring buffer, no record objects, no allocation.  The
+committed BENCH numbers are taken in this mode and must not move (the
+``< 2%`` acceptance bound; see ``repro.obs.calibrate`` for the per-span
+cost and ``docs/OBSERVABILITY.md`` for measured numbers).
+
+Enabled mode records into a bounded in-memory ring buffer
+(``collections.deque(maxlen=...)``): one ``("B", ...)`` entry at span
+entry and one ``("E", ...)`` at exit, each carrying a monotonic-clock
+nanosecond timestamp, the recording process id, and the OS thread id.
+Per-span aggregates (count/total/min/max) are folded in at exit so the
+run manifest never needs the raw stream; the stream itself feeds the
+JSONL and Chrome trace-event exporters.  Overflow drops the oldest
+entries and is reported as ``dropped_events``.
+
+Environment knobs:
+
+* ``REPRO_OBS=1`` — enable recording at import (the CLI's ``--obs``);
+* ``REPRO_OBS_BUFFER=N`` — ring capacity in entries (default 131072);
+* ``REPRO_OBS_DIR`` — export directory (see :mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+OBS_ENV = "REPRO_OBS"
+BUFFER_ENV = "REPRO_OBS_BUFFER"
+DIR_ENV = "REPRO_OBS_DIR"
+
+#: Default ring capacity (entries; a span consumes two).
+DEFAULT_BUFFER = 131_072
+
+_TRUTHY = {"1", "on", "true", "yes"}
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(OBS_ENV, "").strip().lower() in _TRUTHY
+
+
+def _env_buffer() -> int:
+    raw = os.environ.get(BUFFER_ENV, "").strip()
+    if raw:
+        try:
+            return max(16, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_BUFFER
+
+
+class _ObsState:
+    """All mutable recording state, swapped atomically on enable/reset."""
+
+    __slots__ = (
+        "lock", "buffer_size", "events", "counters", "gauges", "spans",
+        "appended", "started_unix",
+    )
+
+    def __init__(self, buffer_size: int):
+        self.lock = threading.Lock()
+        self.buffer_size = buffer_size
+        #: ring of ("B", name, t_ns, pid, tid, attrs) / ("E", name, t_ns,
+        #: pid, tid, None) entries; deque.append is atomic under the GIL.
+        self.events: deque = deque(maxlen=buffer_size)
+        self.counters: dict[str, int] = {}
+        self.gauges: dict[str, Any] = {}
+        #: name -> [count, total_ns, min_ns, max_ns]
+        self.spans: dict[str, list] = {}
+        self.appended = 0
+        self.started_unix = time.time()
+
+
+#: Recording flag, checked first by every entry point.
+_enabled = False
+_state: Optional[_ObsState] = None
+_tls = threading.local()
+
+
+class _NoopSpan:
+    """The shared disabled-mode span: enter/exit do nothing, allocate
+    nothing.  One module-level instance serves every call site."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """An enabled-mode span: records B/E entries and folds aggregates."""
+
+    __slots__ = ("name", "attrs", "_state", "_start")
+
+    def __init__(self, name: str, attrs: Optional[dict]):
+        self.name = name
+        self.attrs = attrs
+        self._state = _state
+        self._start = 0
+
+    def __enter__(self) -> "_Span":
+        st = self._state
+        self._start = time.monotonic_ns()
+        if st is not None:
+            st.appended += 1
+            st.events.append(
+                ("B", self.name, self._start, os.getpid(),
+                 threading.get_ident(), self.attrs)
+            )
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        end = time.monotonic_ns()
+        st = self._state
+        if st is not None:
+            st.appended += 1
+            st.events.append(
+                ("E", self.name, end, os.getpid(), threading.get_ident(),
+                 None)
+            )
+            dur = end - self._start
+            with st.lock:
+                agg = st.spans.get(self.name)
+                if agg is None:
+                    st.spans[self.name] = [1, dur, dur, dur]
+                else:
+                    agg[0] += 1
+                    agg[1] += dur
+                    if dur < agg[2]:
+                        agg[2] = dur
+                    if dur > agg[3]:
+                        agg[3] = dur
+        return False
+
+
+def enabled() -> bool:
+    """True while recording is on (``--obs`` / ``REPRO_OBS=1``)."""
+    return _enabled
+
+
+def enable(buffer_size: Optional[int] = None) -> None:
+    """Turn recording on, creating the ring buffer on first use.
+
+    ``buffer_size`` overrides the ring capacity (and resets recorded
+    state when it differs from the current buffer's).
+    """
+    global _enabled, _state
+    size = buffer_size if buffer_size is not None else _env_buffer()
+    if _state is None or (buffer_size is not None
+                          and size != _state.buffer_size):
+        _state = _ObsState(size)
+    _enabled = True
+
+
+def disable() -> None:
+    """Stop recording; already-recorded state stays exportable."""
+    global _enabled
+    _enabled = False
+
+
+def shutdown() -> None:
+    """Stop recording and release the ring buffer entirely."""
+    global _enabled, _state
+    _enabled = False
+    _state = None
+
+
+def reset() -> None:
+    """Drop recorded events/counters, keeping the enabled flag as is."""
+    global _state
+    if _state is not None:
+        _state = _ObsState(_state.buffer_size)
+
+
+def span(name: str, **attrs: Any):
+    """Context manager timing one named section.
+
+    Attributes are free-form key/values recorded on the span's begin
+    entry (backend names, event counts, ...).  Disabled mode returns the
+    shared no-op singleton without touching ``attrs``.
+    """
+    if not _enabled:
+        return _NOOP_SPAN
+    return _Span(name, attrs or None)
+
+
+def traced(name: Optional[str] = None, **attrs: Any) -> Callable:
+    """Decorator form of :func:`span`; the flag is re-checked per call,
+    so functions decorated while disabled still record once enabled."""
+
+    def deco(fn: Callable) -> Callable:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            with _Span(label, attrs or None):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return deco
+
+
+def count(name: str, n: int = 1) -> None:
+    """Add ``n`` to a named monotonic counter (no-op while disabled)."""
+    if not _enabled:
+        return
+    st = _state
+    if st is not None:
+        with st.lock:
+            st.counters[name] = st.counters.get(name, 0) + n
+
+
+def gauge(name: str, value: Any) -> None:
+    """Set a named gauge to its latest value (no-op while disabled)."""
+    if not _enabled:
+        return
+    st = _state
+    if st is not None:
+        with st.lock:
+            st.gauges[name] = value
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregate of every completed span sharing one name."""
+
+    name: str
+    count: int
+    total_ns: int
+    min_ns: int
+    max_ns: int
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class ObsSnapshot:
+    """A point-in-time copy of the recording state, safe to export."""
+
+    enabled: bool
+    pid: int
+    started_unix: float
+    buffer_size: int
+    dropped_events: int
+    events: tuple = ()
+    spans: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    gauges: dict = field(default_factory=dict)
+
+
+def snapshot() -> ObsSnapshot:
+    """Copy the current state out (empty snapshot when never enabled)."""
+    st = _state
+    if st is None:
+        return ObsSnapshot(
+            enabled=_enabled,
+            pid=os.getpid(),
+            started_unix=time.time(),
+            buffer_size=0,
+            dropped_events=0,
+        )
+    with st.lock:
+        events = tuple(st.events)
+        spans = {
+            name: SpanStats(name, agg[0], agg[1], agg[2], agg[3])
+            for name, agg in sorted(st.spans.items())
+        }
+        counters = dict(sorted(st.counters.items()))
+        gauges = dict(sorted(st.gauges.items()))
+        dropped = max(0, st.appended - len(events))
+    return ObsSnapshot(
+        enabled=_enabled,
+        pid=os.getpid(),
+        started_unix=st.started_unix,
+        buffer_size=st.buffer_size,
+        dropped_events=dropped,
+        events=events,
+        spans=spans,
+        counters=counters,
+        gauges=gauges,
+    )
+
+
+# Honour REPRO_OBS=1 at import so every entry point (CLI, benchmarks,
+# pytest, pool workers) starts recording without code changes.
+if _env_enabled():  # pragma: no cover - exercised via subprocess tests
+    enable()

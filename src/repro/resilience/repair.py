@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence
 
+from repro.obs import core as obs
 from repro.trace.events import EventKind, TraceEvent
 from repro.trace.trace import Trace
 
@@ -141,6 +142,13 @@ def repair_trace(trace: Trace, mode: str = "repair") -> RepairResult:
     meta = dict(trace.meta)
     if report:
         meta["repaired"] = mode
+        if obs.enabled():
+            obs.count("resilience.repair.actions", len(report.actions))
+            obs.count("resilience.repair.dropped", report.dropped_events)
+            obs.count(
+                "resilience.repair.synthesized", report.synthesized_events
+            )
+            obs.count("resilience.repair.retimed", report.retimed_events)
     return RepairResult(Trace(events, meta), report)
 
 
@@ -164,6 +172,7 @@ def quarantine_threads(
             kept.append(e)
     for t in sorted(doomed):
         report.quarantined_threads.append(t)
+    obs.count("resilience.quarantined_threads", len(doomed))
     if removed:
         report.record(
             RepairAction(

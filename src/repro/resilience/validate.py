@@ -35,7 +35,7 @@ from pathlib import Path
 from typing import Iterable, Optional, Union
 
 from repro.trace.events import EventKind, TraceEvent
-from repro.trace.trace import Trace
+from repro.trace.trace import Trace, TraceError
 
 
 class Severity(enum.IntEnum):
@@ -421,38 +421,45 @@ def validate_file(path: Union[str, Path]) -> list[Diagnostic]:
     declared event count against what the file actually holds.
     """
     diagnostics: list[Diagnostic] = []
-    with open(path, "r", encoding="utf-8") as fh:
-        first = fh.readline()
-        declared = None
-        sem_capacities = None
-        try:
-            header = json.loads(first) if first else {}
-        except json.JSONDecodeError:
-            header = {}
-        if not isinstance(header, dict) or "format" not in header:
-            diagnostics.append(Diagnostic(
-                Severity.ERROR, "bad-header",
-                "first line is not a trace header",
-            ))
-        else:
-            declared = header.get("n_events")
-            meta = header.get("meta") or {}
-            sem_capacities = meta.get("semaphores")
-        v = StreamingValidator(declared_events=declared,
-                               sem_capacities=sem_capacities)
-        for lineno, line in enumerate(fh, start=2):
-            line = line.strip()
-            if not line:
-                continue
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            first = fh.readline()
+            declared = None
+            sem_capacities = None
             try:
-                event = TraceEvent.from_dict(json.loads(line))
-            except (json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
+                header = json.loads(first) if first else {}
+            except json.JSONDecodeError:
+                header = {}
+            if not isinstance(header, dict) or "format" not in header:
                 diagnostics.append(Diagnostic(
-                    Severity.ERROR, "bad-event-line",
-                    f"line {lineno} is not a valid event: {exc}",
+                    Severity.ERROR, "bad-header",
+                    "first line is not a trace header",
                 ))
-                continue
-            v.feed(event)
+            else:
+                declared = header.get("n_events")
+                meta = header.get("meta") or {}
+                sem_capacities = meta.get("semaphores")
+            v = StreamingValidator(declared_events=declared,
+                                   sem_capacities=sem_capacities)
+            for lineno, line in enumerate(fh, start=2):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = TraceEvent.from_dict(json.loads(line))
+                except (json.JSONDecodeError, KeyError, ValueError,
+                        TypeError) as exc:
+                    diagnostics.append(Diagnostic(
+                        Severity.ERROR, "bad-event-line",
+                        f"line {lineno} is not a valid event: {exc}",
+                    ))
+                    continue
+                v.feed(event)
+    except UnicodeDecodeError as exc:
+        # Binary junk that is neither packed (.rpt magic) nor text: the
+        # line-oriented linter has nothing to lint.  Surface the same
+        # TraceError the loaders raise so CLIs report it uniformly.
+        raise TraceError(f"{path}: not a trace file ({exc})") from exc
     diagnostics.extend(v.finish())
     return diagnostics
 

@@ -29,9 +29,13 @@ from typing import Optional, Union
 
 from repro.exec.result import CESnapshot, ExecutionResult, SyncVarStats
 from repro.instrument.plan import InstrumentationPlan
+from repro.logutil import get_logger
+from repro.obs import core as obs
 from repro.runtime.spec import CACHE_SCHEMA_VERSION
 from repro.trace.io import read_trace, write_trace
 from repro.trace.trace import TraceError
+
+log = get_logger("runtime.cache")
 
 
 def default_cache_dir() -> Path:
@@ -143,20 +147,27 @@ class ArtifactCache:
             result = _result_from_payload(payload, trace)
         except FileNotFoundError:
             self.misses += 1
+            obs.count("runtime.cache.miss")
             # A half-present entry (one file of the pair deleted or never
             # written) is as corrupt as a garbled one: sweep the orphaned
             # sibling too, or it inflates ``cache stats`` forever and a
             # later store could pair a fresh file with a stale one.
             if json_path.exists() or rpt_path.exists():
                 self.evictions += 1
+                obs.count("runtime.cache.evict")
+                log.debug("evicting half-present cache entry %s", key)
                 self._remove_entry(entry)
             return None
-        except (OSError, ValueError, TypeError, KeyError, TraceError):
+        except (OSError, ValueError, TypeError, KeyError, TraceError) as exc:
             self.misses += 1
             self.evictions += 1
+            obs.count("runtime.cache.miss")
+            obs.count("runtime.cache.evict")
+            log.debug("evicting corrupt cache entry %s: %r", key, exc)
             self._remove_entry(entry)
             return None
         self.hits += 1
+        obs.count("runtime.cache.hit")
         return result
 
     # ------------------------------------------------------------- writes
@@ -170,11 +181,14 @@ class ArtifactCache:
             tmp = json_path.with_suffix(".json.tmp")
             tmp.write_text(json.dumps(_result_payload(result)))
             os.replace(tmp, json_path)
-        except OSError:
+        except OSError as exc:
             # A read-only or full cache directory degrades to "no cache",
             # it must never fail the experiment.
+            obs.count("runtime.cache.store_failed")
+            log.debug("cache store failed for %s: %r", key, exc)
             return
         self.stores += 1
+        obs.count("runtime.cache.store")
 
     # --------------------------------------------------------- management
     def _remove_entry(self, entry: Path) -> None:

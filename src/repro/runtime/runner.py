@@ -28,8 +28,12 @@ from typing import Iterable, Optional, Sequence, Union
 
 from repro.exec.executor import Executor
 from repro.exec.result import ExecutionResult
+from repro.logutil import get_logger
+from repro.obs import core as obs
 from repro.runtime.cache import ArtifactCache
 from repro.runtime.spec import RunSpec, spec_key
+
+log = get_logger("runtime.runner")
 
 
 @dataclass
@@ -107,21 +111,28 @@ def execute_spec(spec: RunSpec) -> ExecutionResult:
     Pure: builds the program and a fresh seeded machine from spec fields
     only, so any process computes the identical result.
     """
-    program = spec.program.build()
-    ex = Executor(
-        machine_config=spec.machine,
-        inst_costs=spec.costs,
-        perturb=spec.perturb,
+    with obs.span(
+        "runtime.execute_spec",
+        kernel=spec.program.kernel,
+        mode=spec.program.mode,
         seed=spec.seed,
-    )
-    return ex.run(
-        program, spec.plan, max_cycles=spec.max_cycles, max_events=spec.max_events
-    )
+    ):
+        program = spec.program.build()
+        ex = Executor(
+            machine_config=spec.machine,
+            inst_costs=spec.costs,
+            perturb=spec.perturb,
+            seed=spec.seed,
+        )
+        return ex.run(
+            program, spec.plan, max_cycles=spec.max_cycles, max_events=spec.max_events
+        )
 
 
 def _load_cached(spec: RunSpec, cache: Optional[ArtifactCache]):
     """(result | None, disk key | None) for a spec, checking memo then disk."""
     if spec in _memory:
+        obs.count("runtime.memo.hit")
         return _memory[spec], None
     if cache is None:
         return None, None
@@ -137,12 +148,13 @@ def simulate(
 ) -> ExecutionResult:
     """Execute one spec through the cache layers (always in-process)."""
     ctx = context if context is not None else get_context()
-    result, key = _load_cached(spec, ctx.cache)
-    if result is None:
-        result = execute_spec(spec)
-        _memory[spec] = result
-        if ctx.cache is not None:
-            ctx.cache.store(key if key is not None else spec_key(spec), result)
+    with obs.span("runtime.simulate"):
+        result, key = _load_cached(spec, ctx.cache)
+        if result is None:
+            result = execute_spec(spec)
+            _memory[spec] = result
+            if ctx.cache is not None:
+                ctx.cache.store(key if key is not None else spec_key(spec), result)
     return result
 
 
@@ -162,31 +174,49 @@ def simulate_many(
     ctx = context if context is not None else get_context()
     n_jobs = ctx.jobs if jobs is None else max(1, int(jobs))
 
-    results: dict[RunSpec, ExecutionResult] = {}
-    keys: dict[RunSpec, Optional[str]] = {}
-    misses: list[RunSpec] = []
-    for spec in specs:
-        if spec in results:
-            continue
-        cached, key = _load_cached(spec, ctx.cache)
-        keys[spec] = key
-        if cached is not None:
-            results[spec] = cached
-        else:
-            misses.append(spec)
+    with obs.span("runtime.simulate_many", n_specs=len(specs), jobs=n_jobs):
+        results: dict[RunSpec, ExecutionResult] = {}
+        keys: dict[RunSpec, Optional[str]] = {}
+        misses: list[RunSpec] = []
+        with obs.span("runtime.simulate_many.probe_cache"):
+            for spec in specs:
+                if spec in results:
+                    continue
+                cached, key = _load_cached(spec, ctx.cache)
+                keys[spec] = key
+                if cached is not None:
+                    results[spec] = cached
+                else:
+                    misses.append(spec)
 
-    if misses:
-        if n_jobs > 1 and len(misses) > 1:
-            workers = min(n_jobs, len(misses))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                fresh = list(pool.map(execute_spec, misses))
-        else:
-            fresh = [execute_spec(s) for s in misses]
-        for spec, result in zip(misses, fresh):
-            results[spec] = result
-            _memory[spec] = result
-            if ctx.cache is not None:
-                key = keys.get(spec) or spec_key(spec)
-                ctx.cache.store(key, result)
+        if misses:
+            if n_jobs > 1 and len(misses) > 1:
+                workers = min(n_jobs, len(misses))
+                log.debug(
+                    "fanning %d cache miss(es) out over %d worker process(es)",
+                    len(misses), workers,
+                )
+                obs.count("runtime.pool.sweeps")
+                obs.count("runtime.pool.tasks", len(misses))
+                obs.gauge("runtime.pool.workers", workers)
+                obs.gauge(
+                    "runtime.pool.tasks_per_worker", len(misses) / workers
+                )
+                with obs.span(
+                    "runtime.simulate_many.fanout",
+                    misses=len(misses),
+                    workers=workers,
+                ):
+                    with ProcessPoolExecutor(max_workers=workers) as pool:
+                        fresh = list(pool.map(execute_spec, misses))
+            else:
+                log.debug("executing %d cache miss(es) serially", len(misses))
+                fresh = [execute_spec(s) for s in misses]
+            for spec, result in zip(misses, fresh):
+                results[spec] = result
+                _memory[spec] = result
+                if ctx.cache is not None:
+                    key = keys.get(spec) or spec_key(spec)
+                    ctx.cache.store(key, result)
 
     return [results[spec] for spec in specs]

@@ -20,6 +20,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable, Optional
 
+from repro.obs import core as obs
+
 
 class SimulationError(RuntimeError):
     """Base class for all simulation-kernel errors."""
@@ -391,11 +393,17 @@ class Engine:
         pauses cleanly, a budget overrun is an error (livelock guard).
         """
         executed = 0
+        # One flag read up front: per-occurrence obs cost is a single
+        # boolean test plus a mask check (heartbeat gauges for watchdog
+        # triage; granular spans here would perturb what we measure).
+        obs_on = obs.enabled()
         while self._queue:
             if until is not None and self._queue[0][0] > until:
                 self.now = until
                 break
             if max_cycles is not None and self._queue[0][0] > max_cycles:
+                if obs_on:
+                    obs.count("sim.watchdog.max_cycles")
                 raise SimulationTimeout(
                     f"simulation exceeded max_cycles={max_cycles} (next "
                     f"occurrence at t={self._queue[0][0]}); live processes:\n"
@@ -403,6 +411,8 @@ class Engine:
                     tuple(self.blocked_processes()),
                 )
             if max_events is not None and executed >= max_events:
+                if obs_on:
+                    obs.count("sim.watchdog.max_events")
                 raise SimulationTimeout(
                     f"simulation exceeded max_events={max_events} at "
                     f"t={self.now}; live processes:\n" + self._format_blocked(),
@@ -410,9 +420,16 @@ class Engine:
                 )
             self.step()
             executed += 1
+            if obs_on and (executed & 0x3FFF) == 0:  # every 16384 occurrences
+                obs.gauge("sim.engine.occurrences", executed)
+                obs.gauge("sim.engine.now", self.now)
             if self._crashes:
                 raise self._crashes[0]
+        if obs_on:
+            obs.gauge("sim.engine.occurrences", executed)
+            obs.gauge("sim.engine.now", self.now)
         if until is None and self._live_processes > 0:
+            obs.count("sim.engine.deadlock")
             raise SimulationDeadlock(
                 f"{self._live_processes} process(es) blocked with an empty "
                 "event queue:\n" + self._format_blocked(),

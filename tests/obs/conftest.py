@@ -1,0 +1,16 @@
+"""Obs tests mutate module-level recording state; isolate every test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import core
+
+
+@pytest.fixture(autouse=True)
+def obs_isolated():
+    saved = (core._enabled, core._state)
+    core._enabled = False
+    core._state = None
+    yield
+    core._enabled, core._state = saved

@@ -1,0 +1,43 @@
+"""Self-overhead calibration of the obs layer itself."""
+
+from __future__ import annotations
+
+from repro.obs import core
+from repro.obs.calibrate import calibrate
+
+
+def test_calibrate_returns_positive_costs():
+    cal = calibrate(iters=2_000, repeats=2)
+    assert cal.iters == 2_000
+    assert cal.baseline_ns >= 0.0
+    assert cal.disabled_span_ns > 0.0
+    assert cal.enabled_span_ns > 0.0
+    assert cal.disabled_count_ns > 0.0
+    assert cal.enabled_count_ns > 0.0
+    # Recording costs strictly more than the guard-flag no-op.
+    assert cal.enabled_span_ns > cal.disabled_span_ns
+
+
+def test_calibrate_clamps_tiny_iteration_counts():
+    cal = calibrate(iters=10, repeats=1)
+    assert cal.iters == 1000
+
+
+def test_calibrate_restores_recording_state():
+    core.enable(buffer_size=64)
+    core.count("precious")
+    calibrate(iters=1000, repeats=1)
+    assert core.enabled()
+    assert core.snapshot().counters == {"precious": 1}
+
+    core.shutdown()
+    calibrate(iters=1000, repeats=1)
+    assert not core.enabled()
+    assert core._state is None
+
+
+def test_describe_renders_numbers():
+    cal = calibrate(iters=1000, repeats=1)
+    text = cal.describe()
+    assert "span, disabled" in text
+    assert "ns/call" in text

@@ -1,0 +1,127 @@
+"""Recording semantics of the span/counter/gauge core."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import core
+
+
+def test_span_records_paired_events_and_aggregates():
+    core.enable(buffer_size=64)
+    with core.span("outer", backend="native"):
+        with core.span("inner"):
+            pass
+    snap = core.snapshot()
+    types = [e[0] for e in snap.events]
+    names = [e[1] for e in snap.events]
+    assert types == ["B", "B", "E", "E"]
+    assert names == ["outer", "inner", "inner", "outer"]
+    assert snap.spans["outer"].count == 1
+    assert snap.spans["inner"].count == 1
+    # Wall-clock nesting: the outer span contains the inner one.
+    assert snap.spans["outer"].total_ns >= snap.spans["inner"].total_ns
+    assert snap.events[0][5] == {"backend": "native"}
+
+
+def test_span_entries_carry_pid_and_tid():
+    import os
+
+    core.enable(buffer_size=16)
+    with core.span("x"):
+        pass
+    b = core.snapshot().events[0]
+    assert b[3] == os.getpid()
+    assert b[4] == threading.get_ident()
+
+
+def test_span_aggregate_min_max_accumulate():
+    core.enable(buffer_size=64)
+    for _ in range(5):
+        with core.span("s"):
+            pass
+    stats = core.snapshot().spans["s"]
+    assert stats.count == 5
+    assert stats.min_ns <= stats.mean_ns <= stats.max_ns
+    assert stats.total_ns >= 5 * stats.min_ns
+
+
+def test_counters_and_gauges():
+    core.enable(buffer_size=16)
+    core.count("hits")
+    core.count("hits", 4)
+    core.gauge("workers", 8)
+    core.gauge("workers", 3)
+    snap = core.snapshot()
+    assert snap.counters == {"hits": 5}
+    assert snap.gauges == {"workers": 3}
+
+
+def test_ring_overflow_reports_dropped_events():
+    core.enable(buffer_size=16)
+    for _ in range(20):  # 40 entries into a 16-slot ring
+        with core.span("hot"):
+            pass
+    snap = core.snapshot()
+    assert len(snap.events) == 16
+    assert snap.dropped_events == 40 - 16
+    # Aggregates are fold-on-exit, not ring-backed: nothing lost there.
+    assert snap.spans["hot"].count == 20
+
+
+def test_traced_decorator_rechecks_flag_per_call():
+    @core.traced("deco.fn")
+    def fn(x):
+        return x + 1
+
+    assert fn(1) == 2  # disabled: plain passthrough
+    core.enable(buffer_size=16)
+    assert fn(2) == 3
+    assert core.snapshot().spans["deco.fn"].count == 1
+
+
+def test_span_records_even_when_body_raises():
+    core.enable(buffer_size=16)
+    try:
+        with core.span("boom"):
+            raise RuntimeError("x")
+    except RuntimeError:
+        pass
+    snap = core.snapshot()
+    assert [e[0] for e in snap.events] == ["B", "E"]
+    assert snap.spans["boom"].count == 1
+
+
+def test_disable_keeps_state_shutdown_drops_it():
+    core.enable(buffer_size=16)
+    with core.span("kept"):
+        pass
+    core.disable()
+    assert not core.enabled()
+    assert core.snapshot().spans["kept"].count == 1  # still exportable
+    core.shutdown()
+    assert core.snapshot().events == ()
+
+
+def test_reset_clears_recordings_but_not_flag():
+    core.enable(buffer_size=16)
+    core.count("c")
+    core.reset()
+    assert core.enabled()
+    snap = core.snapshot()
+    assert snap.counters == {} and snap.events == ()
+
+
+def test_counts_are_thread_safe():
+    core.enable(buffer_size=16)
+
+    def bump():
+        for _ in range(1000):
+            core.count("n")
+
+    threads = [threading.Thread(target=bump) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert core.snapshot().counters["n"] == 4000

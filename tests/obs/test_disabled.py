@@ -1,0 +1,72 @@
+"""Disabled mode must be a guard-flag no-op: no state, no allocation.
+
+This is the acceptance property protecting the committed BENCH numbers:
+with ``REPRO_OBS`` unset, every wired hot path pays one boolean test and
+a shared-singleton return, nothing else.
+"""
+
+from __future__ import annotations
+
+from repro.obs import core
+
+
+def test_disabled_span_is_the_shared_singleton():
+    a = core.span("anything", attr=1)
+    b = core.span("else")
+    assert a is b is core._NOOP_SPAN
+
+
+def test_disabled_entry_points_allocate_no_state():
+    with core.span("s"):
+        core.count("c", 3)
+        core.gauge("g", 1.0)
+    assert core._state is None  # no ring buffer was ever created
+
+
+def test_disabled_snapshot_is_empty():
+    snap = core.snapshot()
+    assert not snap.enabled
+    assert snap.events == ()
+    assert snap.spans == {} and snap.counters == {} and snap.gauges == {}
+    assert snap.buffer_size == 0 and snap.dropped_events == 0
+
+
+def test_noop_span_swallows_nothing():
+    try:
+        with core.span("s"):
+            raise ValueError("propagates")
+    except ValueError:
+        pass
+    else:  # pragma: no cover - failure branch
+        raise AssertionError("no-op span must not swallow exceptions")
+
+
+def test_wired_analysis_path_stays_stateless_when_disabled(constants):
+    # End-to-end through a wired hot path: the analysis runs with obs
+    # imports active but must never touch recording state.
+    from tests.conftest import build_toy_doacross
+
+    from repro.analysis.eventbased import event_based_approximation
+    from repro.exec import Executor
+    from repro.instrument.plan import PLAN_FULL
+
+    program = build_toy_doacross(trips=24)
+    trace = Executor(seed=7).run(program, PLAN_FULL).trace
+    event_based_approximation(trace, constants)
+    assert core._state is None
+    assert not core.enabled()
+
+
+def test_disabled_overhead_is_nanoseconds_per_call():
+    # Loose sanity bound (the precise numbers live in obs calibrate /
+    # docs/OBSERVABILITY.md): a disabled span must cost well under 10 µs
+    # even on a loaded CI box, i.e. it cannot dominate any hot path.
+    import time
+
+    n = 20_000
+    t0 = time.perf_counter_ns()
+    for _ in range(n):
+        with core.span("x"):
+            pass
+    per_call = (time.perf_counter_ns() - t0) / n
+    assert per_call < 10_000

@@ -1,0 +1,152 @@
+"""Exporter formats: run manifest, JSONL event log, Chrome trace JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.obs import core, export
+
+
+def _record_small_run():
+    core.enable(buffer_size=256)
+    with core.span("phase.a", backend="columnar"):
+        with core.span("phase.b"):
+            pass
+    core.count("cache.hit", 3)
+    core.gauge("workers", 2)
+    return core.snapshot()
+
+
+# ------------------------------------------------------------ chrome trace
+def test_chrome_trace_events_are_valid_and_paired():
+    snap = _record_small_run()
+    events = export.chrome_trace_events(snap)
+    assert events, "a recorded run must export trace events"
+    for e in events:
+        assert e["ph"] in ("B", "E")
+        assert isinstance(e["ts"], float)
+        assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+        if e["ph"] == "B":
+            assert e["name"]
+    per_track = Counter((e["pid"], e["tid"], e["ph"]) for e in events)
+    for pid, tid, _ in per_track:
+        assert per_track[(pid, tid, "B")] == per_track[(pid, tid, "E")]
+
+
+def test_chrome_trace_ts_is_microseconds():
+    snap = _record_small_run()
+    events = export.chrome_trace_events(snap)
+    begins = [e for e in events if e["ph"] == "B"]
+    ends = [e for e in events if e["ph"] == "E"]
+    # ns -> µs conversion: the measured duration in trace units must match
+    # the span aggregate within rounding.
+    dur_us = max(e["ts"] for e in ends) - min(b["ts"] for b in begins)
+    total_ns = snap.spans["phase.a"].total_ns
+    assert abs(dur_us - total_ns / 1000.0) < 1.0
+
+
+def test_chrome_trace_sanitizes_ring_overflow():
+    # Overflow the ring so B entries fall out while their E survive: the
+    # exporter must drop the orphans and still emit a paired document.
+    core.enable(buffer_size=16)
+    for _ in range(30):
+        with core.span("hot"):
+            pass
+    events = export.chrome_trace_events(core.snapshot())
+    per_track = Counter((e["pid"], e["tid"], e["ph"]) for e in events)
+    for pid, tid, _ in per_track:
+        assert per_track[(pid, tid, "B")] == per_track[(pid, tid, "E")]
+
+
+def test_chrome_trace_closes_unclosed_spans():
+    core.enable(buffer_size=64)
+    span = core.span("left.open")
+    span.__enter__()  # never exited: a crash mid-phase
+    with core.span("closed"):
+        pass
+    events = export.chrome_trace_events(core.snapshot())
+    per_track = Counter((e["pid"], e["tid"], e["ph"]) for e in events)
+    for pid, tid, _ in per_track:
+        assert per_track[(pid, tid, "B")] == per_track[(pid, tid, "E")]
+    assert any(e["name"] == "left.open" for e in events if e["ph"] == "B")
+
+
+def test_chrome_trace_document_shape():
+    doc = export.chrome_trace_document(_record_small_run())
+    assert set(doc) >= {"traceEvents", "displayTimeUnit"}
+    json.dumps(doc)  # must be JSON-serializable as-is
+
+
+# ---------------------------------------------------------------- manifest
+def test_run_manifest_contents():
+    snap = _record_small_run()
+    manifest = export.run_manifest(snap)
+    assert manifest["kind"] == export.MANIFEST_KIND
+    assert manifest["schema"] == export.MANIFEST_SCHEMA
+    assert manifest["env"]["python"]
+    assert manifest["counters"] == {"cache.hit": 3}
+    assert manifest["gauges"] == {"workers": 2}
+    assert manifest["spans"]["phase.a"]["count"] == 1
+    json.dumps(manifest)
+
+
+def test_env_fingerprint_captures_repro_env(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS", "4")
+    env = export.env_fingerprint()
+    assert env["env"].get("REPRO_JOBS") == "4"
+    assert env["repro_version"]
+
+
+def test_render_manifest_mentions_spans_and_counters():
+    text = export.render_manifest(export.run_manifest(_record_small_run()))
+    assert "phase.a" in text
+    assert "cache.hit" in text
+    assert "workers" in text
+
+
+# ------------------------------------------------------------ write / read
+def test_write_run_and_latest_roundtrip(tmp_path):
+    snap = _record_small_run()
+    paths = export.write_run(tmp_path, snap)
+    assert paths.manifest.is_file()
+    assert paths.jsonl.is_file()
+    assert paths.trace.is_file()
+
+    found = export.latest_manifest(tmp_path)
+    assert found is not None
+    path, manifest = found
+    assert path == paths.manifest
+    assert manifest["counters"] == {"cache.hit": 3}
+
+    assert export.latest_jsonl(tmp_path) == paths.jsonl
+
+
+def test_jsonl_roundtrips_to_chrome_trace(tmp_path):
+    snap = _record_small_run()
+    paths = export.write_run(tmp_path, snap)
+    rebuilt = export.chrome_trace_from_jsonl(paths.jsonl)
+    direct = export.chrome_trace_document(snap)
+    assert rebuilt["traceEvents"] == direct["traceEvents"]
+
+
+def test_latest_manifest_empty_dir(tmp_path):
+    assert export.latest_manifest(tmp_path) is None
+    assert export.latest_jsonl(tmp_path) is None
+
+
+def test_latest_manifest_skips_corrupt_files(tmp_path):
+    snap = _record_small_run()
+    good = export.write_run(tmp_path, snap)
+    bogus = tmp_path / "run-99999999T999999-1.manifest.json"
+    bogus.write_text("{not json")
+    found = export.latest_manifest(tmp_path)
+    assert found is not None and found[0] == good.manifest
+
+
+def test_bench_summary_shape():
+    summary = export.bench_summary()
+    assert summary["env"]["python"]
+    assert "eventbased_auto" in summary["backend"]
+    assert "artifact_dir" in summary["cache"]
+    json.dumps(summary)

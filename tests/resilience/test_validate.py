@@ -176,6 +176,20 @@ def test_validate_file_bad_header(tmp_path):
     assert "bad-header" in codes(validate_file(path))
 
 
+def test_validate_file_binary_garbage_raises_trace_error(tmp_path):
+    # Undecodable bytes that are neither the packed magic nor text must
+    # surface as TraceError (the CLI maps it to `error: ...`, exit 2),
+    # never as a bare UnicodeDecodeError traceback.
+    import pytest
+
+    from repro.trace.trace import TraceError
+
+    path = tmp_path / "garbage.trace"
+    path.write_bytes(bytes([0x00, 0xFF, 0x98, 0xFE, 0x01]) * 40)
+    with pytest.raises(TraceError, match="not a trace file"):
+        validate_file(path)
+
+
 def test_validate_file_sees_recording_order_regressions(measured, tmp_path):
     # Skew one thread far enough backwards that its clock regresses
     # relative to its own earlier events once reordered on disk; the

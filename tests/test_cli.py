@@ -238,3 +238,94 @@ def test_audit_flag_validation():
         main(["table1", "--fuzz", "5"])  # --fuzz is audit-only
     with pytest.raises(SystemExit):
         main(["audit", "--fuzz", "0"])  # N must be >= 1
+
+
+# ------------------------------------------------------------------- obs
+@pytest.fixture()
+def obs_isolated():
+    from repro.obs import core
+
+    saved = (core._enabled, core._state)
+    core._enabled = False
+    core._state = None
+    yield
+    core._enabled, core._state = saved
+
+
+def test_obs_flag_parsing():
+    args = parse(["all"])
+    assert not args.obs and args.obs_dir is None and args.log_level is None
+    args = parse(["table1", "--obs", "--obs-dir", "/tmp/o",
+                  "--log-level", "debug"])
+    assert args.obs and args.obs_dir == "/tmp/o"
+    assert args.log_level == "debug"
+    assert parse(["obs"]).action is None
+    assert parse(["obs", "report"]).action == "report"
+    assert parse(["obs", "export"]).action == "export"
+    assert parse(["obs", "calibrate"]).action == "calibrate"
+
+
+def test_obs_action_rejected_for_experiments(obs_isolated):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["table1", "report"])
+
+
+def test_obs_report_without_runs_exits_one(tmp_path, capsys, obs_isolated):
+    from repro.cli import main
+
+    assert main(["obs", "report", "--obs-dir", str(tmp_path)]) == 1
+    assert "no obs run manifest" in capsys.readouterr().err
+    assert main(["obs", "export", "--obs-dir", str(tmp_path)]) == 1
+    assert "no obs event log" in capsys.readouterr().err
+
+
+def test_obs_run_report_export_roundtrip(tmp_path, capsys, obs_isolated):
+    import json
+
+    from repro.cli import main
+    from repro.runtime import clear_memory_cache, configure
+
+    obs_dir = tmp_path / "obs"
+    try:
+        assert main(["table3", "--quick", "--no-cache",
+                     "--obs", "--obs-dir", str(obs_dir)]) == 0
+        capsys.readouterr()
+    finally:
+        configure(jobs=1, cache=None)
+        clear_memory_cache()
+
+    manifests = list(obs_dir.glob("run-*.manifest.json"))
+    assert len(manifests) == 1
+    manifest = json.loads(manifests[0].read_text())
+    assert manifest["spans"], "an instrumented run must record spans"
+    assert any(k.startswith("runtime.") for k in manifest["spans"])
+
+    assert main(["obs", "report", "--obs-dir", str(obs_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "runtime.execute_spec" in out
+    assert "span" in out
+
+    assert main(["obs", "export", "--obs-dir", str(obs_dir)]) == 0
+    exported = capsys.readouterr().out.strip()
+    doc = json.loads(open(exported).read())
+    assert doc["traceEvents"]
+    assert all(e["ph"] in ("B", "E") for e in doc["traceEvents"])
+
+
+def test_obs_calibrate_command(capsys, obs_isolated, monkeypatch):
+    from repro.cli import main
+    from repro.obs import calibrate as _calibrate_fn
+
+    # Shrink the workload: the real default is 100k iterations x 3.
+    import repro.cli as cli_mod
+    import repro.obs
+
+    monkeypatch.setattr(
+        repro.obs, "calibrate",
+        lambda: _calibrate_fn(iters=1000, repeats=1),
+    )
+    assert main(["obs", "calibrate"]) == 0
+    out = capsys.readouterr().out
+    assert "span, disabled" in out and "ns/call" in out

@@ -1,0 +1,55 @@
+"""Unified logging: namespace, level resolution, idempotent handler."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.logutil import configure_logging, get_logger
+
+
+def test_get_logger_namespaces_under_repro():
+    assert get_logger().name == "repro"
+    assert get_logger("runtime.cache").name == "repro.runtime.cache"
+    assert get_logger("repro.native.build").name == "repro.native.build"
+
+
+def test_configure_installs_exactly_one_handler():
+    root = configure_logging("warning")
+    configure_logging("warning")
+    marked = [h for h in root.handlers
+              if getattr(h, "_repro_handler", False)]
+    assert len(marked) == 1
+
+
+def test_level_precedence_arg_over_env(monkeypatch):
+    monkeypatch.setenv("REPRO_LOG", "error")
+    root = configure_logging("debug")
+    assert root.level == logging.DEBUG
+    root = configure_logging(None, default="info")
+    assert root.level == logging.ERROR  # env wins over default
+    monkeypatch.delenv("REPRO_LOG")
+    root = configure_logging(None, default="info")
+    assert root.level == logging.INFO
+
+
+def test_numeric_and_bad_levels():
+    assert configure_logging("10").level == logging.DEBUG
+    with pytest.raises(ValueError, match="unknown log level"):
+        configure_logging("loud")
+
+
+def test_messages_flow_to_configured_stream():
+    stream = io.StringIO()
+    configure_logging("debug", stream=stream)
+    get_logger("native.build").debug("compiling %s", "kernel.c")
+    text = stream.getvalue()
+    assert "DEBUG repro.native.build: compiling kernel.c" in text
+    # Reconfiguring must re-point the existing handler, not stack another.
+    stream2 = io.StringIO()
+    configure_logging("debug", stream=stream2)
+    get_logger("cli").debug("hello")
+    assert "hello" not in stream.getvalue()
+    assert "hello" in stream2.getvalue()
