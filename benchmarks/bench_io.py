@@ -1,0 +1,312 @@
+#!/usr/bin/env python
+"""Trace-format I/O benchmark: JSONL vs packed v2 vs chunked v3.
+
+Not a paper reproduction — this is the perf baseline for the chunked
+trace format.  It generates a Livermore loop 3 (inner product, DOACROSS)
+measured trace of ~1M events (``--quick``: ~100k), writes it as JSONL,
+``.rpt`` v2 (flat columns) and ``.rpt`` v3 (chunked + delta + zlib), and
+measures:
+
+* **size**: bytes on disk per format;
+* **load**: full-trace read wall time per format.  Each format is timed
+  in its own fresh subprocess (imports and the decode kernel warmed
+  before the clock starts) so heap state left by one reader never taxes
+  another, and **cold-cache** (``posix_fadvise(POSIX_FADV_DONTNEED)``
+  before every repetition) so the number includes the disk transfer the
+  compressed format exists to shrink — warm-cache times are recorded
+  alongside for reference;
+* **streaming analysis**: ``stream_time_based`` over the v3 file vs full
+  load + columnar analysis — wall time and peak RSS, each measured in a
+  fresh subprocess so ``ru_maxrss`` reflects exactly one strategy.
+
+Streaming and columnar analyses are asserted identical before any timing
+is reported.  Results go to stdout and, machine-readable, to
+``BENCH_io.json`` (override with ``--out``).  Exit status enforces the
+PR acceptance targets on the full run: v3 at least 4x smaller than v2,
+v3 full load within 1.5x of the v2 load, and streaming peak RSS below
+the full-load peak RSS.  ``--quick`` (the CI smoke mode) only enforces
+correctness and that v3 is smaller than v2.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_io.py [--quick] [--events N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from repro.analysis import time_based_approximation
+from repro.instrument import InstrumentationCosts, calibrate_analysis_constants
+from repro.machine.costs import FX80
+from repro.trace.io import read_trace, write_trace
+from repro.trace.stream import storage_report, stream_time_based
+
+from bench_columnar import build_loop3_trace, timed
+
+FULL_EVENTS = 1_000_000
+QUICK_EVENTS = 100_000
+
+#: PR acceptance targets (full run only; load ratio is cold-cache).
+TARGET_SIZE_RATIO = 4.0      # v2_bytes / v3_bytes
+TARGET_LOAD_RATIO = 1.5      # v3_load_secs / v2_load_secs (upper bound)
+
+#: Subprocess bodies for the peak-RSS comparison.  Each prints one JSON
+#: line: the analysis total, wall seconds, and the peak RSS in KiB.
+#: Peak RSS comes from /proc/self/status VmHWM, which the kernel resets
+#: at exec — unlike ru_maxrss, which fork+exec inherits from the parent,
+#: so a large driver process would drown out the child's own footprint.
+_RSS_HELPER = """
+def _peak_rss_kb():
+    import resource
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+"""
+
+_STREAM_CHILD = _RSS_HELPER + """
+import json, sys, time
+from repro.instrument import InstrumentationCosts, calibrate_analysis_constants
+from repro.machine.costs import FX80
+from repro.trace.stream import stream_time_based
+constants = calibrate_analysis_constants(FX80, InstrumentationCosts())
+t0 = time.perf_counter()
+r = stream_time_based(sys.argv[1], constants, collect_times=False)
+secs = time.perf_counter() - t0
+print(json.dumps({"secs": secs, "total": r.total_time,
+                  "maxrss_kb": _peak_rss_kb()}))
+"""
+
+_FULL_CHILD = _RSS_HELPER + """
+import json, sys, time
+from repro.analysis import time_based_approximation
+from repro.instrument import InstrumentationCosts, calibrate_analysis_constants
+from repro.machine.costs import FX80
+from repro.trace.io import read_trace
+constants = calibrate_analysis_constants(FX80, InstrumentationCosts())
+t0 = time.perf_counter()
+trace = read_trace(sys.argv[1])
+a = time_based_approximation(trace, constants, backend="columnar")
+secs = time.perf_counter() - t0
+print(json.dumps({"secs": secs, "total": a.total_time,
+                  "maxrss_kb": _peak_rss_kb()}))
+"""
+
+
+#: Load-timing subprocess: best-of-N cold-cache and warm-cache reads of
+#: one file, everything else (imports, the JIT decode kernel) warmed
+#: before the clock starts.
+_LOAD_CHILD = """
+import json, os, sys, time
+from repro.trace.io import read_trace
+from repro.trace._native_codec import kernel
+kernel()  # build/load once: process setup, not I/O
+path, reps = sys.argv[1], int(sys.argv[2])
+
+def drop(p):
+    fadvise = getattr(os, "posix_fadvise", None)
+    if fadvise is None:
+        return False
+    fd = os.open(p, os.O_RDONLY)
+    try:
+        fadvise(fd, 0, 0, os.POSIX_FADV_DONTNEED)
+    finally:
+        os.close(fd)
+    return True
+
+cold_secs, warm_secs, cold = None, None, True
+for _ in range(reps):
+    cold = drop(path) and cold
+    t0 = time.perf_counter()
+    read_trace(path)
+    secs = time.perf_counter() - t0
+    cold_secs = secs if cold_secs is None else min(cold_secs, secs)
+for _ in range(reps):
+    t0 = time.perf_counter()
+    read_trace(path)
+    secs = time.perf_counter() - t0
+    warm_secs = secs if warm_secs is None else min(warm_secs, secs)
+print(json.dumps({"cold_secs": cold_secs, "warm_secs": warm_secs,
+                  "cold_cache": cold}))
+"""
+
+
+def _child(body: str, path: Path, *extra: str) -> dict:
+    """Run one measurement subprocess; returns its JSON report."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", body, str(path), *extra],
+        capture_output=True, text=True, env=env,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(f"FATAL: measurement subprocess failed:\n{proc.stderr}")
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def run(n_events: int, out_path: Path, repeats: int) -> dict:
+    constants = calibrate_analysis_constants(FX80, InstrumentationCosts())
+    print(f"generating ~{n_events} event loop 3 trace ...", flush=True)
+    t0 = time.perf_counter()
+    trace = build_loop3_trace(n_events)
+    print(f"  {len(trace)} events in {time.perf_counter() - t0:.1f}s")
+
+    from repro.trace._native_codec import kernel as _codec_kernel
+
+    results: dict = {
+        "benchmark": "io",
+        "program": "livermore loop 3 (doacross, PLAN_FULL)",
+        "n_events": len(trace),
+        "n_threads": len(trace.threads),
+        "native_codec": _codec_kernel() is not None,
+    }
+
+    with TemporaryDirectory(prefix="bench_io_") as tmp:
+        jsonl = Path(tmp) / "loop3.jsonl"
+        v2 = Path(tmp) / "loop3_v2.rpt"
+        v3 = Path(tmp) / "loop3_v3.rpt"
+        w_jsonl, _ = timed(lambda: write_trace(trace, jsonl, format="jsonl"))
+        w_v2, _ = timed(lambda: write_trace(trace, v2, format="v2"))
+        w_v3, _ = timed(lambda: write_trace(trace, v3, format="v3"))
+        sizes = {p.name: p.stat().st_size for p in (jsonl, v2, v3)}
+        size_ratio = sizes[v2.name] / sizes[v3.name]
+        results["write"] = {
+            "jsonl_secs": w_jsonl, "v2_secs": w_v2, "v3_secs": w_v3,
+            "jsonl_bytes": sizes[jsonl.name],
+            "v2_bytes": sizes[v2.name],
+            "v3_bytes": sizes[v3.name],
+            "v2_over_v3": size_ratio,
+        }
+        print(f"size:  jsonl {sizes[jsonl.name]:>12,} B")
+        print(f"       v2    {sizes[v2.name]:>12,} B")
+        print(f"       v3    {sizes[v3.name]:>12,} B  "
+              f"({size_ratio:.1f}x smaller than v2)")
+        results["v3_layout"] = storage_report(v3)
+
+        # The generated trace is a ~1M-node object graph; drop it so the
+        # measurement children fork from a small parent.
+        del trace
+
+        reps = str(repeats)
+        load_j = _child(_LOAD_CHILD, jsonl, reps)
+        load_2 = _child(_LOAD_CHILD, v2, reps)
+        load_3 = _child(_LOAD_CHILD, v3, reps)
+        l_jsonl, l_v2, l_v3 = (
+            d["cold_secs"] for d in (load_j, load_2, load_3)
+        )
+        load_ratio = l_v3 / l_v2
+        results["load"] = {
+            "cold_cache": load_2["cold_cache"] and load_3["cold_cache"],
+            "jsonl_secs": l_jsonl, "v2_secs": l_v2, "v3_secs": l_v3,
+            "v3_over_v2": load_ratio,
+            "warm_v2_secs": load_2["warm_secs"],
+            "warm_v3_secs": load_3["warm_secs"],
+            "warm_v3_over_v2": load_3["warm_secs"] / load_2["warm_secs"],
+        }
+        print(f"load (cold cache):  jsonl {l_jsonl:.3f}s  v2 {l_v2:.3f}s  "
+              f"v3 {l_v3:.3f}s  (v3/v2 = {load_ratio:.2f}x)")
+        print(f"load (warm cache):  v2 {load_2['warm_secs']:.3f}s  "
+              f"v3 {load_3['warm_secs']:.3f}s  "
+              f"(v3/v2 = {results['load']['warm_v3_over_v2']:.2f}x)")
+
+        # Correctness gate before any streaming timing: the chunked
+        # streaming analysis must agree with the columnar one exactly.
+        ref = time_based_approximation(
+            read_trace(v2), constants, backend="columnar"
+        )
+        got = stream_time_based(v3, constants)
+        if got.times != ref.times or got.total_time != ref.total_time:
+            raise SystemExit("FATAL: streaming and columnar analyses disagree")
+        del got
+
+        stream = _child(_STREAM_CHILD, v3)
+        full = _child(_FULL_CHILD, v3)
+        if stream["total"] != full["total"] or stream["total"] != ref.total_time:
+            raise SystemExit("FATAL: subprocess analyses disagree")
+        rss_ratio = stream["maxrss_kb"] / full["maxrss_kb"]
+        results["streaming_analysis"] = {
+            "stream_secs": stream["secs"],
+            "full_load_secs": full["secs"],
+            "stream_maxrss_kb": stream["maxrss_kb"],
+            "full_load_maxrss_kb": full["maxrss_kb"],
+            "rss_ratio": rss_ratio,
+            "total_time_cycles": ref.total_time,
+        }
+        print(f"analysis (subprocess):  streaming {stream['secs']:.3f}s "
+              f"@ {stream['maxrss_kb'] / 1024:.0f} MiB peak   "
+              f"full-load {full['secs']:.3f}s "
+              f"@ {full['maxrss_kb'] / 1024:.0f} MiB peak "
+              f"({rss_ratio:.2f}x)")
+
+    from repro.obs import bench_summary
+
+    results["obs"] = bench_summary()
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"~{QUICK_EVENTS} events, correctness tripwires only "
+        "(the CI smoke mode)",
+    )
+    parser.add_argument("--events", type=int, default=None,
+                        help="override the event-count target")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repetitions; best run is reported")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_io.json"),
+                        help="machine-readable results path")
+    args = parser.parse_args(argv)
+
+    n_events = args.events or (QUICK_EVENTS if args.quick else FULL_EVENTS)
+    results = run(n_events, args.out, max(1, args.repeats))
+
+    size_ratio = results["write"]["v2_over_v3"]
+    load_ratio = results["load"]["v3_over_v2"]
+    rss_ratio = results["streaming_analysis"]["rss_ratio"]
+    if args.quick:
+        if size_ratio <= 1.0:
+            print(f"FAIL: v3 is not smaller than v2 ({size_ratio:.2f}x)",
+                  file=sys.stderr)
+            return 1
+        print(f"OK: v3 {size_ratio:.1f}x smaller, load {load_ratio:.2f}x v2, "
+              f"streaming RSS {rss_ratio:.2f}x full-load")
+        return 0
+    failed = False
+    if size_ratio < TARGET_SIZE_RATIO:
+        print(f"FAIL: v3 only {size_ratio:.1f}x smaller than v2 "
+              f"(< {TARGET_SIZE_RATIO}x target)", file=sys.stderr)
+        failed = True
+    if load_ratio > TARGET_LOAD_RATIO:
+        print(f"FAIL: v3 load {load_ratio:.2f}x the v2 load "
+              f"(> {TARGET_LOAD_RATIO}x target)", file=sys.stderr)
+        failed = True
+    if rss_ratio >= 1.0:
+        print(f"FAIL: streaming peak RSS {rss_ratio:.2f}x the full-load "
+              "peak (should be below 1.0)", file=sys.stderr)
+        failed = True
+    if not failed:
+        print(f"OK: v3 {size_ratio:.1f}x smaller (target {TARGET_SIZE_RATIO}x), "
+              f"load {load_ratio:.2f}x v2 (limit {TARGET_LOAD_RATIO}x), "
+              f"streaming RSS {rss_ratio:.2f}x full-load")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,10 +68,18 @@ def auto_approximation(
     measured: Trace,
     constants: AnalysisConstants,
     method: str = "auto",
+    *,
+    time_backend: str = "auto",
 ) -> AutoResult:
     """Analyze a measured trace with the best applicable model.
 
     ``method``: ``"auto"`` (default), ``"event"`` or ``"time"`` to force.
+
+    ``time_backend`` is forwarded to :func:`time_based_approximation`
+    when the time-based model runs (``"auto"`` picks columnar, switching
+    to the bounded-memory streaming fold above
+    :data:`~repro.analysis.timebased.STREAMING_AUTO_THRESHOLD` events);
+    the event-based model keeps its own backend pick.
     """
     warnings: list[str] = []
     if method == "event" or (method == "auto" and _has_sync_identity(measured)):
@@ -92,7 +100,7 @@ def auto_approximation(
             "execution (paper Table 1) — re-measure with the FULL plan"
         )
     obs.count("analysis.auto.time")
-    approx = time_based_approximation(measured, constants)
+    approx = time_based_approximation(measured, constants, backend=time_backend)
     reason = (
         "no synchronization identity in trace"
         if method == "auto"

@@ -34,7 +34,12 @@ from repro.trace import columnar as _columnar
 from repro.trace.trace import Trace
 
 #: Analysis backends accepted by :func:`time_based_approximation`.
-BACKENDS = ("auto", "columnar", "object")
+BACKENDS = ("auto", "columnar", "object", "streaming")
+
+#: Above this many events ``backend="auto"`` picks the streaming fold:
+#: identical output, but the working set drops from whole-trace delta
+#: arrays to one chunk's worth.
+STREAMING_AUTO_THRESHOLD = 1 << 20
 
 
 def _per_event_times(measured: Trace, costs: InstrumentationCosts) -> dict[int, int]:
@@ -92,6 +97,35 @@ def _vectorized_times(measured: Trace, costs: InstrumentationCosts) -> dict[int,
     return dict(zip(cols.seq.tolist(), ta_all.tolist()))
 
 
+def _streaming_times(
+    measured: Trace,
+    costs: InstrumentationCosts,
+    chunk_events: Optional[int] = None,
+) -> dict[int, int]:
+    """Chunked implementation: the columnar cumsum run slice-by-slice.
+
+    Drives :class:`repro.trace.stream.TimeBasedFold` over contiguous
+    column slices, exactly the pass :func:`repro.trace.stream.stream_time_based`
+    runs over a v3 file's chunks — so the audit pair that pins
+    streaming == columnar on in-memory traces covers the on-file path's
+    arithmetic too.  Output is identical to :func:`_vectorized_times`
+    (cumsum associativity; see the fold's docstring).
+    """
+    from repro.trace.binio import DEFAULT_CHUNK_EVENTS
+    from repro.trace.stream import TimeBasedFold
+
+    np = _columnar.np
+    cols = measured.columns
+    n = len(cols)
+    step = chunk_events if chunk_events else DEFAULT_CHUNK_EVENTS
+    fold = TimeBasedFold(_columnar.overhead_table(costs))
+    ta_all = np.empty(n, dtype=np.int64)
+    for start in range(0, n, step):
+        stop = min(start + step, n)
+        ta_all[start:stop] = fold.feed(cols.slice(start, stop))
+    return dict(zip(cols.seq.tolist(), ta_all.tolist()))
+
+
 def time_based_approximation(
     measured: Trace,
     constants: AnalysisConstants,
@@ -119,9 +153,13 @@ def time_based_approximation(
     repair report to the result.
 
     ``backend``: ``"columnar"`` runs the vectorized per-thread cumsum over
-    ``measured.columns``; ``"object"`` runs the per-event reference loop;
-    ``"auto"`` (default) picks columnar whenever numpy is available.  The
-    two produce identical results (property-tested); the knob exists for
+    ``measured.columns``; ``"streaming"`` runs the same cumsum
+    chunk-by-chunk with per-thread carry state (bounded working set, the
+    arithmetic behind :func:`repro.trace.stream.stream_time_based`);
+    ``"object"`` runs the per-event reference loop; ``"auto"`` (default)
+    picks columnar whenever numpy is available, switching to streaming
+    above :data:`STREAMING_AUTO_THRESHOLD` events.  All backends produce
+    identical results (property- and audit-tested); the knob exists for
     the regression benchmark and numpy-free environments.
     """
     check_policy(policy)
@@ -142,12 +180,19 @@ def time_based_approximation(
             "trace is not a measured (instrumented) trace; nothing to remove"
         )
     if backend == "auto":
-        backend = "columnar" if _columnar.HAVE_NUMPY else "object"
+        if not _columnar.HAVE_NUMPY:
+            backend = "object"
+        elif len(measured) > STREAMING_AUTO_THRESHOLD:
+            backend = "streaming"
+        else:
+            backend = "columnar"
     with obs.span(
         "analysis.timebased", backend=backend, n_events=len(measured)
     ):
         if backend == "columnar":
             times = _vectorized_times(measured, constants.costs)
+        elif backend == "streaming":
+            times = _streaming_times(measured, constants.costs)
         else:
             times = _per_event_times(measured, constants.costs)
     total = max(times.values())

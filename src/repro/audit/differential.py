@@ -1,9 +1,10 @@
 """Differential oracle: cross-backend and cross-encoding parity checks.
 
 The repo maintains several implementations of each pipeline layer — two
-trace storage backends (event objects and numpy columns), two on-disk
-encodings (JSONL and packed ``.rpt``), and object/columnar variants of the
-time-based and event-based analyses.  All pairs are supposed to be
+trace storage backends (event objects and numpy columns), three on-disk
+encodings (JSONL, flat packed ``.rpt`` v2, chunked compressed ``.rpt``
+v3), and object/columnar/streaming variants of the time-based and
+event-based analyses.  All pairs are supposed to be
 observationally identical; this module enforces that by running every pair
 on the same trace and reporting any field-level divergence as an
 :class:`~repro.audit.findings.AuditFinding`.
@@ -124,7 +125,7 @@ def _check_storage_normalization(trace: Trace):
 
 
 def _roundtrip(trace: Trace, fmt: str) -> Trace:
-    suffix = ".rpt" if fmt == "rpt" else ".jsonl"
+    suffix = ".jsonl" if fmt == "jsonl" else ".rpt"
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / f"audit{suffix}"
         write_trace(trace, path, format=fmt)
@@ -188,6 +189,55 @@ def _check_timebased_backends(trace: Trace):
     return _analysis_divergence(time_based_approximation, trace)
 
 
+def _check_timebased_streaming(trace: Trace):
+    """Chunked-with-carry time-based backend ≡ whole-trace columnar."""
+    from repro.analysis.timebased import time_based_approximation
+
+    return _analysis_divergence(
+        time_based_approximation, trace,
+        reference="columnar", candidate="streaming",
+    )
+
+
+def _check_streaming_file(trace: Trace):
+    """On-file v3 streaming analysis ≡ in-memory columnar analysis.
+
+    Writes the trace as a chunked v3 file (small chunks, so even audit-
+    sized traces span several) and runs the bounded-memory driver over it;
+    the approximated times, the total, and any failure must match the
+    in-memory backend exactly.
+    """
+    from repro.analysis.timebased import time_based_approximation
+    from repro.trace.stream import stream_time_based
+
+    try:
+        approx = time_based_approximation(
+            trace, _constants(), backend="columnar"
+        )
+        ref = (approx.times, approx.total_time)
+    except Exception as exc:  # noqa: BLE001 - the failure IS the outcome
+        ref = ("raise", type(exc).__name__, str(exc))
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "audit.rpt"
+        write_trace(trace, path, format="v3", chunk_events=512)
+        try:
+            got = stream_time_based(path, _constants())
+            cand = (got.times, got.total_time)
+        except Exception as exc:  # noqa: BLE001 - as above
+            cand = ("raise", type(exc).__name__, str(exc))
+    if ref == cand:
+        return None
+    if ref[0] != "raise" and cand[0] != "raise":
+        times_r, total_r = ref
+        times_c, total_c = cand
+        for seq in sorted(set(times_r) | set(times_c)):
+            if times_r.get(seq) != times_c.get(seq):
+                return (seq, "t_a", repr(times_r.get(seq)),
+                        repr(times_c.get(seq)))
+        return (None, "total_time", repr(total_r), repr(total_c))
+    return (None, "outcome", repr(ref)[:200], repr(cand)[:200])
+
+
 def _check_eventbased_backends(trace: Trace):
     from repro.analysis.eventbased import event_based_approximation
 
@@ -245,9 +295,12 @@ def _check_trace_structure(trace: Trace):
 TRACE_CHECKS: dict[str, tuple[Callable[[Trace], Optional[tuple]], Optional[str]]] = {
     "storage-normalization": (_check_storage_normalization, "numpy"),
     "roundtrip-jsonl": (lambda t: _check_roundtrip(t, "jsonl"), None),
-    "roundtrip-rpt": (lambda t: _check_roundtrip(t, "rpt"), "numpy"),
+    "roundtrip-rpt": (lambda t: _check_roundtrip(t, "v2"), "numpy"),
+    "roundtrip-rpt3": (lambda t: _check_roundtrip(t, "v3"), "numpy"),
     "encoding-chain": (_check_encoding_chain, "numpy"),
     "timebased-backends": (_check_timebased_backends, "numpy"),
+    "timebased-streaming": (_check_timebased_streaming, "numpy"),
+    "timebased-streaming-file": (_check_streaming_file, "numpy"),
     "eventbased-backends": (_check_eventbased_backends, "numpy"),
     "eventbased-native-columnar": (_check_eventbased_native("columnar"), "native"),
     "eventbased-native-object": (_check_eventbased_native("object"), "native"),

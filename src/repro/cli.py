@@ -24,6 +24,11 @@ Usage::
 Simulations are deterministic per (program, plan, machine, seed) tuple,
 so ``--jobs`` and the artifact cache change wall-clock only — report text
 is byte-identical to a serial, cold run.
+
+Trace artifacts (e.g. the simulation cache) are stored in the chunked
+compressed ``.rpt`` v3 format; set ``REPRO_TRACE_FORMAT=v2``/``v3`` to
+pin the packed version other ``.rpt`` writes default to (see
+``docs/FORMATS.md``).
 """
 
 from __future__ import annotations

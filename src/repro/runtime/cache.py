@@ -4,8 +4,11 @@ Every cached run occupies two sibling files under a two-level fan-out
 directory (``<root>/<key[:2]>/<key>.*``):
 
 * ``<key>.rpt`` — the execution's trace in the packed binary format
-  (exact round-trip is property-tested in
-  ``tests/property/test_columnar_equivalence.py``);
+  (written as chunked compressed v3 — the cache is a private store, so
+  there is no compatibility reason to spend v2's 8 bytes per field;
+  exact round-trip is property-tested in
+  ``tests/property/test_columnar_equivalence.py`` and
+  ``tests/property/test_codec_roundtrip.py``);
 * ``<key>.json`` — the rest of the :class:`ExecutionResult` (ground-truth
   CE/sync statistics, schedule assignments, plan) plus the cache schema
   version.
@@ -176,7 +179,7 @@ class ArtifactCache:
         entry = self._entry(key)
         try:
             entry.parent.mkdir(parents=True, exist_ok=True)
-            write_trace(result.trace, entry.with_suffix(".rpt"), format="rpt")
+            write_trace(result.trace, entry.with_suffix(".rpt"), format="v3")
             json_path = entry.with_suffix(".json")
             tmp = json_path.with_suffix(".json.tmp")
             tmp.write_text(json.dumps(_result_payload(result)))

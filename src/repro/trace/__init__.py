@@ -26,8 +26,18 @@ from repro.trace.order import (
     CausalityViolation,
 )
 from repro.trace.io import write_trace, read_trace
+from repro.trace.stream import (
+    ChunkReader,
+    stream_time_based,
+    stream_trace_stats,
+    stream_validate,
+)
 
 __all__ = [
+    "ChunkReader",
+    "stream_time_based",
+    "stream_trace_stats",
+    "stream_validate",
     "EventKind",
     "TraceEvent",
     "SYNC_KINDS",

@@ -277,6 +277,18 @@ class TraceColumns:
             **{name: getattr(self, name)[indices] for name in COLUMN_NAMES}
         )
 
+    def slice(self, start: int, stop: int) -> "TraceColumns":
+        """Contiguous row range ``[start, stop)`` as a new ``TraceColumns``.
+
+        Unlike :meth:`take` with an index array, this uses basic numpy
+        slicing, so the chunk writer and streaming reader share the parent
+        buffers instead of copying (1-D contiguous slices survive the
+        ``ascontiguousarray`` in ``__init__`` without a copy).
+        """
+        return self.replace(
+            **{name: getattr(self, name)[start:stop] for name in COLUMN_NAMES}
+        )
+
     def replace(self, **overrides) -> "TraceColumns":
         """Copy with some columns (or tables) swapped out."""
         kwargs = {name: getattr(self, name) for name in COLUMN_NAMES}

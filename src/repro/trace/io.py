@@ -5,16 +5,23 @@ Two on-disk formats share one entry point pair:
 * **JSONL** (format v1): a header object on the first line
   (``{"format": ..., "meta": {...}}``) followed by one event object per
   line.  Streamable, diffable, human-inspectable.
-* **Packed binary** (``.rpt``, format v2, :mod:`repro.trace.binio`): the
-  columnar backend's numpy buffers written verbatim after a small JSON
-  header.  ~10x+ faster to load at million-event scale and loads straight
-  into the vectorized analysis paths with zero per-event parsing.
+* **Packed binary v2** (``.rpt``, :mod:`repro.trace.binio`): the columnar
+  backend's numpy buffers written verbatim after a small JSON header.
+  ~10x+ faster to load at million-event scale and loads straight into the
+  vectorized analysis paths with zero per-event parsing.
+* **Packed binary v3** (``.rpt``, chunked + compressed): the same columns
+  split into fixed-size event chunks, delta/varint/zlib-encoded per
+  column, with a chunk index so :mod:`repro.trace.stream` can analyze
+  arbitrarily large traces in bounded memory.  See ``docs/FORMATS.md``.
 
 :func:`read_trace` auto-detects the format from the file's leading bytes
-(the ``RPTRACE2`` magic), so readers never need to care which one they
-were handed.  :func:`write_trace` picks the format from the target's
-suffix (``.rpt`` -> packed binary, anything else -> JSONL) unless
-``format=`` forces one.  ``repro-trace convert`` translates between them.
+(the ``RPTRACE2``/``RPTRACE3`` magic), so readers never need to care which
+one they were handed.  :func:`write_trace` picks the format from the
+target's suffix (``.rpt`` -> packed binary, anything else -> JSONL) unless
+``format=`` forces one; for packed targets the version defaults to v2
+unless the ``REPRO_TRACE_FORMAT`` environment variable says ``v3`` (an
+explicit ``format="v2"``/``"v3"`` argument always wins over the
+environment).  ``repro-trace convert`` translates between all three.
 
 Robustness guarantees:
 
@@ -42,6 +49,26 @@ FORMAT_NAME = "repro-trace"
 FORMAT_VERSION = 1
 
 
+def default_packed_format() -> str:
+    """Packed version ``"rpt"`` resolves to: ``"v2"``, or ``"v3"`` when
+    the ``REPRO_TRACE_FORMAT`` environment variable selects it.
+
+    Only ``"v2"``/``"v3"`` (and the aliases ``"2"``/``"3"``) are honored;
+    anything else — including ``"jsonl"``, which cannot be a *packed*
+    default — raises so a typo in CI config fails loudly instead of
+    silently writing the wrong format.
+    """
+    raw = os.environ.get("REPRO_TRACE_FORMAT", "").strip().lower()
+    if raw in ("", "rpt", "v2", "2"):
+        return "v2"
+    if raw in ("v3", "3"):
+        return "v3"
+    raise ValueError(
+        f"REPRO_TRACE_FORMAT={raw!r} is not a packed trace version "
+        "(expected 'v2' or 'v3')"
+    )
+
+
 class TruncatedTraceError(TraceError):
     """The trace file ends early (crash mid-write, disk full, ...).
 
@@ -67,18 +94,26 @@ def write_trace(
     path: Union[str, Path, IO[str], IO[bytes]],
     *,
     format: Optional[str] = None,
+    chunk_events: Optional[int] = None,
+    codec: Optional[str] = None,
+    level: Optional[int] = None,
 ) -> None:
     """Write a trace to ``path`` (a path or an open handle).
 
-    ``format`` is ``"jsonl"``, ``"rpt"``, or None to infer: a ``.rpt``
-    path suffix (or a binary handle) selects the packed format, anything
-    else JSONL.  Path targets are written atomically: the data goes to a
-    ``.tmp`` sibling which is fsynced and renamed over the destination, so
-    readers never observe a partially written trace under the final name.
+    ``format`` is ``"jsonl"``, ``"rpt"``, ``"v2"``, ``"v3"``, or None to
+    infer: a ``.rpt`` path suffix (or a binary handle) selects the packed
+    format, anything else JSONL.  ``"rpt"`` (and an inferred packed
+    target) writes the *default* packed version — v2, or v3 when the
+    ``REPRO_TRACE_FORMAT`` environment variable is ``v3``; ``"v2"``/
+    ``"v3"`` pin a version explicitly.  ``chunk_events``/``codec``/
+    ``level`` tune the v3 chunk layout and are rejected for other formats.
+    Path targets are written atomically: the data goes to a ``.tmp``
+    sibling which is fsynced and renamed over the destination, so readers
+    never observe a partially written trace under the final name.
     """
-    from repro.trace.binio import write_trace_binary
+    from repro.trace import binio
 
-    if format not in (None, "jsonl", "rpt"):
+    if format not in (None, "jsonl", "rpt", "v2", "v3"):
         raise ValueError(f"unknown trace format {format!r}")
     if format is None:
         if hasattr(path, "write"):
@@ -86,8 +121,18 @@ def write_trace(
         else:
             format = "rpt" if Path(path).suffix == ".rpt" else "jsonl"
     if format == "rpt":
-        write_trace_binary(trace, path)
+        format = default_packed_format()
+    if format in ("v2", "v3"):
+        version = (
+            binio.FORMAT_VERSION if format == "v2" else binio.FORMAT_VERSION_V3
+        )
+        binio.write_trace_binary(
+            trace, path, version=version,
+            chunk_events=chunk_events, codec=codec, level=level,
+        )
         return
+    if chunk_events is not None or codec is not None or level is not None:
+        raise ValueError("chunk_events/codec/level only apply to trace format v3")
     header = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
@@ -134,9 +179,9 @@ def read_trace(
 ) -> Trace:
     """Read a trace previously written by :func:`write_trace`.
 
-    The on-disk format (JSONL v1 vs packed ``.rpt`` v2) is auto-detected
-    from the file's leading bytes; binary handles are likewise sniffed for
-    the ``RPTRACE2`` magic.
+    The on-disk format (JSONL v1 vs packed ``.rpt`` v2/v3) is
+    auto-detected from the file's leading bytes; binary handles are
+    likewise sniffed for the ``RPTRACE2``/``RPTRACE3`` magic.
 
     A file that ends early — a partial final line, or fewer events than
     the header's ``n_events`` — raises :class:`TruncatedTraceError`
@@ -146,7 +191,7 @@ def read_trace(
     Corruption *before* the final line is never tolerated: that is damage,
     not truncation, and always raises :class:`TraceError`.
     """
-    from repro.trace.binio import MAGIC, read_trace_binary
+    from repro.trace.binio import MAGIC, MAGIC_V3, read_trace_binary
 
     if hasattr(path, "read"):
         if _is_binary_handle(path):
@@ -154,7 +199,7 @@ def read_trace(
             rest = path.read()
             import io as _io
 
-            if head == MAGIC:
+            if head in (MAGIC, MAGIC_V3):
                 return read_trace_binary(
                     _io.BytesIO(head + rest),
                     tolerate_truncation=tolerate_truncation,
@@ -166,7 +211,7 @@ def read_trace(
             return _read_stream(text, tolerate_truncation)
         return _read_stream(path, tolerate_truncation)  # type: ignore[arg-type]
     with open(path, "rb") as probe:
-        is_packed = probe.read(len(MAGIC)) == MAGIC
+        is_packed = probe.read(len(MAGIC)) in (MAGIC, MAGIC_V3)
     if is_packed:
         return read_trace_binary(path, tolerate_truncation=tolerate_truncation)
     try:

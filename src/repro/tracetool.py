@@ -4,7 +4,7 @@ Subcommands::
 
     repro-trace info FILE              # metadata + summary statistics
     repro-trace stats FILE             # alias of info (columnar streaming)
-    repro-trace convert FILE -o OUT    # translate JSONL <-> packed .rpt
+    repro-trace convert FILE -o OUT    # translate JSONL <-> .rpt v2 <-> v3
     repro-trace dump FILE [-n N] [--thread T] [--kind K]
     repro-trace validate FILE          # streaming diagnostics + causality
     repro-trace repair FILE -o OUT     # best-effort repair, prints report
@@ -20,10 +20,15 @@ repair`` / ``skip`` analyzes damaged traces best-effort (see
 :mod:`repro.resilience`); ``inject`` deliberately corrupts a trace, which
 is how the resilience stack itself is exercised and benchmarked.
 
-Both trace formats are accepted everywhere (``read_trace`` auto-detects
-JSONL vs packed ``.rpt``); ``convert`` translates between them, picking
-the output format from the ``-o`` suffix unless ``--format`` forces one.
-JSONL is the diffable interchange format; ``.rpt`` is the fast one.
+All three trace formats are accepted everywhere (``read_trace``
+auto-detects JSONL vs packed ``.rpt`` v2/v3); ``convert`` translates
+between them, picking the output format from the ``-o`` suffix unless
+``--format`` forces one (``v3`` adds ``--chunk-events``/``--codec``/
+``--level`` knobs).  JSONL is the diffable interchange format, v2 the
+flat fast-load format, v3 the compressed chunked format that ``stats``,
+``validate`` and ``analyze --backend streaming`` process in bounded
+memory; ``stats`` on a v3 file additionally reports the on-disk layout
+(bytes per column, chunk count, compression ratio).
 """
 
 from __future__ import annotations
@@ -77,8 +82,22 @@ def make_parser() -> argparse.ArgumentParser:
     p_conv.add_argument("file")
     p_conv.add_argument("-o", "--output", required=True, help="converted trace path")
     p_conv.add_argument(
-        "--format", choices=("jsonl", "rpt"), default=None,
-        help="output format (default: inferred from the -o suffix)",
+        "--format", choices=("jsonl", "rpt", "v2", "v3"), default=None,
+        help="output format (default: inferred from the -o suffix; 'rpt' "
+        "writes the default packed version, see REPRO_TRACE_FORMAT)",
+    )
+    p_conv.add_argument(
+        "--chunk-events", type=int, default=None,
+        help="v3 only: events per chunk (default 65536)",
+    )
+    p_conv.add_argument(
+        "--codec", choices=("zlib", "zstd", "none"), default=None,
+        help="v3 only: chunk compression codec (default: zstd when "
+        "importable, else zlib)",
+    )
+    p_conv.add_argument(
+        "--level", type=int, default=None,
+        help="v3 only: compression level (default 6)",
     )
 
     p_dump = sub.add_parser("dump", help="print events")
@@ -154,19 +173,76 @@ def make_parser() -> argparse.ArgumentParser:
         "--policy", choices=("strict", "repair", "skip"), default="strict",
         help="degradation policy for damaged traces (default: strict)",
     )
+    p_an.add_argument(
+        "--backend", default="auto",
+        help="analysis backend: auto/object/columnar plus streaming "
+        "(time-based; chunked, bounded memory) or native (event-based)",
+    )
     return parser
 
 
+def _packed_version(path) -> Optional[int]:
+    """2 / 3 for packed ``.rpt`` files, None for JSONL (or anything else)."""
+    from repro.trace.binio import MAGIC, MAGIC_V3
+
+    with open(path, "rb") as probe:
+        head = probe.read(len(MAGIC))
+    if head == MAGIC:
+        return 2
+    if head == MAGIC_V3:
+        return 3
+    return None
+
+
 def cmd_info(args: argparse.Namespace) -> int:
+    if _packed_version(args.file) == 3:
+        # Chunked traces are summarized without ever materializing them:
+        # per-chunk partial statistics plus the footer's layout info.
+        from repro.trace.stream import ChunkReader, storage_report, stream_trace_stats
+
+        with ChunkReader(args.file) as reader:
+            meta = reader.meta
+        print(render_stats(stream_trace_stats(args.file), meta=meta))
+        layout = storage_report(args.file)
+        print(
+            f"\non-disk layout (v3, {layout['codec'].get('compress', '?')}): "
+            f"{layout['n_chunks']} chunk(s) x {layout['chunk_events']} events, "
+            f"{layout['file_bytes']} bytes on disk"
+        )
+        print(
+            f"column payloads: {layout['payload_bytes']} bytes vs "
+            f"{layout['logical_bytes']} flat (v2) — {layout['ratio']:.1f}x "
+            "compression"
+        )
+        width = max(len(n) for n in layout["columns"])
+        for name, nbytes in layout["columns"].items():
+            print(f"  {name:<{width}} {nbytes:>10} bytes")
+        return 0
     trace = read_trace(args.file)
     print(render_stats(trace_stats(trace), meta=trace.meta))
     return 0
 
 
 def cmd_convert(args: argparse.Namespace) -> int:
+    from repro.trace.io import default_packed_format
+
+    fmt = args.format
+    if fmt is None:
+        fmt = "rpt" if str(args.output).endswith(".rpt") else "jsonl"
+    if fmt == "rpt":
+        fmt = default_packed_format()
+    if fmt != "v3" and (
+        args.chunk_events is not None or args.codec is not None
+        or args.level is not None
+    ):
+        print("error: --chunk-events/--codec/--level require --format v3",
+              file=sys.stderr)
+        return 2
     trace = read_trace(args.file)
-    write_trace(trace, args.output, format=args.format)
-    fmt = args.format or ("rpt" if str(args.output).endswith(".rpt") else "jsonl")
+    write_trace(
+        trace, args.output, format=fmt,
+        chunk_events=args.chunk_events, codec=args.codec, level=args.level,
+    )
     print(f"wrote {len(trace)} event(s) to {args.output} ({fmt})")
     return 0
 
@@ -191,11 +267,14 @@ def cmd_dump(args: argparse.Namespace) -> int:
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    from repro.trace.binio import MAGIC
+    packed = _packed_version(args.file)
+    if packed == 3:
+        # Chunked traces are validated one chunk at a time: the streaming
+        # validator's state is bounded by sync keys, not trace length.
+        from repro.trace.stream import stream_validate
 
-    with open(args.file, "rb") as probe:
-        packed = probe.read(len(MAGIC)) == MAGIC
-    if packed:
+        diagnostics = stream_validate(args.file)
+    elif packed == 2:
         # Packed traces have no per-line structure to lint; validate the
         # loaded columns (vectorized fast path when the trace is clean).
         from repro.resilience.validate import validate_trace
@@ -327,13 +406,32 @@ def cmd_diff(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.method == "event":
+        from repro.analysis.eventbased import BACKENDS as _event_backends
+
+        allowed = _event_backends
+    else:
+        from repro.analysis.timebased import BACKENDS as _time_backends
+
+        allowed = _time_backends
+    if args.backend not in allowed:
+        print(
+            f"error: backend {args.backend!r} is not valid for "
+            f"--method {args.method} (choose from {', '.join(allowed)})",
+            file=sys.stderr,
+        )
+        return 2
     trace = read_trace(args.file)
     costs = InstrumentationCosts().scaled(args.cost_scale)
     constants = calibrate_analysis_constants(FX80, costs)
     if args.method == "event":
-        approx = event_based_approximation(trace, constants, policy=args.policy)
+        approx = event_based_approximation(
+            trace, constants, policy=args.policy, backend=args.backend
+        )
     else:
-        approx = time_based_approximation(trace, constants, policy=args.policy)
+        approx = time_based_approximation(
+            trace, constants, policy=args.policy, backend=args.backend
+        )
     if args.policy != "strict":
         errors = [d for d in approx.diagnostics if d.severity is Severity.ERROR]
         if errors:

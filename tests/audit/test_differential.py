@@ -156,8 +156,14 @@ def test_seeded_timebased_divergence_is_detected(corrupt_columnar_timebased):
     )
     assert not report.ok
     checks = {f.check for f in report.findings}
-    assert checks == {"timebased-backends"}  # only the mutated pair fires
+    # Every pair that includes the mutated columnar backend fires: the
+    # object reference, the chunked streaming backend, and the on-file
+    # streaming driver all disagree with it.
+    assert checks == {
+        "timebased-backends", "timebased-streaming", "timebased-streaming-file",
+    }
     finding = report.findings[0]
+    assert finding.check == "timebased-backends"
     assert finding.field == "t_a"
     assert finding.event_index is not None  # localized to one event seq
     assert finding.expected != finding.actual

@@ -12,7 +12,7 @@ np = pytest.importorskip("numpy")
 
 from repro.exec import Executor
 from repro.instrument.plan import PLAN_FULL
-from repro.trace.binio import MAGIC, read_trace_binary, write_trace_binary
+from repro.trace.binio import MAGIC, MAGIC_V3, read_trace_binary, write_trace_binary
 from repro.trace.events import EventKind, TraceEvent
 from repro.trace.io import TruncatedTraceError, read_trace, write_trace
 from repro.trace.trace import Trace, TraceError
@@ -37,14 +37,41 @@ def test_rpt_roundtrip_preserves_everything(measured, tmp_path):
 def test_rpt_suffix_selects_packed_format(measured, tmp_path):
     path = tmp_path / "m.rpt"
     write_trace(measured, path)
-    assert path.read_bytes()[: len(MAGIC)] == MAGIC
+    # Which packed version depends on REPRO_TRACE_FORMAT; the suffix rule
+    # only guarantees a packed (non-JSONL) file.
+    assert path.read_bytes()[: len(MAGIC)] in (MAGIC, MAGIC_V3)
 
 
 def test_format_override_beats_suffix(measured, tmp_path):
     path = tmp_path / "m.trace"
     write_trace(measured, path, format="rpt")
-    assert path.read_bytes()[: len(MAGIC)] == MAGIC
+    assert path.read_bytes()[: len(MAGIC)] in (MAGIC, MAGIC_V3)
     assert read_trace(path).events == measured.events
+
+
+def test_explicit_version_beats_environment(measured, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_FORMAT", "v3")
+    v2 = tmp_path / "m2.rpt"
+    write_trace(measured, v2, format="v2")
+    assert v2.read_bytes()[: len(MAGIC)] == MAGIC
+    monkeypatch.setenv("REPRO_TRACE_FORMAT", "v2")
+    v3 = tmp_path / "m3.rpt"
+    write_trace(measured, v3, format="v3")
+    assert v3.read_bytes()[: len(MAGIC)] == MAGIC_V3
+
+
+def test_environment_sets_packed_default(measured, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_FORMAT", "v3")
+    path = tmp_path / "m.rpt"
+    write_trace(measured, path)
+    assert path.read_bytes()[: len(MAGIC)] == MAGIC_V3
+    assert read_trace(path).events == measured.events
+
+
+def test_environment_typo_fails_loudly(measured, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_FORMAT", "jsonl")
+    with pytest.raises(ValueError, match="REPRO_TRACE_FORMAT"):
+        write_trace(measured, tmp_path / "m.rpt")
 
 
 def test_jsonl_remains_default(measured, tmp_path):
@@ -121,7 +148,7 @@ def test_truncated_rpt_raises_with_counts(measured, tmp_path):
 
 def test_truncated_rpt_prefix_recovery(measured, tmp_path):
     path = tmp_path / "m.rpt"
-    write_trace(measured, path)
+    write_trace(measured, path, format="v2")  # v2: row-exact recovery
     raw = path.read_bytes()
     # Tear off the tail of the last column: every column still has rows,
     # so a non-empty row-exact prefix is recoverable.
@@ -131,6 +158,74 @@ def test_truncated_rpt_prefix_recovery(measured, tmp_path):
     k = len(back)
     assert 0 < k < len(measured)
     assert back.events == measured.events[:k]
+
+
+# ------------------------------------------------------------------ v3
+def test_v3_roundtrip_preserves_everything(measured, tmp_path):
+    path = tmp_path / "m.rpt"
+    write_trace(measured, path, format="v3", chunk_events=64)
+    assert path.read_bytes()[: len(MAGIC)] == MAGIC_V3
+    back = read_trace(path)
+    assert back.has_columns
+    assert back.events == measured.events
+    assert back.meta == measured.meta
+
+
+def test_v3_is_smaller_than_v2(measured, tmp_path):
+    v2, v3 = tmp_path / "m2.rpt", tmp_path / "m3.rpt"
+    write_trace(measured, v2, format="v2")
+    write_trace(measured, v3, format="v3")
+    assert v3.stat().st_size < v2.stat().st_size
+
+
+def test_v3_truncation_recovers_chunk_prefix(measured, tmp_path):
+    path = tmp_path / "m.rpt"
+    write_trace(measured, path, format="v3", chunk_events=32)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) // 2])
+    with pytest.raises(TruncatedTraceError) as exc:
+        read_trace(path)
+    assert exc.value.declared == len(measured)
+    back = read_trace(path, tolerate_truncation=True)
+    assert back.meta["truncated"] is True
+    k = len(back)
+    assert 0 < k < len(measured)
+    assert k % 32 == 0  # v3 recovers whole chunks, never partial rows
+    assert back.events == measured.events[:k]
+
+
+def test_v3_mid_file_damage_is_corruption(measured, tmp_path):
+    path = tmp_path / "m.rpt"
+    write_trace(measured, path, format="v3", chunk_events=32)
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF  # scribble inside a chunk payload
+    path.write_bytes(bytes(raw))
+    with pytest.raises(TraceError):
+        read_trace(path)
+    with pytest.raises(TraceError):
+        # tolerate_truncation is about clean shortfalls, not damage
+        read_trace(path, tolerate_truncation=True)
+
+
+def test_v3_chunk_options_rejected_for_v2(measured, tmp_path):
+    with pytest.raises(ValueError, match="v3"):
+        write_trace(measured, tmp_path / "m.rpt", format="v2", chunk_events=64)
+    with pytest.raises(ValueError, match="v3"):
+        write_trace(measured, tmp_path / "m.jsonl", format="jsonl", codec="zlib")
+
+
+def test_v3_single_chunk_and_odd_sizes(measured, tmp_path):
+    for chunk in (1, 7, len(measured), 10 * len(measured)):
+        path = tmp_path / f"m{chunk}.rpt"
+        write_trace(measured, path, format="v3", chunk_events=chunk)
+        assert read_trace(path).events == measured.events
+
+
+def test_v3_binary_stream_roundtrip(measured):
+    buf = io.BytesIO()
+    write_trace(measured, buf, format="v3", chunk_events=64)
+    buf.seek(0)
+    assert read_trace(buf).events == measured.events
 
 
 def test_atomic_write_leaves_no_tmp(measured, tmp_path):

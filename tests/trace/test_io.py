@@ -6,6 +6,7 @@ import io
 
 import pytest
 
+from repro.trace import binio
 from repro.trace.events import EventKind, TraceEvent
 from repro.trace.io import TruncatedTraceError, read_trace, write_trace
 from repro.trace.trace import Trace, TraceError
@@ -199,4 +200,18 @@ def test_read_trace_rejects_binary_garbage(tmp_path):
     junk = tmp_path / "junk.rpt"
     junk.write_bytes(bytes([0xBC, 0xFF, 0x00, 0x9E]) * 25)
     with pytest.raises(TraceError, match="not a trace file"):
+        read_trace(junk)
+
+
+@pytest.mark.parametrize("magic", [binio.MAGIC, binio.MAGIC_V3])
+def test_read_trace_rejects_garbage_after_valid_magic(tmp_path, magic):
+    """A correct magic over a garbage body still fails as a TraceError.
+
+    The garbage bytes land in the header-length field as an arbitrary
+    uint64; handing that to file.read used to raise OverflowError (or
+    attempt the allocation) instead of diagnosing the corrupt file.
+    """
+    junk = tmp_path / "junkmagic.rpt"
+    junk.write_bytes(magic + bytes([0xE6, 0x91, 0x7F, 0xD3]) * 25)
+    with pytest.raises(TraceError, match=r"\.rpt header"):
         read_trace(junk)
