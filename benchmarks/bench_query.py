@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Query/slice benchmark: chunk-pruned scans vs loading the whole trace.
+
+Not a paper reproduction — this is the perf gate for the trace query
+engine and the causal slicer.  It generates a Livermore loop 3 DOACROSS
+measured trace of ~1M events (``--quick``: ~100k), writes it as a
+chunked ``.rpt`` v3 file, and times four access patterns against the
+full-file load baseline:
+
+* **selective query** (``seq <= k``): statistics pushdown must prune
+  every chunk past the matching prefix;
+* **full-scan group-by** (``--group-by kind``, no events materialized):
+  scans every chunk but decodes only the columns the query touches;
+* **early slice** (target near the start): pass 2 must prune every
+  chunk past the slice frontier;
+* **late slice** (target at the end): the worst case, bounded by one
+  projected pass plus one full decode pass.
+
+Chunk pruning is verified through the ``repro.obs`` counters
+(``query.chunks_pruned`` / ``slice.chunks_pruned``), not inferred from
+timings: the run fails if the selective query or the early slice read
+chunks they could have proven irrelevant.  Results (timings plus the
+observed counters) go to ``BENCH_query.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_query.py [--quick] [--events N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from bench_columnar import FULL_EVENTS, QUICK_EVENTS, build_loop3_trace, timed
+
+from repro.obs import core as obs
+from repro.trace.io import read_trace, write_trace
+from repro.trace.query import run_query
+from repro.trace.slice import slice_file, slice_trace
+
+CHUNK_EVENTS = 64 * 1024
+
+
+def counter_delta(before: dict, name: str) -> int:
+    return obs.snapshot().counters.get(name, 0) - before.get(name, 0)
+
+
+def run(n_events: int, out_path: Path, repeats: int) -> dict:
+    obs.enable()
+    print(f"generating ~{n_events} event loop 3 trace ...", flush=True)
+    t0 = time.perf_counter()
+    trace = build_loop3_trace(n_events)
+    print(f"  {len(trace)} events in {time.perf_counter() - t0:.1f}s")
+
+    results: dict = {
+        "benchmark": "query",
+        "program": "livermore loop 3 (doacross, PLAN_FULL)",
+        "n_events": len(trace),
+        "chunk_events": CHUNK_EVENTS,
+    }
+    failures: list[str] = []
+
+    with TemporaryDirectory(prefix="bench_query_") as tmp:
+        path = Path(tmp) / "loop3.rpt"
+        write_trace(trace, path, format="v3", chunk_events=CHUNK_EVENTS)
+        n_chunks = -(-len(trace) // CHUNK_EVENTS)
+        results["n_chunks"] = n_chunks
+        results["file_bytes"] = path.stat().st_size
+
+        load_secs, loaded = timed(lambda: read_trace(path), repeats)
+        results["full_load_secs"] = load_secs
+        print(f"full load: {load_secs:.3f}s ({n_chunks} chunks)")
+
+        # --- selective query: seq <= one chunk's worth of events
+        cutoff = CHUNK_EVENTS // 2
+        before = obs.snapshot().counters
+        sel_secs, sel = timed(
+            lambda: run_query(path, where=f"seq <= {cutoff}"), repeats
+        )
+        pruned = counter_delta(before, "query.chunks_pruned")
+        expected = [e for e in loaded if e.seq <= cutoff]
+        if sel.events != expected:
+            failures.append("selective query returned wrong events")
+        if sel.chunks_pruned == 0:
+            failures.append("selective query pruned no chunks")
+        results["selective_query"] = {
+            "where": f"seq <= {cutoff}",
+            "secs": sel_secs,
+            "matched": sel.n_matched,
+            "chunks_scanned": sel.chunks_scanned,
+            "chunks_pruned": sel.chunks_pruned,
+            "obs_chunks_pruned": pruned,
+            "speedup_vs_load": load_secs / sel_secs,
+        }
+        print(f"selective query: {sel_secs:.3f}s  "
+              f"({sel.chunks_scanned} scanned, {sel.chunks_pruned} pruned, "
+              f"{load_secs / sel_secs:.1f}x vs load)")
+
+        # --- full-scan aggregation without event materialization
+        agg_secs, agg = timed(
+            lambda: run_query(path, group_by="kind", limit=0), repeats
+        )
+        results["group_by_kind"] = {
+            "secs": agg_secs,
+            "groups": {k: s.count for k, s in agg.groups.items()},
+            "chunks_scanned": agg.chunks_scanned,
+            "speedup_vs_load": load_secs / agg_secs,
+        }
+        print(f"group-by kind: {agg_secs:.3f}s  "
+              f"({agg.chunks_scanned} scanned, "
+              f"{load_secs / agg_secs:.1f}x vs load)")
+
+        # --- slices: early target prunes, late target is the worst case
+        early_target = CHUNK_EVENTS // 4
+        before = obs.snapshot().counters
+        early_secs, early = timed(
+            lambda: slice_file(path, index=early_target), repeats
+        )
+        early_pruned = counter_delta(before, "slice.chunks_pruned")
+        if early.chunks_pruned == 0 and n_chunks > 1:
+            failures.append("early slice pruned no chunks")
+        want = slice_trace(loaded, index=early_target)
+        if early.trace.events != want.events:
+            failures.append("file slice disagrees with in-memory slice")
+        results["early_slice"] = {
+            "target_index": early_target,
+            "secs": early_secs,
+            "kept_events": len(early.trace),
+            "chunks_decoded": early.chunks_decoded,
+            "chunks_pruned": early.chunks_pruned,
+            "obs_chunks_pruned": early_pruned,
+            "speedup_vs_load": load_secs / early_secs,
+        }
+        print(f"early slice: {early_secs:.3f}s  "
+              f"({early.chunks_decoded} decoded, {early.chunks_pruned} "
+              f"pruned, {load_secs / early_secs:.1f}x vs load)")
+
+        late_secs, late = timed(
+            lambda: slice_file(path, index=len(trace) - 1), repeats
+        )
+        results["late_slice"] = {
+            "target_index": len(trace) - 1,
+            "secs": late_secs,
+            "kept_events": len(late.trace),
+            "chunks_decoded": late.chunks_decoded,
+            "chunks_pruned": late.chunks_pruned,
+        }
+        print(f"late slice:  {late_secs:.3f}s  "
+              f"({late.chunks_decoded} decoded, worst case)")
+
+    from repro.obs import bench_summary
+
+    results["obs"] = bench_summary()
+    results["failures"] = failures
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"~{QUICK_EVENTS} events (the CI smoke mode)",
+    )
+    parser.add_argument("--events", type=int, default=None,
+                        help="override the event-count target")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing repetitions; best run is reported")
+    parser.add_argument("--out", type=Path, default=Path("BENCH_query.json"),
+                        help="machine-readable results path")
+    args = parser.parse_args(argv)
+
+    n_events = args.events or (QUICK_EVENTS if args.quick else FULL_EVENTS)
+    results = run(n_events, args.out, max(1, args.repeats))
+    for failure in results["failures"]:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not results["failures"]:
+        print("OK: pushdown and slice pruning observed; results match "
+              "the in-memory paths")
+    return 1 if results["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

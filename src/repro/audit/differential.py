@@ -12,7 +12,9 @@ on the same trace and reporting any field-level divergence as an
 Programs come from :func:`repro.ir.fuzz.random_program` (seed-deterministic)
 or from the standard Livermore set; each finding carries its generating
 seed and a one-line repro command, and the trace witnessing a divergence
-is delta-minimized so the report points at the smallest failing input.
+is minimized — by a backward causal slice from the first diverging event
+(see :mod:`repro.trace.slice`), tightened by bounded delta-debugging on
+small traces — so the report points at the smallest failing input.
 """
 
 from __future__ import annotations
@@ -41,8 +43,9 @@ EVENT_FIELDS = (
     "iteration", "sync_var", "sync_index", "label", "overhead",
 )
 
-#: Traces larger than this skip delta-minimization (the repro command and
-#: first-divergence index still localize the failure).
+#: Traces larger than this skip the delta-debugging tightening pass; the
+#: causal slice (which scales with dependence depth, not trace size) is
+#: still attempted, and findings say so when no witness could be produced.
 MINIMIZE_LIMIT = 4000
 
 _CONSTANTS = None
@@ -323,10 +326,37 @@ def _requirement_met(requirement: Optional[str]) -> bool:
     raise ValueError(f"unknown check requirement {requirement!r}")
 
 
-def _minimized_detail(trace: Trace, check) -> Optional[int]:
-    """Event count of the minimized witness, or None if not minimized."""
-    if len(trace.events) > MINIMIZE_LIMIT:
+def _localize_divergence(trace: Trace, divergence) -> Optional[tuple[str, int]]:
+    """``("seq"|"index", value)`` naming the diverging event, or None.
+
+    Analysis-time divergences (``t_a``) report the event *seq* whose
+    approximated time differs; event-field divergences report a list
+    position.  Length, outcome, total-time and structure mismatches have
+    no single diverging event to slice from.
+    """
+    index, fld, _expected, _actual = divergence
+    if index is None or fld == "length":
         return None
+    if fld == "t_a":
+        return ("seq", index)
+    if 0 <= index < len(trace.events):
+        return ("index", index)
+    return None
+
+
+def _witness_detail(trace: Trace, check, divergence) -> str:
+    """Witness-minimization suffix for one finding's detail line.
+
+    Prefers a backward causal slice from the diverging event — it scales
+    with dependence depth rather than trace size, so there is no size
+    cliff — and only reports the slice after re-checking that it still
+    reproduces the divergence.  On traces within ``MINIMIZE_LIMIT`` the
+    bounded delta-debugger then tightens the verified slice (or, when the
+    divergence is not localizable, the whole trace), so the reported
+    witness is never larger than the old minimizer's.  When no witness
+    can be produced the detail says why instead of silently omitting it.
+    """
+    from repro.trace.slice import slice_trace
 
     def diverges(events: list[TraceEvent]) -> bool:
         try:
@@ -334,7 +364,37 @@ def _minimized_detail(trace: Trace, check) -> Optional[int]:
         except Exception:  # noqa: BLE001 - shrunk traces may be degenerate
             return False
 
-    return len(minimize_events(trace.events, diverges))
+    witness: Optional[list[TraceEvent]] = None
+    where = _localize_divergence(trace, divergence)
+    if where is not None:
+        kind, value = where
+        try:
+            sliced = slice_trace(
+                trace, **({"seq": value} if kind == "seq" else {"index": value})
+            ).events
+        except Exception:  # noqa: BLE001 - slicing is best-effort here
+            sliced = None
+        if sliced and diverges(sliced):
+            witness = sliced
+    if len(trace.events) <= MINIMIZE_LIMIT:
+        base = witness if witness is not None else trace.events
+        witness = minimize_events(base, diverges)
+    if witness is not None:
+        return f" (minimized witness: {len(witness)} events)"
+    _index, fld, _expected, _actual = divergence
+    if where is None:
+        reason = (
+            f"divergence field {fld!r} has no single diverging event to "
+            f"slice from, and {len(trace.events)} events exceeds the "
+            f"delta-min limit of {MINIMIZE_LIMIT}"
+        )
+    else:
+        reason = (
+            "causal slice did not reproduce the divergence, and "
+            f"{len(trace.events)} events exceeds the delta-min limit of "
+            f"{MINIMIZE_LIMIT}"
+        )
+    return f" (minimization skipped: {reason})"
 
 
 # ------------------------------------------------------------- audit entry
@@ -362,9 +422,7 @@ def audit_trace(
             index, fld, expected, actual = divergence
             detail = f"{name} divergence on {len(trace.events)} events"
             if minimize:
-                n = _minimized_detail(trace, check)
-                if n is not None:
-                    detail += f" (minimized witness: {n} events)"
+                detail += _witness_detail(trace, check, divergence)
             obs.count("audit.findings")
             report.findings.append(AuditFinding(
                 check=name,

@@ -32,8 +32,18 @@ from repro.trace.stream import (
     stream_trace_stats,
     stream_validate,
 )
+from repro.trace.slice import FileSliceResult, slice_file, slice_trace
+from repro.trace.query import Predicate, QueryError, QueryResult, parse_where, run_query
 
 __all__ = [
+    "FileSliceResult",
+    "slice_file",
+    "slice_trace",
+    "Predicate",
+    "QueryError",
+    "QueryResult",
+    "parse_where",
+    "run_query",
     "ChunkReader",
     "stream_time_based",
     "stream_trace_stats",

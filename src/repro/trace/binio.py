@@ -76,6 +76,16 @@ TRAILER_MAGIC = b"RPT3FTR\0"
 #: v3 default chunk size in events (64Ki).
 DEFAULT_CHUNK_EVENTS = 64 * 1024
 
+#: Columns whose ``None`` values are stored as ``NONE_SENTINEL`` (int64
+#: min).  Their chunk statistics must not be computed over raw values —
+#: the sentinel would poison ``min`` and predicate pushdown could never
+#: prune on them — so the writer records the non-sentinel ``min``/``max``
+#: plus a ``has_none`` flag (both ``None`` when every value is the
+#: sentinel).  Files written before this flag existed carry raw,
+#: possibly sentinel-poisoned bounds; readers detect that by the missing
+#: ``has_none`` key and treat those bounds as unusable.
+OPTIONAL_STAT_COLUMNS = ("iteration", "sync_index")
+
 _ITEMSIZE = 8  # int64
 
 
@@ -150,6 +160,25 @@ def _write_stream(trace: Trace, fh: IO[bytes]) -> None:
 
 
 # ------------------------------------------------------------------ v3 write
+def _column_stats(name: str, values) -> dict:
+    """Chunk-descriptor ``min``/``max`` stats for one column slice.
+
+    Optional columns get sentinel-free bounds plus ``has_none`` (see
+    :data:`OPTIONAL_STAT_COLUMNS`); all other columns keep the plain
+    raw-value bounds.
+    """
+    if name not in OPTIONAL_STAT_COLUMNS:
+        return {"min": int(values.min()), "max": int(values.max())}
+    present = values != _columnar.NONE_SENTINEL
+    if present.all():
+        lo, hi = int(values.min()), int(values.max())
+        return {"min": lo, "max": hi, "has_none": False}
+    if not present.any():
+        return {"min": None, "max": None, "has_none": True}
+    kept = values[present]
+    return {"min": int(kept.min()), "max": int(kept.max()), "has_none": True}
+
+
 def _write_stream_v3(
     trace: Trace,
     fh: IO[bytes],
@@ -204,8 +233,7 @@ def _write_stream_v3(
                 desc_cols[name] = {
                     "enc": enc,
                     "nbytes": len(payload),
-                    "min": int(values.min()),
-                    "max": int(values.max()),
+                    **_column_stats(name, values),
                 }
                 payloads.append(payload)
             desc = json.dumps(
@@ -377,7 +405,11 @@ def parse_chunk_desc(blob: bytes) -> tuple[dict, int]:
 
 
 def decode_chunk(
-    blob: bytes, compressor: str, out: dict | None = None, start_row: int = 0
+    blob: bytes,
+    compressor: str,
+    out: dict | None = None,
+    start_row: int = 0,
+    columns=None,
 ) -> dict:
     """One chunk blob -> {column name: int64 array} (plus ``"rows"``).
 
@@ -385,11 +417,24 @@ def decode_chunk(
     the chunk is decoded in place at ``start_row``, the per-column arrays
     are omitted from the result, and no per-chunk allocations survive the
     call — the full reader uses this to skip the final concatenate.
+
+    With ``columns`` (an iterable of column names) only those columns are
+    decompressed and decoded; the rest are skipped by advancing past
+    their payloads, which is what makes projected scans (query, slice,
+    head-dump) cheap on wide chunks.  ``columns`` and ``out`` are
+    mutually exclusive — the in-place path always fills every column.
     """
     desc, offset = parse_chunk_desc(blob)
     rows = int(desc["rows"])
     cols_desc = desc["cols"]
     arrays: dict = {"rows": rows}
+    want = None if columns is None else frozenset(columns)
+    if want is not None:
+        if out is not None:
+            raise ValueError("decode_chunk: columns= and out= are exclusive")
+        unknown = want.difference(COLUMN_NAMES)
+        if unknown:
+            raise TraceError(f"unknown trace columns: {sorted(unknown)}")
     if out is not None and start_row + rows > len(out[COLUMN_NAMES[0]]):
         raise TraceError(
             "corrupt .rpt v3 file: chunks hold more events than the "
@@ -409,6 +454,8 @@ def decode_chunk(
                     f"corrupt .rpt v3 chunk: column {name!r} payload overruns"
                 )
             offset += nbytes
+            if want is not None and name not in want:
+                continue
             decoded = _codec.decode_column(
                 # A varint value is at most 10 bytes, so rows*10 bounds
                 # the decompressed size: one exact-ish allocation.

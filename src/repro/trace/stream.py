@@ -200,8 +200,14 @@ class ChunkReader:
         """Index entry for chunk ``i`` (rows, start_row, per-column min/max)."""
         return self.chunk_index[i]
 
-    def read_chunk(self, i: int) -> TraceColumns:
-        """Decode chunk ``i`` into a :class:`TraceColumns` (one seek)."""
+    def read_blob(self, i: int) -> bytes:
+        """Raw (still-compressed) blob of chunk ``i`` (one seek).
+
+        Callers that decode the same chunk twice at different projections
+        (e.g. the streaming slicer's thread-mask-then-full pass) fetch
+        the blob once and run :func:`~repro.trace.binio.decode_chunk`
+        themselves with different ``columns=``.
+        """
         info = self.chunk_index[i]
         fh = self._fh
         fh.seek(int(info["offset"]))
@@ -220,13 +226,34 @@ class ChunkReader:
         blob = _binio._read_declared(fh, blob_len)
         if len(blob) != blob_len:
             raise TraceError(f"corrupt .rpt v3 file: chunk {i} cut short")
-        arrays = _binio.decode_chunk(blob, self._compressor)
-        rows = arrays.pop("rows")
-        if rows != int(info["rows"]):
+        return blob
+
+    @property
+    def compressor(self) -> str:
+        """Compression codec name chunk payloads were written with."""
+        return self._compressor
+
+    def read_chunk_arrays(self, i: int, columns=None) -> dict:
+        """Decode chunk ``i`` to ``{name: int64 array}`` plus ``"rows"``.
+
+        ``columns`` projects the decode: only the named columns are
+        decompressed (the rest are skipped byte-wise), so scans that
+        touch two or three columns never pay for all ten.
+        """
+        arrays = _binio.decode_chunk(
+            self.read_blob(i), self._compressor, columns=columns
+        )
+        if arrays["rows"] != int(self.chunk_index[i]["rows"]):
             raise TraceError(
                 f"corrupt .rpt v3 file: chunk {i} row count disagrees with "
                 "the footer index"
             )
+        return arrays
+
+    def read_chunk(self, i: int) -> TraceColumns:
+        """Decode chunk ``i`` into a :class:`TraceColumns` (one seek)."""
+        arrays = self.read_chunk_arrays(i)
+        arrays.pop("rows")
         return TraceColumns(
             sync_var_table=self.sync_var_table,
             label_table=self.label_table,

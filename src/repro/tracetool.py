@@ -6,6 +6,8 @@ Subcommands::
     repro-trace stats FILE             # alias of info (columnar streaming)
     repro-trace convert FILE -o OUT    # translate JSONL <-> .rpt v2 <-> v3
     repro-trace dump FILE [-n N] [--thread T] [--kind K]
+    repro-trace query FILE [--where EXPR] [--group-by COL] [-n N]
+    repro-trace slice FILE (--seq S | --index I) [-o OUT] [--show N]
     repro-trace validate FILE          # streaming diagnostics + causality
     repro-trace repair FILE -o OUT     # best-effort repair, prints report
     repro-trace inject FILE -o OUT     # seed-deterministic fault injection
@@ -105,6 +107,57 @@ def make_parser() -> argparse.ArgumentParser:
     p_dump.add_argument("-n", type=int, default=40, help="max events (0 = all)")
     p_dump.add_argument("--thread", type=int, default=None, help="filter by CE")
     p_dump.add_argument("--kind", default=None, help="filter by event kind")
+
+    p_query = sub.add_parser(
+        "query", help="filter and aggregate events (vectorized; v3 files "
+        "are scanned chunk-at-a-time with min/max pushdown)",
+    )
+    p_query.add_argument("file")
+    p_query.add_argument(
+        "--where", default=None, metavar="EXPR",
+        help="filter conjunction, e.g. \"kind == advance and thread == 0\" "
+        "(ops: == != < <= > >=; 'none' matches missing values)",
+    )
+    p_query.add_argument(
+        "--group-by", default=None, metavar="COLUMN",
+        help="aggregate matches per value of COLUMN "
+        "(thread/kind/eid/sync_var/label/iteration)",
+    )
+    p_query.add_argument(
+        "-n", "--limit", type=int, default=20,
+        help="max events to print (0 = all matches)",
+    )
+    p_query.add_argument(
+        "--count", action="store_true",
+        help="print only counts (and groups), no events",
+    )
+
+    p_slice = sub.add_parser(
+        "slice", help="extract the backward causal slice of a target event "
+        "(program order + sync dependences; streams v3 files)",
+    )
+    p_slice.add_argument("file")
+    target = p_slice.add_mutually_exclusive_group(required=True)
+    target.add_argument(
+        "--seq", type=int, default=None,
+        help="target event by trace sequence number",
+    )
+    target.add_argument(
+        "--index", type=int, default=None,
+        help="target event by position in total order (negative = from "
+        "the end; --index -1 slices from the last event)",
+    )
+    p_slice.add_argument(
+        "-o", "--output", default=None, help="write the slice to this path"
+    )
+    p_slice.add_argument(
+        "--format", choices=("jsonl", "rpt", "v2", "v3"), default=None,
+        help="output format (default: inferred from the -o suffix)",
+    )
+    p_slice.add_argument(
+        "--show", type=int, default=0, metavar="N",
+        help="also print the first N slice events",
+    )
 
     p_val = sub.add_parser("validate", help="causality and pairing checks")
     p_val.add_argument("file")
@@ -248,8 +301,41 @@ def cmd_convert(args: argparse.Namespace) -> int:
 
 
 def cmd_dump(args: argparse.Namespace) -> int:
+    from repro.trace.columnar import HAVE_NUMPY
+
+    if HAVE_NUMPY and _packed_version(args.file) == 3:
+        # Head-dumping a chunked trace must not decode the whole file:
+        # the query engine stops at the first chunks that satisfy -n and
+        # never reads the rest.
+        from repro.trace.query import Predicate, run_query
+
+        preds = []
+        if args.thread is not None:
+            preds.append(Predicate("thread", "==", args.thread))
+        if args.kind:
+            preds.append(Predicate("kind", "==", args.kind))
+        result = run_query(
+            args.file, where=preds,
+            limit=(args.n if args.n else None),
+            stop_after_limit=bool(args.n),
+        )
+        for e in result.events:
+            print(e)
+        if args.n and len(result.events) >= args.n:
+            remaining = result.n_source - len(result.events)
+            if remaining > 0:
+                print(f"... ({remaining} more; use -n 0 for all)")
+        return 0
     trace = read_trace(args.file)
-    kind = EventKind(args.kind) if args.kind else None
+    if args.kind:
+        try:
+            kind = EventKind(args.kind)
+        except ValueError:
+            raise TraceError(
+                f"{args.kind!r} is not a valid EventKind"
+            ) from None
+    else:
+        kind = None
     shown = 0
     for e in trace:
         if args.thread is not None and e.thread != args.thread:
@@ -263,6 +349,94 @@ def cmd_dump(args: argparse.Namespace) -> int:
             if remaining > 0:
                 print(f"... ({remaining} more; use -n 0 for all)")
             break
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.trace.query import run_query
+
+    limit = 0 if args.count else (None if args.limit == 0 else args.limit)
+    result = run_query(
+        args.file, where=(args.where or ()), group_by=args.group_by,
+        limit=limit,
+    )
+    chunked = result.chunks_scanned or result.chunks_pruned
+    chunk_note = (
+        f" ({result.chunks_scanned} chunk(s) decoded, "
+        f"{result.chunks_pruned} pruned)" if chunked else ""
+    )
+    print(
+        f"matched {result.n_matched} of {result.n_source} "
+        f"event(s){chunk_note}"
+    )
+    if result.groups is not None:
+        width = max(
+            [len(str(k)) for k in result.groups] + [len(args.group_by)]
+        )
+        print(
+            f"\n{args.group_by:<{width}} {'count':>10} {'overhead':>12} "
+            f"{'time span':>21}"
+        )
+        for key, stats in result.groups.items():
+            span = (
+                f"[{stats.time_min}, {stats.time_max}]"
+                if stats.count else "-"
+            )
+            print(
+                f"{str(key):<{width}} {stats.count:>10} "
+                f"{stats.overhead:>12} {span:>21}"
+            )
+    if result.events:
+        print()
+        for e in result.events:
+            print(e)
+        hidden = result.n_matched - len(result.events)
+        if hidden > 0:
+            print(f"... ({hidden} more; use -n 0 for all)")
+    return 0
+
+
+def cmd_slice(args: argparse.Namespace) -> int:
+    from repro.trace.columnar import HAVE_NUMPY
+
+    if HAVE_NUMPY and _packed_version(args.file) == 3:
+        from repro.trace.slice import slice_file
+
+        result = slice_file(args.file, seq=args.seq, index=args.index)
+        sliced = result.trace
+        n_source = result.n_source_events
+        chunk_note = (
+            f"; chunks: {result.chunks_decoded} of {result.n_chunks} "
+            f"decoded, {result.chunks_pruned} pruned"
+        )
+    else:
+        from repro.trace.slice import slice_trace
+
+        trace = read_trace(args.file)
+        sliced = slice_trace(trace, seq=args.seq, index=args.index)
+        n_source = len(trace)
+        chunk_note = ""
+    info = sliced.meta.get("slice", {})
+    print(
+        f"slice: kept {len(sliced)} of {n_source} event(s) "
+        f"(target seq {info.get('target_seq')}, "
+        f"index {info.get('target_index')}){chunk_note}"
+    )
+    if args.show:
+        for e in list(sliced)[: args.show]:
+            print(e)
+        if len(sliced) > args.show:
+            print(f"... ({len(sliced) - args.show} more)")
+    if args.output:
+        from repro.trace.io import default_packed_format
+
+        fmt = args.format
+        if fmt is None:
+            fmt = "rpt" if str(args.output).endswith(".rpt") else "jsonl"
+        if fmt == "rpt":
+            fmt = default_packed_format()
+        write_trace(sliced, args.output, format=fmt)
+        print(f"wrote {len(sliced)} event(s) to {args.output} ({fmt})")
     return 0
 
 
@@ -465,6 +639,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stats": cmd_info,
         "convert": cmd_convert,
         "dump": cmd_dump,
+        "query": cmd_query,
+        "slice": cmd_slice,
         "validate": cmd_validate,
         "repair": cmd_repair,
         "inject": cmd_inject,

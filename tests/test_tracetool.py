@@ -229,3 +229,110 @@ def test_analyze_cost_scale_flag(trace_file, capsys):
     out_full = capsys.readouterr().out
     # Different assumed probe costs -> different approximations.
     assert out_half != out_full
+
+
+# --------------------------------------------------------- query + slice
+@pytest.fixture(scope="module")
+def v3_file(trace_file, tmp_path_factory):
+    pytest.importorskip("numpy")
+    from repro.trace.io import read_trace
+
+    path = tmp_path_factory.mktemp("v3") / "toy.rpt"
+    write_trace(read_trace(trace_file), path, format="v3", chunk_events=64)
+    return str(path)
+
+
+def test_query_where_and_events(v3_file, capsys):
+    assert main(["query", v3_file, "--where", "kind == advance", "-n", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "matched 40 of" in out
+    assert "chunk(s) decoded" in out
+    assert out.count("advance") >= 40
+
+
+def test_query_group_by_table(v3_file, capsys):
+    assert main([
+        "query", v3_file, "--group-by", "kind", "--count",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "count" in out and "overhead" in out and "time span" in out
+    assert "advance" in out
+
+
+def test_query_limit_reports_hidden(v3_file, capsys):
+    assert main(["query", v3_file, "-n", "2"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert "more; use -n 0 for all" in out[-1]
+
+
+def test_query_works_on_jsonl_too(trace_file, capsys):
+    pytest.importorskip("numpy")
+    assert main(["query", trace_file, "--where", "thread == 3", "--count"]) == 0
+    out = capsys.readouterr().out
+    assert "matched" in out
+    assert "chunk" not in out  # in-memory query has no chunk counters
+
+
+def test_query_bad_where_errors(v3_file, capsys):
+    assert main(["query", v3_file, "--where", "threads == 3"]) == 2
+    assert "unknown query column" in capsys.readouterr().err
+
+
+def test_slice_by_index_with_output(v3_file, tmp_path, capsys):
+    out_path = str(tmp_path / "slice.jsonl")
+    assert main([
+        "slice", v3_file, "--index", "100", "--show", "3", "-o", out_path,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "slice: kept" in out
+    assert "chunks:" in out and "pruned" in out
+    assert f"wrote" in out
+    from repro.trace.io import read_trace
+
+    sliced = read_trace(out_path)
+    assert 0 < len(sliced) <= 101
+    assert "slice" in sliced.meta
+
+
+def test_slice_by_seq_matches_jsonl_path(v3_file, trace_file, capsys):
+    pytest.importorskip("numpy")
+    from repro.trace.io import read_trace
+
+    seq = read_trace(trace_file).events[50].seq
+    assert main(["slice", v3_file, "--seq", str(seq)]) == 0
+    out_v3 = capsys.readouterr().out
+    assert main(["slice", trace_file, "--seq", str(seq)]) == 0
+    out_jsonl = capsys.readouterr().out
+    kept = out_v3.split("kept ")[1].split(" of")[0]
+    assert f"kept {kept} of" in out_jsonl  # same slice either path
+
+
+def test_slice_missing_seq_errors(v3_file, capsys):
+    assert main(["slice", v3_file, "--seq", "99999999"]) == 2
+    assert "no event with seq" in capsys.readouterr().err
+
+
+def test_slice_requires_exactly_one_target(v3_file, capsys):
+    with pytest.raises(SystemExit):
+        main(["slice", v3_file])  # argparse: required mutually-exclusive
+
+
+def test_dump_v3_head_stops_early(v3_file, capsys):
+    assert main(["dump", v3_file, "-n", "5"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 6
+    assert "more; use -n 0 for all" in out[-1]
+
+
+def test_dump_v3_filters_match_jsonl(v3_file, trace_file, capsys):
+    assert main(["dump", v3_file, "-n", "0", "--kind", "advance"]) == 0
+    out_v3 = capsys.readouterr().out
+    assert main(["dump", trace_file, "-n", "0", "--kind", "advance"]) == 0
+    assert out_v3 == capsys.readouterr().out
+
+
+def test_dump_bad_kind_errors_both_paths(v3_file, trace_file, capsys):
+    assert main(["dump", v3_file, "--kind", "warp"]) == 2
+    assert "EventKind" in capsys.readouterr().err
+    assert main(["dump", trace_file, "--kind", "warp"]) == 2
+    assert "EventKind" in capsys.readouterr().err

@@ -253,3 +253,45 @@ def test_string_tables_roundtrip(tmp_path):
     write_trace(Trace(events), path)
     back = read_trace(path)
     assert back.events == events
+
+
+# ------------------------------------------------------- v3 chunk stats
+def test_column_stats_exclude_none_sentinel():
+    from repro.trace.binio import _column_stats
+    from repro.trace.columnar import NONE_SENTINEL
+
+    plain = np.array([5, 2, 9], dtype=np.int64)
+    assert _column_stats("time", plain) == {"min": 2, "max": 9}
+
+    mixed = np.array([NONE_SENTINEL, 4, 7], dtype=np.int64)
+    assert _column_stats("sync_index", mixed) == {
+        "min": 4, "max": 7, "has_none": True,
+    }
+    assert _column_stats("iteration", plain) == {
+        "min": 2, "max": 9, "has_none": False,
+    }
+    all_none = np.full(3, NONE_SENTINEL, dtype=np.int64)
+    assert _column_stats("sync_index", all_none) == {
+        "min": None, "max": None, "has_none": True,
+    }
+
+
+def test_v3_file_chunk_stats_are_sentinel_free(measured, tmp_path):
+    """Written chunk descriptors carry usable optional-column bounds."""
+    from repro.trace.binio import OPTIONAL_STAT_COLUMNS
+    from repro.trace.columnar import NONE_SENTINEL
+    from repro.trace.stream import ChunkReader
+
+    path = tmp_path / "m.rpt"
+    write_trace(measured, path, format="v3", chunk_events=32)
+    with ChunkReader(path) as reader:
+        assert reader.n_chunks > 1
+        for info in reader.chunk_index:
+            for name, stats in info["cols"].items():
+                if name in OPTIONAL_STAT_COLUMNS:
+                    assert "has_none" in stats
+                    assert stats["min"] != NONE_SENTINEL
+                else:
+                    assert "has_none" not in stats
+                if stats["min"] is not None:
+                    assert stats["min"] <= stats["max"]
